@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and
+asserts its qualitative shape (who wins, by roughly what factor, where
+the crossovers fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The formatted tables print into the captured output; add ``-s`` to see
+them inline.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (heavy end-to-end drivers
+    share process-level caches, so timing repetitions would measure the
+    cache, not the work)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,44 @@
+"""Ablation: exhaustive Step-1/2 search vs the exact knapsack.
+
+Because the paper's probability model makes the gain additive across
+indexed messages (DESIGN.md, "Additivity"), the knapsack optimum equals
+the exhaustive optimum.  This bench checks the equivalence on all three
+scenarios and times both engines -- the knapsack is what lets the
+method scale to message pools where 2^n enumeration is hopeless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import BUFFER_WIDTH, scenario_selection
+from repro.selection.selector import MessageSelector
+
+
+def _both_engines():
+    results = {}
+    for number in (1, 2, 3):
+        bundle = scenario_selection(number)
+        selector = bundle.selector
+        exhaustive = selector.select(method="exhaustive", packing=False)
+        knapsack = selector.select(method="knapsack", packing=False)
+        results[number] = (exhaustive, knapsack)
+    return results
+
+
+def test_knapsack_equals_exhaustive(benchmark):
+    results = benchmark(_both_engines)
+    for number, (exhaustive, knapsack) in results.items():
+        assert knapsack.gain == pytest.approx(exhaustive.gain), number
+        assert knapsack.total_width <= BUFFER_WIDTH
+        assert exhaustive.total_width <= BUFFER_WIDTH
+
+
+def test_knapsack_alone_is_fast(benchmark):
+    bundle = scenario_selection(3)
+
+    def knapsack():
+        return bundle.selector.select(method="knapsack", packing=False)
+
+    result = benchmark(knapsack)
+    assert result.total_width <= BUFFER_WIDTH

@@ -1,0 +1,55 @@
+"""Ablation: packing on/off and sub-group gain-credit policies.
+
+DESIGN.md calls out the packing step (Section 3.3) as a design choice:
+this bench quantifies what packing buys (utilization, coverage, gain)
+and compares the ``proportional`` and ``full`` sub-group credit
+policies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import BUFFER_WIDTH
+from repro.selection.selector import MessageSelector
+from repro.soc.t2.scenarios import usage_scenarios
+
+
+def _packing_sweep():
+    rows = []
+    for number, scenario in usage_scenarios().items():
+        interleaved = scenario.interleaved()
+        for policy in ("proportional", "full"):
+            selector = MessageSelector(
+                interleaved,
+                BUFFER_WIDTH,
+                subgroups=scenario.subgroup_pool,
+                subgroup_policy=policy,
+            )
+            wop = selector.select(method="exhaustive", packing=False)
+            wp = selector.select(method="exhaustive", packing=True)
+            rows.append((number, policy, wop, wp))
+    return rows
+
+
+def test_packing_ablation(once):
+    rows = once(_packing_sweep)
+
+    for number, policy, wop, wp in rows:
+        # packing never hurts any objective
+        assert wp.utilization >= wop.utilization, (number, policy)
+        assert wp.coverage >= wop.coverage, (number, policy)
+        assert wp.gain >= wop.gain - 1e-12, (number, policy)
+
+    # packing strictly helps somewhere under both policies
+    for policy in ("proportional", "full"):
+        gains = [
+            wp.utilization - wop.utilization
+            for number, p, wop, wp in rows
+            if p == policy
+        ]
+        assert max(gains) > 0.0, policy
+
+    # the full policy credits at least as much gain as proportional
+    by_key = {(n, p): wp for n, p, _, wp in rows}
+    for number in (1, 2, 3):
+        assert by_key[(number, "full")].gain >= \
+            by_key[(number, "proportional")].gain - 1e-12

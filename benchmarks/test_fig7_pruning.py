@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 7 (plausible vs pruned causes).
+
+Shape assertions vs the paper: traced messages prune an average of
+~79% of candidate root causes (paper 78.89%), topping out near 89%
+(paper 88.89%), and every case study keeps at least one plausible
+cause (the true one).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import (
+    PAPER_AVERAGE_PRUNED,
+    average_pruned_fraction,
+    fig7,
+    format_fig7,
+)
+
+
+def test_fig7(once):
+    bars = once(fig7)
+    print("\n" + format_fig7())
+
+    assert len(bars) == 5
+    for bar in bars:
+        assert bar.plausible >= 1
+        assert bar.pruned_fraction >= 0.6
+
+    average = average_pruned_fraction(bars)
+    assert abs(average - PAPER_AVERAGE_PRUNED) < 0.10
+    assert max(b.pruned_fraction for b in bars) >= 0.85

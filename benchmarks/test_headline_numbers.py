@@ -1,0 +1,27 @@
+"""Bench: the abstract / introduction headline aggregates."""
+
+from __future__ import annotations
+
+from repro.experiments.headline import format_headline, headline
+
+
+def test_headline(once):
+    h = once(headline)
+    print("\n" + format_headline())
+
+    # paper: utilization up to 100%, average 98.96%
+    assert h.max_utilization_wp == 1.0
+    assert h.avg_utilization_wp > 0.95
+    # paper: coverage up to 99.86%, average 94.3%
+    assert h.avg_coverage_wp > 0.80
+    # paper: localization <= 6.11% WoP / <= 0.31% WP (single-instance
+    # scenarios are coarser; the 2-instance bench hits the WP band)
+    assert h.max_localization_wop <= 0.15
+    assert h.max_localization_wp <= h.max_localization_wop
+    # paper: pruning avg 78.89%, max 88.89%
+    assert abs(h.avg_pruned - 0.7889) < 0.10
+    assert h.max_pruned >= 0.85
+    # paper Sec 1: baselines reconstruct <= 26% of required messages on
+    # the USB, the flow-level method 100%
+    assert h.usb_ours_reconstruction == 1.0
+    assert h.usb_baseline_best_reconstruction <= 0.60

@@ -1,0 +1,39 @@
+"""Bench: the Section-1 message-reconstruction experiment.
+
+The paper's motivating measurement: running state restoration on the
+signals an SRR-style method traces reconstructs *no more than 26% of
+required interface messages*, while flow-level selection captures 100%
+of them directly.  Shape assertions: both gate-level baselines stay at
+or below ~50% message reconstruction even with full forward/backward
+restoration; the flow-level method reconstructs every message.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reconstruction import (
+    format_reconstruction,
+    usb_reconstruction,
+)
+from repro.soc.usb.flows import MESSAGE_COMPOSITION
+
+
+def test_reconstruction(once):
+    result = once(usb_reconstruction)
+    print("\n" + format_reconstruction(result))
+
+    assert sum(result.occurrences.values()) > 0
+    assert result.fraction["infogain"] == 1.0
+    assert result.fraction["sigset"] <= 0.60
+    assert result.fraction["prnet"] <= 0.60
+
+    # the wide data-carrying messages are exactly what restoration
+    # cannot rebuild: RxToken and TxToken fail for both baselines
+    for method in ("sigset", "prnet"):
+        per = result.reconstructed[method]
+        good, total = per["RxToken"]
+        assert total > 0 and good < total, method
+        good, total = per["TxToken"]
+        assert total > 0 and good < total, method
+    # every message that saw traffic is in the report
+    for name in MESSAGE_COMPOSITION:
+        assert name in result.reconstructed["infogain"]

@@ -1,0 +1,47 @@
+"""Bench: scalability of the pipeline (the paper's third contribution).
+
+The paper makes scalability an explicit objective: SRR methods cannot
+even load the T2, while flow-level selection runs at the application
+level.  This bench times the core pipeline stages -- interleaving,
+information modelling, selection, path counting -- as the number of
+concurrent flow instances grows the product state space by orders of
+magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.core.information import InformationModel
+from repro.selection.selector import MessageSelector
+from repro.soc.t2.scenarios import scenario
+
+
+def _pipeline(instances: int):
+    sc = scenario(1, instances=instances)
+    interleaved = sc.interleaved()
+    model = InformationModel(interleaved)
+    selector = MessageSelector(
+        interleaved, 32, subgroups=sc.subgroup_pool
+    )
+    selection = selector.select(method="knapsack", packing=True)
+    return interleaved, model, selection
+
+
+def test_pipeline_one_instance(benchmark):
+    interleaved, _, selection = benchmark(_pipeline, 1)
+    assert interleaved.num_states == 105
+    assert selection.total_width <= 32
+
+
+def test_pipeline_two_instances(once):
+    interleaved, _, selection = once(_pipeline, 2)
+    # ~100x the single-instance state space, still selected exactly
+    assert interleaved.num_states > 10_000
+    assert selection.total_width <= 32
+
+
+def test_path_counting_scales(once):
+    sc = scenario(1, instances=2)
+    interleaved = sc.interleaved()
+    total = once(interleaved.count_paths)
+    # astronomically many paths counted without enumeration
+    assert total > 10 ** 9

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 1 (usage scenarios and root-cause counts)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import PAPER_ROOT_CAUSES, format_table1, table1
+from repro.soc.t2.flows import TABLE1_SHAPES
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1)
+    print("\n" + format_table1())
+
+    assert len(rows) == 3
+    shapes = {name: (states, msgs) for name, states, msgs in TABLE1_SHAPES}
+    for row in rows:
+        for name, states, msgs in row.flows:
+            assert shapes[name] == (states, msgs)
+    # root-cause counts match Table 1, column 8, exactly
+    for row, number in zip(rows, (1, 2, 3)):
+        assert row.potential_root_causes == PAPER_ROOT_CAUSES[number]

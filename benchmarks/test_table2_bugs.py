@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 2 (representative injected bugs)."""
+
+from __future__ import annotations
+
+from repro.debug.bugs import BUG_CATALOG
+from repro.experiments.table2 import format_table2, table2
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2)
+    print("\n" + format_table2())
+
+    # the paper's four representative rows: depth/category/IP pattern
+    assert [r.depth for r in rows] == [4, 4, 3, 4]
+    assert [r.category for r in rows] == ["Control", "Data", "Control",
+                                          "Control"]
+    assert [r.buggy_ip for r in rows] == ["DMU", "DMU", "DMU", "NCU"]
+    # the full catalog provides 14 injectable bugs per case study
+    assert len(BUG_CATALOG) == 36

@@ -1,0 +1,44 @@
+"""Bench: regenerate Table 3 (utilization / coverage / localization).
+
+Shape assertions vs the paper:
+
+* packing never hurts and strictly raises utilization and coverage
+  somewhere (WP >= WoP, with a strict gap on average);
+* with packing, utilization reaches 100% on every case study (paper:
+  96.88-100%);
+* traced messages localize failing runs to a small fraction of the
+  interleaved-flow paths, and packing keeps localization at least as
+  tight.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table3 import format_table3, table3
+
+
+def test_table3(once):
+    rows = once(table3)
+    print("\n" + format_table3())
+
+    for row in rows:
+        assert row.utilization_wp >= row.utilization_wop
+        assert row.coverage_wp >= row.coverage_wop
+        assert row.utilization_wp == pytest.approx(1.0)
+        assert row.localization_wp <= row.localization_wop + 1e-12
+        assert row.localization_wop <= 0.12  # paper: <= 6.11%
+
+    avg_gap = sum(r.coverage_wp - r.coverage_wop for r in rows) / len(rows)
+    assert avg_gap > 0.05  # packing buys real coverage
+
+
+def test_table3_two_instances(once):
+    """The tagging-scale variant: two concurrent instances per flow.
+
+    Localization tightens by orders of magnitude (paper WP: <= 0.31%).
+    """
+    rows = once(table3, 2)
+    print("\n" + format_table3(2))
+    for row in rows:
+        assert row.localization_wp <= 0.005, row.case_study

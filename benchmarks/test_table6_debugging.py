@@ -1,0 +1,43 @@
+"""Bench: regenerate Table 6 (debugging statistics per case study).
+
+Shape assertions vs the paper:
+
+* only a fraction of the legal IP pairs needs investigation
+  (paper: average 54.67%; ours stays well below 100% overall);
+* every case study's surviving root causes include the truly buggy
+  IP's architecture-level function, with the Table-6 wording;
+* case studies 1-4 have 3 participating flows and case study 5 has 4.
+"""
+
+from __future__ import annotations
+
+from repro.debug.casestudies import case_studies
+from repro.experiments.table6 import format_table6, table6
+
+
+def test_table6(once):
+    rows, reports = once(table6)
+    print("\n" + format_table6())
+
+    assert [r.num_flows for r in rows] == [3, 3, 3, 3, 4]
+
+    investigated = sum(r.pairs_investigated for r in rows)
+    legal = sum(r.legal_ip_pairs for r in rows)
+    assert 0 < investigated < legal
+
+    studies = case_studies()
+    for number, report in reports.items():
+        assert report.buggy_ip_is_plausible, number
+        assert studies[number].active_bug.ip in {
+            c.ip for c in report.plausible_causes
+        }
+
+    expectations = {
+        1: "Non-generation of Mondo",
+        2: "interrupt decoding logic in NCU",
+        3: "Cache Crossbar",
+        4: "dequeue",
+        5: "memory controller",
+    }
+    for number, row in zip(sorted(reports), rows):
+        assert expectations[number] in row.root_caused, number

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Buffer planning and the reconfiguration loop.
+
+Three debug-architecture questions, answered with the library:
+
+1. *How wide must the trace buffer be?* -- sweep widths and find the
+   coverage knee (`repro.selection.planner`).
+2. *One buffer for all scenarios?* -- joint selection across the three
+   T2 usage scenarios (`repro.selection.multi`).
+3. *The first run left two plausible causes -- now what?* -- triage
+   suggests the discriminating message, the buffer is reconfigured,
+   and the re-run isolates the root cause (`repro.debug.triage`).
+
+Run::
+
+    python examples/buffer_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.core.message import MessageCombination
+from repro.debug.casestudies import case_studies
+from repro.debug.rootcause import root_cause_catalog
+from repro.debug.session import DebugSession
+from repro.selection.multi import select_jointly
+from repro.selection.planner import format_plan, plan_buffer
+from repro.selection.selector import MessageSelector
+from repro.soc.t2.scenarios import scenario, usage_scenarios
+
+
+def main() -> None:
+    # ------------------------------------------------ 1. width plan --
+    sc1 = scenario(1)
+    plan = plan_buffer(
+        sc1.interleaved(),
+        widths=(8, 12, 16, 20, 24, 28, 32, 40, 48, 64),
+        subgroups=sc1.subgroup_pool,
+    )
+    print(f"{sc1.name}: trace buffer width sweep")
+    print(format_plan(plan))
+    for target in (0.70, 0.85):
+        width = plan.minimal_width_for_coverage(target)
+        print(f"  minimal width for {target:.0%} coverage: {width}")
+
+    # ------------------------------------- 2. one buffer, 3 scenarios --
+    interleavings = {
+        f"Scenario {n}": sc.interleaved()
+        for n, sc in usage_scenarios().items()
+    }
+    joint = select_jointly(interleavings, buffer_width=32)
+    print("\nJoint selection (one 32-bit configuration for all three "
+          "scenarios):")
+    print(f"  traced: {', '.join(joint.combination.names())}")
+    for name in sorted(joint.per_scenario_coverage):
+        print(
+            f"  {name}: gain {joint.per_scenario_gain[name]:.3f}, "
+            f"coverage {joint.per_scenario_coverage[name]:.2%}"
+        )
+    print(f"  worst-scenario coverage: {joint.min_coverage:.2%}")
+
+    # ------------------------------------ 3. reconfigure and re-run --
+    cs = case_studies()[1]
+    causes = root_cause_catalog(1)
+    selection = MessageSelector(
+        sc1.interleaved(), 32, subgroups=sc1.subgroup_pool
+    ).select(method="exhaustive", packing=True)
+
+    session = DebugSession(sc1, selection.traced, causes)
+    first = session.run(cs.active_bug, seed=cs.seed)
+    print(f"\nFirst run: pruned {first.pruned_fraction:.0%}, plausible "
+          f"causes {[c.cause_id for c in first.plausible_causes]}")
+    print(first.triage())
+
+    # follow the triage advice: make room for reqtot by dropping the
+    # lowest-contribution messages from the first configuration
+    reqtot = sc1.catalog["reqtot"]
+    model = MessageSelector(sc1.interleaved(), 32).model
+    keep = sorted(
+        selection.combination,
+        key=model.message_contribution,
+        reverse=True,
+    )
+    while keep and sum(m.width for m in keep) + reqtot.width > 32:
+        keep.pop()  # least informative goes first
+    reconfigured = MessageCombination(tuple(keep) + (reqtot,))
+    second_session = DebugSession(sc1, reconfigured, causes)
+    second = second_session.run(cs.active_bug, seed=cs.seed + 1)
+    print(f"\nRe-run with reqtot traced: pruned "
+          f"{second.pruned_fraction:.0%}, plausible causes "
+          f"{[c.cause_id for c in second.plausible_causes]}")
+    print(second.triage())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Tutorial: bring your own protocol flows.
+
+Shows how a downstream user models their SoC's flows -- a DMA transfer
+with a branch (single-descriptor vs chained) and a power-management
+handshake -- then selects trace messages for a 24-bit buffer with
+sub-group packing, and measures what the selection buys during debug.
+
+Run::
+
+    python examples/custom_flow_tutorial.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Flow, Message, MessageSelector, Transition, interleave_flows
+from repro.core.execution import project_trace
+from repro.selection.localization import PathLocalizer
+
+
+def dma_flow() -> Flow:
+    """A DMA transfer: request, grant, then one of two completions."""
+    req = Message("dma_req", 9, source="DEV", destination="DMAC")
+    gnt = Message("dma_gnt", 4, source="DMAC", destination="DEV")
+    single = Message("dma_single_done", 6, source="DMAC", destination="MEM")
+    chain = Message("dma_chain_next", 12, source="DMAC", destination="MEM")
+    done = Message("dma_chain_done", 6, source="MEM", destination="DEV")
+    return Flow(
+        name="DMA",
+        states=["Idle", "Req", "Granted", "Chained", "Done"],
+        initial=["Idle"],
+        stop=["Done"],
+        transitions=[
+            Transition("Idle", req, "Req"),
+            Transition("Req", gnt, "Granted"),
+            Transition("Granted", single, "Done"),      # short path
+            Transition("Granted", chain, "Chained"),    # chained path
+            Transition("Chained", done, "Done"),
+        ],
+        atomic=["Granted"],  # the DMA channel grant is exclusive
+    )
+
+
+def power_flow() -> Flow:
+    """A power-management handshake: sleep request, ack, wake."""
+    sleep = Message("pm_sleep_req", 7, source="PMU", destination="CPU")
+    ack = Message("pm_sleep_ack", 4, source="CPU", destination="PMU")
+    wake = Message("pm_wake", 7, source="PMU", destination="CPU")
+    return Flow(
+        name="PM",
+        states=["Active", "Draining", "Asleep", "Awake"],
+        initial=["Active"],
+        stop=["Awake"],
+        transitions=[
+            Transition("Active", sleep, "Draining"),
+            Transition("Draining", ack, "Asleep"),
+            Transition("Asleep", wake, "Awake"),
+        ],
+    )
+
+
+def main() -> None:
+    dma, pm = dma_flow(), power_flow()
+    # a usage scenario: two DMA channels busy while the PMU cycles power
+    interleaved = interleave_flows([dma, dma, pm])
+    print(
+        f"Scenario {interleaved.name}: {interleaved.num_states} states, "
+        f"{interleaved.count_paths()} possible executions"
+    )
+
+    # descriptor-pointer slice of the chained-completion message
+    chain_ptr = Message(
+        "dma_chain_ptr", 5, source="DMAC", destination="MEM",
+        parent="dma_chain_next",
+    )
+    selector = MessageSelector(
+        interleaved, buffer_width=24, subgroups=[chain_ptr]
+    )
+    without = selector.select(packing=False)
+    with_packing = selector.select(packing=True)
+    print(f"\nWithout packing: {without.describe()}")
+    print(f"With packing:    {with_packing.describe()}")
+
+    # how much does the traced set narrow down a mystery run?
+    rng = random.Random(2024)
+    execution = interleaved.random_execution(rng)
+    localizer = PathLocalizer(interleaved, with_packing.traced)
+    observed = project_trace(execution.messages, with_packing.traced)
+    outcome = localizer.localize(observed, mode="exact")
+    print(
+        f"\nA failing run produced {len(observed)} captured messages; "
+        f"consistent executions: {outcome.consistent_paths} of "
+        f"{outcome.total_paths} ({outcome.fraction:.2%})"
+    )
+    blind = PathLocalizer(interleaved, with_packing.traced).localize([])
+    print(
+        f"Without any capture the validator would face "
+        f"{blind.consistent_paths} candidate executions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's running example, end to end.
+
+Builds the toy cache-coherence flow of Figure 1a, interleaves two
+legally indexed instances (Figure 2), scores every width-feasible
+message combination by mutual information gain (Section 3.2), selects
+the best one for a 2-bit trace buffer, and localizes an observed trace.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    IndexedMessage,
+    MessageSelector,
+    feasible_combinations,
+    interleave_flows,
+    toy_cache_coherence_flow,
+)
+from repro.core.information import InformationModel
+from repro.selection.localization import localize_trace
+
+
+def main() -> None:
+    flow = toy_cache_coherence_flow()
+    print(f"Flow: {flow!r}")
+    print(f"  states:   {sorted(map(str, flow.states))}")
+    print(f"  messages: {[str(m) for m in sorted(flow.messages)]}")
+    print(f"  atomic:   {sorted(map(str, flow.atomic))}")
+
+    # two concurrently executing, legally indexed instances (Figure 2)
+    interleaved = interleave_flows([flow], copies=2)
+    print(f"\nInterleaved flow {interleaved.name}:")
+    print(f"  {interleaved.num_states} states, "
+          f"{interleaved.num_transitions} transitions, "
+          f"{interleaved.count_paths()} executions")
+
+    # score every combination that fits a 2-bit trace buffer
+    model = InformationModel(interleaved)
+    print("\nCandidate combinations (2-bit buffer):")
+    for combo in feasible_combinations(flow.messages, buffer_width=2):
+        gain = model.gain(combo)
+        print(f"  {str(combo):>16}: I(X;Y) = {gain:.4f}")
+
+    selector = MessageSelector(interleaved, buffer_width=2)
+    result = selector.select(method="exhaustive", packing=False)
+    print(f"\nSelected: {result.describe()}")
+
+    # debug: the buffer captured three indexed messages; how many
+    # executions could the system be in?
+    req = flow.message_by_name("ReqE")
+    gnt = flow.message_by_name("GntE")
+    observed = [
+        IndexedMessage(req, 1),
+        IndexedMessage(gnt, 1),
+        IndexedMessage(req, 2),
+    ]
+    outcome = localize_trace(interleaved, [req, gnt], observed)
+    print(
+        f"Observed {[m.name for m in observed]} -> localized to "
+        f"{outcome.consistent_paths} of {outcome.total_paths} executions "
+        f"({outcome.fraction:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

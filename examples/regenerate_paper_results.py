@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Tables 1-7 and the Figure 5/6/7 series, followed by the
+headline aggregates, exactly as the ``benchmarks/`` harness checks
+them.  Pass ``--deep`` to run Table 3 with two concurrent instances
+per flow (the tagging-scale configuration; slower but reproduces the
+paper's sub-percent localization fractions).
+
+Run::
+
+    python examples/regenerate_paper_results.py [--deep]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.fig5 import format_fig5
+from repro.experiments.fig6 import format_fig6
+from repro.experiments.fig7 import format_fig7
+from repro.experiments.headline import format_headline
+from repro.experiments.reconstruction import (
+    format_reconstruction,
+    usb_reconstruction,
+)
+from repro.experiments.table1 import format_table1
+from repro.experiments.table2 import format_table2
+from repro.experiments.table3 import format_table3
+from repro.experiments.table4 import format_table4
+from repro.experiments.table5 import format_table5
+from repro.experiments.table6 import format_table6
+from repro.experiments.table7 import format_table7
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="run Table 3 with two concurrent instances per flow",
+    )
+    args = parser.parse_args()
+
+    sections = [
+        format_table1(),
+        format_table2(),
+        format_table3(),
+        format_table4(),
+        format_table5(),
+        format_table6(),
+        format_table7(),
+        format_fig5(),
+        format_fig6(),
+        format_fig7(),
+        format_reconstruction(usb_reconstruction()),
+        format_headline(),
+    ]
+    if args.deep:
+        sections.insert(3, format_table3(instances=2))
+    print(("\n\n" + "=" * 72 + "\n\n").join(sections))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The Section-5.7 debugging case study on the OpenSPARC T2 model.
+
+A device driver scenario (PIO reads/writes + Mondo interrupts) runs on
+a buggy design in which the DMU never generates the Mondo interrupt.
+The simulation fails; the captured trace buffer shows the PIO credits
+returning correctly while the entire interrupt path is silent, and
+root-cause pruning eliminates all but the true cause.
+
+Run::
+
+    python examples/t2_debug_case_study.py
+"""
+
+from __future__ import annotations
+
+from repro.debug.casestudies import case_studies
+from repro.debug.observation import MessageStatus
+from repro.debug.rootcause import root_cause_catalog
+from repro.debug.session import DebugSession
+from repro.selection.selector import MessageSelector
+from repro.soc.t2.scenarios import scenario
+
+
+def main() -> None:
+    cs = case_studies()[1]
+    sc = scenario(cs.scenario_number)
+    print(f"{sc.name}: {sc.description}")
+    print(f"  flows: {', '.join(sc.flow_names)}")
+    print(f"  IPs:   {', '.join(sc.participating_ips)}")
+
+    # select trace messages for the 32-bit buffer (Steps 1-3)
+    selector = MessageSelector(
+        sc.interleaved(), buffer_width=32, subgroups=sc.subgroup_pool
+    )
+    selection = selector.select(method="exhaustive", packing=True)
+    print(f"\nSelected messages: {selection.describe()}")
+
+    # the buggy silicon run + debug
+    bug = cs.active_bug
+    print(f"\nInjected bug: {bug}")
+    session = DebugSession(
+        sc, selection.traced, root_cause_catalog(cs.scenario_number)
+    )
+    report = session.run(bug, seed=cs.seed)
+
+    print(f"Symptom: {report.symptom_kind.upper()}")
+    print(
+        f"Path localization: {report.localization.consistent_paths} of "
+        f"{report.localization.total_paths} interleaved-flow paths "
+        f"({report.localization.fraction:.2%})"
+    )
+
+    print("\nInvestigation (newest captured message first):")
+    for step in report.steps:
+        marker = {
+            MessageStatus.OK: "value OK",
+            MessageStatus.CORRUPT: "VALUE WRONG",
+            MessageStatus.ABSENT: "MISSING",
+        }.get(step.status, str(step.status))
+        print(
+            f"  {step.step}. {step.subject:<22} [{marker}] "
+            f"-> {step.causes_eliminated} causes, "
+            f"{step.pairs_eliminated} IP pairs eliminated"
+        )
+
+    print(
+        f"\nPruned {len(report.pruning.pruned)} of "
+        f"{report.pruning.total} potential root causes "
+        f"({report.pruned_fraction:.1%}):"
+    )
+    for cause, reason in report.pruning.pruned:
+        print(f"  - cause {cause.cause_id} ({cause.ip}): {reason}")
+    print("\nPlausible root cause(s):")
+    for cause in report.plausible_causes:
+        print(f"  * [{cause.ip}] {cause.description}")
+        print(f"    implication: {cause.implication}")
+    print(
+        f"\nTrue buggy IP ({bug.ip}) implicated: "
+        f"{report.buggy_ip_is_plausible}"
+    )
+    print("\nTriage for the next run:")
+    print(report.triage())
+
+
+if __name__ == "__main__":
+    main()

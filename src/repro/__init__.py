@@ -1,0 +1,72 @@
+"""repro -- Application-level hardware trace message selection.
+
+A from-scratch, laptop-scale reproduction of
+
+    Pal, Sharma, Ray, de Paula, Vasudevan.
+    "Application Level Hardware Tracing for Scaling Post-Silicon Debug."
+    DAC 2018.
+
+The library models system-level protocol *flows*, interleaves them into
+usage scenarios, selects trace messages by mutual information gain under
+a trace-buffer width budget (with buffer packing), and drives a complete
+post-silicon debug stack -- transaction-level SoC simulation, bug
+injection, path localization, and root-cause pruning -- on a model of
+the OpenSPARC T2, plus gate-level baselines (SigSeT, PRNet) on a USB
+controller netlist.
+
+Quickstart
+----------
+>>> from repro import toy_cache_coherence_flow, interleave_flows
+>>> from repro import MessageSelector
+>>> u = interleave_flows([toy_cache_coherence_flow()], copies=2)
+>>> selector = MessageSelector(u, buffer_width=2)
+>>> result = selector.select(method="exhaustive", packing=False)
+>>> round(result.gain, 3)   # the paper's I(X, Y1) for the toy example
+1.073
+"""
+
+from repro.core.message import Message, IndexedMessage, MessageCombination
+from repro.core.flow import Flow, Transition, Execution, linear_flow
+from repro.core.indexing import IndexedFlow, IndexedState, index_flows
+from repro.core.interleave import InterleavedFlow, interleave, interleave_flows
+from repro.core.coverage import flow_specification_coverage, visible_states
+from repro.core.information import InformationModel, mutual_information_gain
+from repro.selection import (
+    MessageSelector,
+    SelectionResult,
+    select_messages,
+    PathLocalizer,
+    LocalizationResult,
+    feasible_combinations,
+)
+from repro.examples_builtin import toy_cache_coherence_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Message",
+    "IndexedMessage",
+    "MessageCombination",
+    "Flow",
+    "Transition",
+    "Execution",
+    "linear_flow",
+    "IndexedFlow",
+    "IndexedState",
+    "index_flows",
+    "InterleavedFlow",
+    "interleave",
+    "interleave_flows",
+    "flow_specification_coverage",
+    "visible_states",
+    "InformationModel",
+    "mutual_information_gain",
+    "MessageSelector",
+    "SelectionResult",
+    "select_messages",
+    "PathLocalizer",
+    "LocalizationResult",
+    "feasible_combinations",
+    "toy_cache_coherence_flow",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Gate-level signal-selection baselines compared against in Section 5.4.
+
+* :mod:`repro.baselines.sigset` -- an SRR-driven restorability-capacity
+  greedy in the style of Basu & Mishra (VLSI Design 2011).
+* :mod:`repro.baselines.prnet` -- a PageRank-centrality selection over
+  the flip-flop dependency graph in the style of Ma et al.
+  (ICCAD 2015).
+* :mod:`repro.baselines.common` -- shared result types and the
+  full/partial/none signal-group classification used by Table 4.
+"""
+
+from repro.baselines.common import (
+    SignalSelectionResult,
+    SignalGroup,
+    classify_group_selection,
+)
+from repro.baselines.sigset import sigset_select
+from repro.baselines.prnet import prnet_select, pagerank
+
+__all__ = [
+    "SignalSelectionResult",
+    "SignalGroup",
+    "classify_group_selection",
+    "sigset_select",
+    "prnet_select",
+    "pagerank",
+]

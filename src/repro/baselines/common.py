@@ -1,0 +1,101 @@
+"""Shared types for gate-level signal selection results.
+
+Both baselines pick individual flip-flops under a bit budget.  Design
+signals, however, are multi-bit *groups* of flip-flops (``rx_data`` is
+eight FFs); Table 4 of the paper reports per-signal verdicts --
+selected, partially selected (``P``), or not selected.  The helpers
+here perform that classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Tuple
+
+from repro.errors import SelectionError
+
+
+@dataclass(frozen=True)
+class SignalGroup:
+    """A named multi-bit design signal backed by flip-flops.
+
+    Attributes
+    ----------
+    name:
+        Signal name as it appears in the design (e.g. ``"rx_data"``).
+    flops:
+        The flip-flop names implementing each bit.
+    module:
+        The design module owning the signal.
+    interface:
+        Whether the signal is an interface (message-carrying) register,
+        as opposed to internal bookkeeping state.
+    """
+
+    name: str
+    flops: Tuple[str, ...]
+    module: str = "top"
+    interface: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.flops:
+            raise SelectionError(f"signal group {self.name!r} has no bits")
+
+    @property
+    def width(self) -> int:
+        return len(self.flops)
+
+
+@dataclass(frozen=True)
+class SignalSelectionResult:
+    """Outcome of a gate-level selection method.
+
+    Attributes
+    ----------
+    method:
+        Method name (``"sigset"``, ``"prnet"``, ...).
+    selected:
+        Chosen flip-flop names, in selection order.
+    budget_bits:
+        The trace-buffer bit budget the selection respected.
+    scores:
+        The per-flip-flop score the method ranked by (diagnostic).
+    """
+
+    method: str
+    selected: Tuple[str, ...]
+    budget_bits: int
+    scores: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.selected) > self.budget_bits:
+            raise SelectionError(
+                f"{self.method}: selected {len(self.selected)} bits "
+                f"exceeds the {self.budget_bits}-bit budget"
+            )
+
+    @property
+    def selected_set(self) -> frozenset:
+        return frozenset(self.selected)
+
+
+def classify_group_selection(
+    result: SignalSelectionResult, group: SignalGroup
+) -> str:
+    """Table-4 verdict for one signal: ``"full"``, ``"partial"``, or
+    ``"none"``."""
+    hit = sum(1 for f in group.flops if f in result.selected_set)
+    if hit == 0:
+        return "none"
+    if hit == group.width:
+        return "full"
+    return "partial"
+
+
+def groups_fully_selected(
+    result: SignalSelectionResult, groups: Iterable[SignalGroup]
+) -> Tuple[SignalGroup, ...]:
+    """The signal groups every bit of which was selected."""
+    return tuple(
+        g for g in groups if classify_group_selection(result, g) == "full"
+    )

@@ -1,0 +1,217 @@
+"""SigSeT: restorability-capacity greedy signal selection.
+
+A reimplementation in the spirit of Basu & Mishra, "Efficient trace
+signal selection for post silicon validation and debug" (VLSI Design
+2011).  Each flip-flop is scored by its *restoration capacity*: how
+much of the rest of the state it can be expected to restore through
+forward propagation and backward justification.  Capacity is computed
+structurally on the flip-flop dependency graph with a per-level decay
+(every gate level halves the probability that values can be pushed
+through), and selection is greedy with diminishing returns: once a
+flip-flop is covered by an already-selected one, it no longer
+contributes to candidates' marginal capacity.
+
+This is exactly the family of methods the paper criticizes: it
+optimizes gate-level state reconstruction and has no notion of
+application-level messages, so it gravitates to deep internal
+structures (shift registers, counters, FSM rings) rather than
+interface registers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.baselines.common import SignalSelectionResult
+from repro.errors import SelectionError
+from repro.netlist.circuit import Circuit
+
+#: Per-gate-level attenuation of restoration probability.
+LEVEL_DECAY = 0.5
+
+
+def restorability_edges(
+    circuit: Circuit,
+) -> Dict[str, Dict[str, float]]:
+    """Weighted FF-to-FF restoration edges.
+
+    ``edges[u][v] = w`` means knowing flip-flop *u* helps restore
+    flip-flop *v* with structural strength *w* (``LEVEL_DECAY ** depth``
+    attenuated by the fan-in width at each gate level along the path).
+
+    Edges are symmetric in direction of benefit: forward propagation
+    (u feeds v's next-state logic) and backward justification (v's
+    known output constrains u) are both counted, matching how
+    restoration actually runs.
+    """
+    cones = circuit.flop_dependency_graph()
+    flops = set(circuit.flop_names)
+    edges: Dict[str, Dict[str, float]] = {f: {} for f in flops}
+    depth = _signal_depths(circuit)
+    for sink, cone in cones.items():
+        sources = [s for s in cone if s in flops]
+        if not sources:
+            continue
+        # wider support: each individual source is less likely to
+        # determine the sink (and vice versa for justification)
+        strength = LEVEL_DECAY ** depth[sink] / len(sources)
+        for source in sources:
+            edges[source][sink] = max(edges[source].get(sink, 0.0), strength)
+            edges[sink][source] = max(
+                edges[sink].get(source, 0.0), strength * LEVEL_DECAY
+            )
+    return edges
+
+
+def restoration_capacity(
+    circuit: Circuit, edges: Optional[Dict[str, Dict[str, float]]] = None
+) -> Dict[str, float]:
+    """Standalone capacity of each flip-flop (sum of its edge weights)."""
+    if edges is None:
+        edges = restorability_edges(circuit)
+    return {f: sum(ws.values()) for f, ws in edges.items()}
+
+
+def sigset_select(
+    circuit: Circuit,
+    budget_bits: int,
+    candidates: Optional[Iterable[str]] = None,
+) -> SignalSelectionResult:
+    """Greedy restorability-capacity selection under a bit budget.
+
+    Parameters
+    ----------
+    circuit:
+        The gate-level design.
+    budget_bits:
+        Trace buffer width in bits; each selected flip-flop costs one.
+    candidates:
+        Restrict the candidate pool (defaults to every flip-flop).
+
+    Returns
+    -------
+    SignalSelectionResult
+        Flip-flops in selection order with their marginal capacities.
+    """
+    if budget_bits <= 0:
+        raise SelectionError(f"budget must be positive, got {budget_bits}")
+    pool: Set[str] = set(candidates if candidates is not None
+                         else circuit.flop_names)
+    unknown_pool = pool - set(circuit.flop_names)
+    if unknown_pool:
+        raise SelectionError(
+            f"candidates are not flip-flops: {sorted(unknown_pool)}"
+        )
+    edges = restorability_edges(circuit)
+    coverage: Dict[str, float] = {f: 0.0 for f in circuit.flop_names}
+    selected: List[str] = []
+    scores: Dict[str, float] = {}
+    while len(selected) < min(budget_bits, len(pool)):
+        best: Optional[str] = None
+        best_gain = -1.0
+        for candidate in sorted(pool - set(selected)):
+            gain = 1.0 - coverage[candidate]  # the bit itself
+            for neighbour, weight in edges[candidate].items():
+                gain += max(0.0, weight - coverage[neighbour])
+            if gain > best_gain:
+                best, best_gain = candidate, gain
+        if best is None:  # pragma: no cover - pool exhausted
+            break
+        selected.append(best)
+        scores[best] = best_gain
+        coverage[best] = 1.0
+        for neighbour, weight in edges[best].items():
+            coverage[neighbour] = max(coverage[neighbour], weight)
+    return SignalSelectionResult(
+        method="sigset",
+        selected=tuple(selected),
+        budget_bits=budget_bits,
+        scores=scores,
+    )
+
+
+def sigset_select_simulated(
+    circuit: Circuit,
+    budget_bits: int,
+    cycles: int = 32,
+    seed: int = 0,
+    candidates: Optional[Iterable[str]] = None,
+    max_rounds: Optional[int] = None,
+) -> SignalSelectionResult:
+    """Simulation-driven restorability greedy (the faithful, slow one).
+
+    Each greedy round actually *runs state restoration* for every
+    candidate flip-flop added to the current selection and keeps the
+    one restoring the most state -- the evaluation loop of
+    simulation-based SRR selection (Chatterjee et al., ICCAD 2011).
+    Cost per round is O(candidates x restoration), and restoration is
+    O(cycles x gates x sweeps): this is exactly why the paper could not
+    apply SRR methods to the OpenSPARC T2
+    (``benchmarks/test_scalability_baselines.py`` quantifies the
+    blow-up).
+
+    Parameters
+    ----------
+    circuit, budget_bits, candidates:
+        As for :func:`sigset_select`.
+    cycles, seed:
+        Golden-simulation length and stimulus seed.
+    max_rounds:
+        Stop after this many greedy rounds (for benchmarking a single
+        round on large designs); ``None`` runs to the bit budget.
+    """
+    from repro.netlist.restoration import RestorationEngine
+    from repro.netlist.simulator import Simulator
+
+    if budget_bits <= 0:
+        raise SelectionError(f"budget must be positive, got {budget_bits}")
+    pool: Set[str] = set(
+        candidates if candidates is not None else circuit.flop_names
+    )
+    unknown = pool - set(circuit.flop_names)
+    if unknown:
+        raise SelectionError(
+            f"candidates are not flip-flops: {sorted(unknown)}"
+        )
+    golden = Simulator(circuit).run_random(cycles, seed=seed)
+    engine = RestorationEngine(circuit)
+    selected: List[str] = []
+    scores: Dict[str, float] = {}
+    rounds = min(budget_bits, len(pool))
+    if max_rounds is not None:
+        rounds = min(rounds, max_rounds)
+    for _ in range(rounds):
+        best: Optional[str] = None
+        best_restored = -1
+        for candidate in sorted(pool - set(selected)):
+            report = engine.restore(golden, selected + [candidate])
+            if report.restored_count > best_restored:
+                best, best_restored = candidate, report.restored_count
+        if best is None:  # pragma: no cover - pool exhausted
+            break
+        selected.append(best)
+        scores[best] = float(best_restored)
+    return SignalSelectionResult(
+        method="sigset-simulated",
+        selected=tuple(selected),
+        budget_bits=budget_bits,
+        scores=scores,
+    )
+
+
+def _signal_depths(circuit: Circuit) -> Dict[str, int]:
+    """Gate-level depth of each flip-flop's next-state cone.
+
+    Depth of a flip-flop = number of gate levels between state/input
+    signals and its data pin (0 for a direct FF-to-FF connection).
+    """
+    level: Dict[str, int] = {}
+    for name in circuit.inputs:
+        level[name] = 0
+    for name in circuit.constants:
+        level[name] = 0
+    for flop in circuit.flops:
+        level[flop.output] = 0
+    for gate in circuit.levelized_gates():
+        level[gate.output] = 1 + max(level[s] for s in gate.inputs)
+    return {f.output: level[f.data] for f in circuit.flops}

@@ -1,0 +1,345 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``
+    Regenerate the paper's tables/figures (all, or a named subset).
+``select``
+    Run message selection for a T2 usage scenario and print the result.
+``debug``
+    Replay one of the five debugging case studies.
+``usb``
+    Run the USB baseline comparison.
+``dot``
+    Dump a flow (or a scenario's interleaving) as Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro import __version__
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import fig5, fig6, fig7, headline
+    from repro.experiments import table1, table2, table3, table4
+    from repro.experiments import table5, table6, table7
+    from repro.experiments.reconstruction import (
+        format_reconstruction,
+        usb_reconstruction,
+    )
+
+    renderers: Dict[str, Callable[[], str]] = {
+        "table1": table1.format_table1,
+        "table2": table2.format_table2,
+        "table3": lambda: table3.format_table3(args.instances),
+        "table4": table4.format_table4,
+        "table5": table5.format_table5,
+        "table6": table6.format_table6,
+        "table7": table7.format_table7,
+        "fig5": fig5.format_fig5,
+        "fig6": fig6.format_fig6,
+        "fig7": fig7.format_fig7,
+        "reconstruction": lambda: format_reconstruction(
+            usb_reconstruction()
+        ),
+        "headline": headline.format_headline,
+    }
+    names = args.which or list(renderers)
+    unknown = [n for n in names if n not in renderers]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(renderers)}", file=sys.stderr)
+        return 2
+    sections = [renderers[name]() for name in names]
+    print(("\n\n" + "=" * 72 + "\n\n").join(sections))
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.selection.selector import MessageSelector
+    from repro.soc.t2.scenarios import scenario
+
+    sc = scenario(args.scenario, instances=args.instances)
+    selector = MessageSelector(
+        sc.interleaved(), args.buffer, subgroups=sc.subgroup_pool
+    )
+    result = selector.select(
+        method=args.method, packing=not args.no_packing
+    )
+    print(f"{sc.name}: {sc.description}")
+    u = sc.interleaved()
+    print(f"interleaved flow: {u.num_states} states, "
+          f"{u.num_transitions} transitions, {u.count_paths()} paths")
+    print(result.describe())
+    return 0
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    from repro.debug.casestudies import case_studies
+    from repro.debug.rootcause import root_cause_catalog
+    from repro.debug.session import DebugSession
+    from repro.selection.selector import MessageSelector
+    from repro.soc.t2.scenarios import scenario
+
+    cs = case_studies().get(args.case_study)
+    if cs is None:
+        print(f"unknown case study {args.case_study}; choose 1-5",
+              file=sys.stderr)
+        return 2
+    sc = scenario(cs.scenario_number, instances=args.instances)
+    selector = MessageSelector(
+        sc.interleaved(), 32, subgroups=sc.subgroup_pool
+    )
+    selection = selector.select(method="exhaustive", packing=True)
+    session = DebugSession(
+        sc, selection.traced, root_cause_catalog(cs.scenario_number)
+    )
+    report = session.run(cs.active_bug, seed=cs.seed)
+    print(f"case study {cs.number} on {sc.name}")
+    print(f"  bug: {cs.active_bug}")
+    print(f"  symptom: {report.symptom_kind}")
+    print(f"  localization: {report.localization}")
+    print(f"  pruned {len(report.pruning.pruned)}/"
+          f"{report.pruning.total} causes "
+          f"({report.pruned_fraction:.1%})")
+    print(f"  plausible: {report.root_cause_text}")
+    print("triage:")
+    for line in report.triage().splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.selection.planner import format_plan, plan_buffer
+    from repro.soc.t2.scenarios import scenario
+
+    sc = scenario(args.scenario, instances=args.instances)
+    plan = plan_buffer(
+        sc.interleaved(),
+        widths=tuple(args.widths),
+        subgroups=sc.subgroup_pool,
+    )
+    print(f"{sc.name}: trace buffer width sweep")
+    print(format_plan(plan))
+    if args.target is not None:
+        width = plan.minimal_width_for_coverage(args.target)
+        if width is None:
+            print(f"no swept width reaches {args.target:.0%} coverage")
+        else:
+            print(f"minimal width for {args.target:.0%} coverage: {width}")
+    return 0
+
+
+def _cmd_usb(args: argparse.Namespace) -> int:
+    from repro.experiments.table4 import format_table4
+
+    print(format_table4())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    text = build_report(instances=args.instances)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import write_results
+
+    if args.output == "-":
+        write_results(sys.stdout, instances=args.instances)
+    else:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            write_results(stream, instances=args.instances)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.core.flowspec import format_flowspec
+    from repro.soc.t2.flows import t2_flows
+    from repro.soc.t2.messages import t2_message_catalog
+
+    catalog = t2_message_catalog()
+    flows = list(t2_flows(catalog).values())
+    print(format_flowspec(flows, catalog.subgroup_list), end="")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.flowspec import parse_flowspec
+    from repro.core.interleave import interleave_flows
+    from repro.selection.selector import MessageSelector
+
+    with open(args.spec, encoding="utf-8") as stream:
+        spec = parse_flowspec(stream)
+    if not spec.flows:
+        print(f"{args.spec}: no flows defined", file=sys.stderr)
+        return 2
+    interleaved = interleave_flows(
+        list(spec.flows.values()), copies=args.copies
+    )
+    print(
+        f"{', '.join(spec.flows)}: interleaved flow has "
+        f"{interleaved.num_states} states, "
+        f"{interleaved.num_transitions} transitions, "
+        f"{interleaved.count_paths()} paths"
+    )
+    selector = MessageSelector(
+        interleaved, args.buffer, subgroups=spec.subgroups
+    )
+    result = selector.select(
+        method=args.method, packing=not args.no_packing
+    )
+    print(result.describe())
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.soc.t2.flows import t2_flows
+    from repro.viz import flow_to_dot, interleaved_to_dot
+
+    if args.spec:
+        from repro.core.flowspec import parse_flowspec
+
+        with open(args.spec, encoding="utf-8") as stream:
+            spec = parse_flowspec(stream)
+        if args.flow not in spec.flows:
+            print(
+                f"{args.spec} defines {sorted(spec.flows)}, "
+                f"not {args.flow!r}",
+                file=sys.stderr,
+            )
+            return 2
+        print(flow_to_dot(spec.flow(args.flow)))
+        return 0
+
+    flows = t2_flows()
+    if args.flow in flows:
+        print(flow_to_dot(flows[args.flow]))
+        return 0
+    if args.flow.startswith("scenario"):
+        from repro.soc.t2.scenarios import scenario
+
+        number = int(args.flow.removeprefix("scenario"))
+        sc = scenario(number)
+        print(interleaved_to_dot(sc.interleaved()))
+        return 0
+    print(
+        f"unknown flow {args.flow!r}; choose one of "
+        f"{', '.join(flows)} or scenario1/scenario2/scenario3",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Application-level hardware trace message selection "
+        "(DAC 2018 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="regenerate tables/figures")
+    tables.add_argument("which", nargs="*", help="artifact names "
+                        "(default: all)")
+    tables.add_argument("--instances", type=int, default=1)
+    tables.set_defaults(func=_cmd_tables)
+
+    select = sub.add_parser("select", help="run message selection")
+    select.add_argument("scenario", type=int, choices=(1, 2, 3))
+    select.add_argument("--buffer", type=int, default=32)
+    select.add_argument("--instances", type=int, default=1)
+    select.add_argument(
+        "--method", choices=("exhaustive", "knapsack"), default="exhaustive"
+    )
+    select.add_argument("--no-packing", action="store_true")
+    select.set_defaults(func=_cmd_select)
+
+    debug = sub.add_parser("debug", help="replay a debugging case study")
+    debug.add_argument("case_study", type=int)
+    debug.add_argument("--instances", type=int, default=1)
+    debug.set_defaults(func=_cmd_debug)
+
+    usb = sub.add_parser("usb", help="USB baseline comparison")
+    usb.set_defaults(func=_cmd_usb)
+
+    plan = sub.add_parser(
+        "plan", help="sweep trace buffer widths for a scenario"
+    )
+    plan.add_argument("scenario", type=int, choices=(1, 2, 3))
+    plan.add_argument(
+        "--widths", type=int, nargs="+",
+        default=[8, 12, 16, 20, 24, 28, 32, 40, 48, 64],
+    )
+    plan.add_argument("--target", type=float, default=None,
+                      help="coverage target, e.g. 0.9")
+    plan.add_argument("--instances", type=int, default=1)
+    plan.set_defaults(func=_cmd_plan)
+
+    spec = sub.add_parser(
+        "spec", help="export the T2 flows as a flowspec file"
+    )
+    spec.set_defaults(func=_cmd_spec)
+
+    export = sub.add_parser(
+        "export", help="export all experiment results as JSON"
+    )
+    export.add_argument("output", nargs="?", default="-",
+                        help="output path ('-' for stdout)")
+    export.add_argument("--instances", type=int, default=1)
+    export.set_defaults(func=_cmd_export)
+
+    report = sub.add_parser(
+        "report", help="build the full markdown reproduction report"
+    )
+    report.add_argument("output", nargs="?", default="-",
+                        help="output path ('-' for stdout)")
+    report.add_argument("--instances", type=int, default=1)
+    report.set_defaults(func=_cmd_report)
+
+    analyze = sub.add_parser(
+        "analyze", help="select trace messages for a flowspec file"
+    )
+    analyze.add_argument("spec", help="path to a .flowspec file")
+    analyze.add_argument("--buffer", type=int, default=32)
+    analyze.add_argument("--copies", type=int, default=1)
+    analyze.add_argument(
+        "--method", choices=("exhaustive", "knapsack"), default="knapsack"
+    )
+    analyze.add_argument("--no-packing", action="store_true")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    dot = sub.add_parser("dot", help="dump a flow as Graphviz DOT")
+    dot.add_argument(
+        "flow",
+        help="PIOR | PIOW | NCUU | NCUD | Mon | scenario1..scenario3",
+    )
+    dot.add_argument(
+        "--spec", help="read the flow from a flowspec file instead"
+    )
+    dot.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,358 @@
+"""Flows (Definition 1) and executions/traces (Definition 2).
+
+A flow is a directed acyclic graph ``F = <S, S0, Sp, E, delta, Atom>``:
+
+* ``S`` -- flow states,
+* ``S0 <= S`` -- initial states,
+* ``Sp <= S`` with ``Sp & Atom == {}`` -- stop states (successful
+  completion),
+* ``E`` -- messages labelling the transitions,
+* ``delta <= S x E x S`` -- the transition relation,
+* ``Atom < S`` -- atomic (mutually exclusive) states: while one flow
+  instance sits in an atomic state, no concurrently executing instance
+  may be in *its* atomic state.
+
+States can be any hashable value; strings are used throughout the
+library.  The class validates Definition 1 eagerly at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.message import Message, MessageCombination
+from repro.errors import FlowValidationError
+
+State = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Transition:
+    """One element of the transition relation ``delta``: ``src --msg--> dst``."""
+
+    source: State
+    message: Message
+    target: State
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source} --{self.message.name}--> {self.target}"
+
+
+@dataclass(frozen=True)
+class Execution:
+    """An execution ``rho = s0 a1 s1 ... an sn`` of a flow (Definition 2).
+
+    ``states`` has one more element than ``messages`` and ends in a stop
+    state of the flow that produced it.
+    """
+
+    states: Tuple[State, ...]
+    messages: Tuple[Message, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.states) != len(self.messages) + 1:
+            raise ValueError(
+                "an execution alternates states and messages: expected "
+                f"{len(self.messages) + 1} states, got {len(self.states)}"
+            )
+
+    @property
+    def trace(self) -> Tuple[Message, ...]:
+        """``trace(rho) = a1 a2 ... an`` (Definition 2)."""
+        return self.messages
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts: List[str] = [str(self.states[0])]
+        for msg, state in zip(self.messages, self.states[1:]):
+            parts.append(getattr(msg, "name", str(msg)))
+            parts.append(str(state))
+        return " ".join(parts)
+
+
+class Flow:
+    """A flow DAG per Definition 1 of the paper.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the flow (e.g. ``"PIOR"``).
+    states:
+        The state set ``S``.
+    initial:
+        Initial states ``S0``; must be a non-empty subset of ``S``.
+    stop:
+        Stop states ``Sp``; non-empty subset of ``S`` disjoint from
+        ``Atom``.
+    transitions:
+        The relation ``delta`` as :class:`Transition` objects or
+        ``(source, message, target)`` triples.
+    atomic:
+        The set ``Atom`` of atomic states (proper subset of ``S``).
+
+    Raises
+    ------
+    FlowValidationError
+        If any structural constraint of Definition 1 is violated,
+        including acyclicity of ``delta``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        states: Iterable[State],
+        initial: Iterable[State],
+        stop: Iterable[State],
+        transitions: Iterable[object],
+        atomic: Iterable[State] = (),
+    ) -> None:
+        self.name = name
+        self.states: FrozenSet[State] = frozenset(states)
+        self.initial: FrozenSet[State] = frozenset(initial)
+        self.stop: FrozenSet[State] = frozenset(stop)
+        self.atomic: FrozenSet[State] = frozenset(atomic)
+        self.transitions: Tuple[Transition, ...] = tuple(
+            t if isinstance(t, Transition) else Transition(*t)  # type: ignore[arg-type]
+            for t in transitions
+        )
+        self._validate()
+        self._outgoing: Dict[State, Tuple[Transition, ...]] = {}
+        by_source: Dict[State, List[Transition]] = {}
+        for t in self.transitions:
+            by_source.setdefault(t.source, []).append(t)
+        for state in self.states:
+            self._outgoing[state] = tuple(by_source.get(state, ()))
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.name:
+            raise FlowValidationError("flow name must be non-empty")
+        if not self.states:
+            raise FlowValidationError(f"flow {self.name!r} has no states")
+        if not self.initial:
+            raise FlowValidationError(f"flow {self.name!r} has no initial state")
+        if not self.initial <= self.states:
+            raise FlowValidationError(
+                f"flow {self.name!r}: initial states {self.initial - self.states} "
+                "are not in S"
+            )
+        if not self.stop:
+            raise FlowValidationError(f"flow {self.name!r} has no stop state")
+        if not self.stop <= self.states:
+            raise FlowValidationError(
+                f"flow {self.name!r}: stop states {self.stop - self.states} "
+                "are not in S"
+            )
+        if self.stop & self.atomic:
+            raise FlowValidationError(
+                f"flow {self.name!r}: Sp and Atom must be disjoint, both "
+                f"contain {self.stop & self.atomic}"
+            )
+        if not self.atomic < self.states and self.atomic != frozenset():
+            raise FlowValidationError(
+                f"flow {self.name!r}: Atom must be a proper subset of S"
+            )
+        for t in self.transitions:
+            if t.source not in self.states:
+                raise FlowValidationError(
+                    f"flow {self.name!r}: transition source {t.source!r} not in S"
+                )
+            if t.target not in self.states:
+                raise FlowValidationError(
+                    f"flow {self.name!r}: transition target {t.target!r} not in S"
+                )
+            if not isinstance(t.message, Message):
+                raise FlowValidationError(
+                    f"flow {self.name!r}: transition label {t.message!r} "
+                    "is not a Message"
+                )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        """Flows are DAGs; reject cycles with an iterative DFS."""
+        adjacency: Dict[State, List[State]] = {}
+        for t in self.transitions:
+            adjacency.setdefault(t.source, []).append(t.target)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[State, int] = {s: WHITE for s in self.states}
+        for root in self.states:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[State, Iterator[State]]] = [
+                (root, iter(adjacency.get(root, ())))
+            ]
+            colour[root] = GREY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if colour[child] == GREY:
+                        raise FlowValidationError(
+                            f"flow {self.name!r} is not a DAG: cycle through "
+                            f"{child!r}"
+                        )
+                    if colour[child] == WHITE:
+                        colour[child] = GREY
+                        stack.append((child, iter(adjacency.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def messages(self) -> MessageCombination:
+        """The message set ``E`` of the flow."""
+        return MessageCombination(t.message for t in self.transitions)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_messages(self) -> int:
+        return len(self.messages)
+
+    def outgoing(self, state: State) -> Tuple[Transition, ...]:
+        """Transitions leaving *state* (empty tuple if none)."""
+        return self._outgoing.get(state, ())
+
+    def message_by_name(self, name: str) -> Message:
+        """Look up a message of ``E`` by name.
+
+        Raises
+        ------
+        KeyError
+            If no transition of the flow is labelled *name*.
+        """
+        for m in self.messages:
+            if m.name == name:
+                return m
+        raise KeyError(f"flow {self.name!r} has no message named {name!r}")
+
+    # ------------------------------------------------------------------
+    # executions
+    # ------------------------------------------------------------------
+    def executions(self) -> Iterator[Execution]:
+        """Enumerate every execution (initial -> stop path) of the flow.
+
+        Flows are DAGs, so the enumeration terminates; it is lazy and
+        depth-first so callers may stop early.
+        """
+        for start in sorted(self.initial, key=str):
+            stack: List[Tuple[State, Tuple[State, ...], Tuple[Message, ...]]] = [
+                (start, (start,), ())
+            ]
+            while stack:
+                state, path_states, path_msgs = stack.pop()
+                if state in self.stop:
+                    yield Execution(path_states, path_msgs)
+                for t in reversed(self.outgoing(state)):
+                    stack.append(
+                        (
+                            t.target,
+                            path_states + (t.target,),
+                            path_msgs + (t.message,),
+                        )
+                    )
+
+    def count_executions(self) -> int:
+        """Number of executions, via DP over a topological order."""
+        order = self.topological_order()
+        paths_to_stop: Dict[State, int] = {}
+        for state in reversed(order):
+            total = 1 if state in self.stop else 0
+            for t in self.outgoing(state):
+                total += paths_to_stop.get(t.target, 0)
+            paths_to_stop[state] = total
+        return sum(paths_to_stop.get(s, 0) for s in self.initial)
+
+    def topological_order(self) -> List[State]:
+        """States in a topological order of ``delta`` (Kahn's algorithm)."""
+        indegree: Dict[State, int] = {s: 0 for s in self.states}
+        for t in self.transitions:
+            indegree[t.target] += 1
+        ready = sorted((s for s, d in indegree.items() if d == 0), key=str)
+        order: List[State] = []
+        while ready:
+            state = ready.pop()
+            order.append(state)
+            for t in self.outgoing(state):
+                indegree[t.target] -= 1
+                if indegree[t.target] == 0:
+                    ready.append(t.target)
+        if len(order) != len(self.states):
+            raise FlowValidationError(
+                f"flow {self.name!r} is not a DAG"
+            )  # pragma: no cover - _check_acyclic fires first
+        return order
+
+    def is_execution(self, execution: Execution) -> bool:
+        """Whether *execution* is a valid execution of this flow."""
+        if not execution.states or execution.states[0] not in self.initial:
+            return False
+        if execution.states[-1] not in self.stop:
+            return False
+        for src, msg, dst in zip(
+            execution.states, execution.messages, execution.states[1:]
+        ):
+            if not any(
+                t.message == msg and t.target == dst for t in self.outgoing(src)
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Flow({self.name!r}, |S|={len(self.states)}, "
+            f"|E|={self.num_messages}, |delta|={len(self.transitions)})"
+        )
+
+
+def linear_flow(
+    name: str,
+    state_names: Sequence[str],
+    messages: Sequence[Message],
+    atomic: Iterable[str] = (),
+) -> Flow:
+    """Build a linear (chain-shaped) flow ``s0 --m1--> s1 ... --mn--> sn``.
+
+    Most system-level protocol flows in the paper (PIO read/write, Mondo
+    interrupt, ...) are chains of request/grant/data/ack messages; this
+    helper removes the boilerplate.  ``len(state_names)`` must equal
+    ``len(messages) + 1``.
+    """
+    if len(state_names) != len(messages) + 1:
+        raise FlowValidationError(
+            f"linear flow {name!r}: need exactly one more state than "
+            f"messages ({len(state_names)} states, {len(messages)} messages)"
+        )
+    transitions = [
+        Transition(src, msg, dst)
+        for src, msg, dst in zip(state_names, messages, state_names[1:])
+    ]
+    return Flow(
+        name=name,
+        states=state_names,
+        initial=[state_names[0]],
+        stop=[state_names[-1]],
+        transitions=transitions,
+        atomic=atomic,
+    )

@@ -1,0 +1,295 @@
+"""A text format for flow specifications.
+
+The paper's method consumes flows produced as architectural collateral
+(Section 1: transaction-level models "to enable early validation,
+prototyping, and software development").  This module defines the
+interchange format a validation team would actually keep in its repo --
+line-oriented, diff-friendly, commentable:
+
+.. code-block:: text
+
+    # repro-flowspec v1
+    flow CacheCoherence
+      state n initial
+      state w
+      state c atomic
+      state d stop
+      message ReqE 1 from 1 to Dir
+      message GntE 1 from Dir to 1
+      message Ack 1 from 1 to Dir
+      transition n -> w on ReqE
+      transition w -> c on GntE
+      transition c -> d on Ack
+    end
+
+    subgroup cputhreadid 6 of dmusiidata
+
+A file may define any number of flows plus top-level ``subgroup``
+declarations (for trace-buffer packing).  ``parse_flowspec`` builds
+validated :class:`~repro.core.flow.Flow` objects; ``format_flowspec``
+round-trips them back to text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.core.flow import Flow, Transition
+from repro.core.message import Message
+from repro.errors import FlowValidationError
+
+HEADER = "# repro-flowspec v1"
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A parsed flow-specification file."""
+
+    flows: Dict[str, Flow]
+    subgroups: Tuple[Message, ...]
+
+    def flow(self, name: str) -> Flow:
+        try:
+            return self.flows[name]
+        except KeyError:
+            raise KeyError(
+                f"flowspec has no flow {name!r}; defines "
+                f"{sorted(self.flows)}"
+            ) from None
+
+
+class _SpecError(FlowValidationError):
+    """Parse error carrying the offending line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"flowspec line {lineno}: {message}")
+
+
+def parse_flowspec(stream: TextIO) -> FlowSpec:
+    """Parse a flow-specification file.
+
+    Raises
+    ------
+    FlowValidationError
+        On syntax errors (with the line number) or when a completed
+        flow violates Definition 1.
+    """
+    flows: Dict[str, Flow] = {}
+    subgroups: List[Message] = []
+    message_catalog: Dict[str, Message] = {}
+
+    current_name: Optional[str] = None
+    states: List[str] = []
+    initial: List[str] = []
+    stop: List[str] = []
+    atomic: List[str] = []
+    messages: Dict[str, Message] = {}
+    transitions: List[Transition] = []
+    start_line = 0
+
+    def finish(lineno: int) -> None:
+        nonlocal current_name
+        if current_name is None:
+            raise _SpecError(lineno, "'end' without an open flow")
+        flows[current_name] = Flow(
+            name=current_name,
+            states=states,
+            initial=initial,
+            stop=stop,
+            transitions=transitions,
+            atomic=atomic,
+        )
+        current_name = None
+
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+
+        if keyword == "flow":
+            if current_name is not None:
+                raise _SpecError(
+                    lineno,
+                    f"flow {tokens[1] if len(tokens) > 1 else '?'!r} "
+                    f"opened before 'end' of flow {current_name!r} "
+                    f"(line {start_line})",
+                )
+            if len(tokens) != 2:
+                raise _SpecError(lineno, "expected: flow <name>")
+            if tokens[1] in flows:
+                raise _SpecError(lineno, f"duplicate flow {tokens[1]!r}")
+            current_name = tokens[1]
+            start_line = lineno
+            states, initial, stop, atomic = [], [], [], []
+            messages, transitions = {}, []
+            continue
+
+        if keyword == "end":
+            finish(lineno)
+            continue
+
+        if keyword == "subgroup":
+            # subgroup <name> <width> of <parent>
+            if len(tokens) != 5 or tokens[3] != "of":
+                raise _SpecError(
+                    lineno, "expected: subgroup <name> <width> of <parent>"
+                )
+            name, width_text, _, parent = tokens[1:5]
+            width = _parse_width(lineno, width_text)
+            parent_msg = message_catalog.get(parent)
+            subgroups.append(
+                Message(
+                    name,
+                    width,
+                    source=parent_msg.source if parent_msg else None,
+                    destination=(
+                        parent_msg.destination if parent_msg else None
+                    ),
+                    parent=parent,
+                )
+            )
+            continue
+
+        if current_name is None:
+            raise _SpecError(
+                lineno, f"{keyword!r} outside of a flow block"
+            )
+
+        if keyword == "state":
+            # state <name> [initial|stop|atomic]...
+            if len(tokens) < 2:
+                raise _SpecError(lineno, "expected: state <name> [flags]")
+            name = tokens[1]
+            if name in states:
+                raise _SpecError(lineno, f"duplicate state {name!r}")
+            states.append(name)
+            for flag in tokens[2:]:
+                if flag == "initial":
+                    initial.append(name)
+                elif flag == "stop":
+                    stop.append(name)
+                elif flag == "atomic":
+                    atomic.append(name)
+                else:
+                    raise _SpecError(
+                        lineno,
+                        f"unknown state flag {flag!r} "
+                        "(initial, stop, atomic)",
+                    )
+            continue
+
+        if keyword == "message":
+            # message <name> <width> [from <src> to <dst>]
+            if len(tokens) not in (3, 7):
+                raise _SpecError(
+                    lineno,
+                    "expected: message <name> <width> "
+                    "[from <src> to <dst>]",
+                )
+            name = tokens[1]
+            width = _parse_width(lineno, tokens[2])
+            source = destination = None
+            if len(tokens) == 7:
+                if tokens[3] != "from" or tokens[5] != "to":
+                    raise _SpecError(
+                        lineno, "expected: ... from <src> to <dst>"
+                    )
+                source, destination = tokens[4], tokens[6]
+            known = message_catalog.get(name)
+            if known is not None and known.width != width:
+                raise _SpecError(
+                    lineno,
+                    f"message {name!r} redefined with width {width} "
+                    f"(was {known.width})",
+                )
+            message = known or Message(
+                name, width, source=source, destination=destination
+            )
+            message_catalog[name] = message
+            messages[name] = message
+            continue
+
+        if keyword == "transition":
+            # transition <src> -> <dst> on <message>
+            if (
+                len(tokens) != 6
+                or tokens[2] != "->"
+                or tokens[4] != "on"
+            ):
+                raise _SpecError(
+                    lineno,
+                    "expected: transition <src> -> <dst> on <message>",
+                )
+            source, target, label = tokens[1], tokens[3], tokens[5]
+            if label not in messages:
+                raise _SpecError(
+                    lineno,
+                    f"transition uses undeclared message {label!r}",
+                )
+            transitions.append(
+                Transition(source, messages[label], target)
+            )
+            continue
+
+        raise _SpecError(lineno, f"unknown keyword {keyword!r}")
+
+    if current_name is not None:
+        raise _SpecError(
+            start_line, f"flow {current_name!r} is missing its 'end'"
+        )
+    return FlowSpec(flows=flows, subgroups=tuple(subgroups))
+
+
+def _parse_width(lineno: int, text: str) -> int:
+    try:
+        width = int(text)
+    except ValueError:
+        raise _SpecError(lineno, f"width must be an integer, got {text!r}")
+    if width <= 0:
+        raise _SpecError(lineno, f"width must be positive, got {width}")
+    return width
+
+
+def format_flowspec(
+    flows: Sequence[Flow], subgroups: Sequence[Message] = ()
+) -> str:
+    """Serialize *flows* (and packing *subgroups*) to flowspec text.
+
+    The output round-trips through :func:`parse_flowspec`.
+    """
+    lines: List[str] = [HEADER, ""]
+    for flow in flows:
+        lines.append(f"flow {flow.name}")
+        ordered = flow.topological_order()
+        for state in ordered:
+            flags: List[str] = []
+            if state in flow.initial:
+                flags.append("initial")
+            if state in flow.stop:
+                flags.append("stop")
+            if state in flow.atomic:
+                flags.append("atomic")
+            suffix = (" " + " ".join(flags)) if flags else ""
+            lines.append(f"  state {state}{suffix}")
+        for message in sorted(flow.messages):
+            endpoint = ""
+            if message.source and message.destination:
+                endpoint = f" from {message.source} to {message.destination}"
+            lines.append(
+                f"  message {message.name} {message.width}{endpoint}"
+            )
+        for t in flow.transitions:
+            lines.append(
+                f"  transition {t.source} -> {t.target} on "
+                f"{t.message.name}"
+            )
+        lines.append("end")
+        lines.append("")
+    for group in subgroups:
+        lines.append(
+            f"subgroup {group.name} {group.width} of {group.parent}"
+        )
+    return "\n".join(lines).rstrip() + "\n"

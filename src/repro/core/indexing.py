@@ -1,0 +1,154 @@
+"""Indexed flows: Definitions 3 and 4 of the paper.
+
+A flow can be invoked several times -- even concurrently -- during a
+single run of the system.  *Indexing* distinguishes the instances by
+tagging every state and message of a flow with an instance index, the
+formal counterpart of architectural *tagging* support in real SoCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.core.flow import Flow
+from repro.core.message import IndexedMessage
+from repro.errors import IndexingError
+
+State = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class IndexedState:
+    """A flow state tagged with an instance index (Definition 3)."""
+
+    state: str
+    index: int
+
+    @property
+    def name(self) -> str:
+        """``"<state><index>"`` -- e.g. ``("Wait", 1)`` renders ``w1``-style."""
+        return f"{self.state}{self.index}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class IndexedFlow:
+    """A flow whose states and messages carry an instance index.
+
+    The indexed flow ``<F, k>`` of Definition 3 is structurally the same
+    DAG as ``F`` with every state ``s`` replaced by ``<s, k>`` and every
+    message ``m`` by ``<m, k>``.
+    """
+
+    def __init__(self, flow: Flow, index: int) -> None:
+        if index < 0:
+            raise IndexingError(
+                f"flow instance index must be non-negative, got {index}"
+            )
+        self.flow = flow
+        self.index = index
+
+    @property
+    def name(self) -> str:
+        """``"<flow name>#<index>"``, e.g. ``"PIOR#1"``."""
+        return f"{self.flow.name}#{self.index}"
+
+    @property
+    def states(self) -> Tuple[IndexedState, ...]:
+        return tuple(
+            sorted(IndexedState(str(s), self.index) for s in self.flow.states)
+        )
+
+    @property
+    def initial(self) -> Tuple[IndexedState, ...]:
+        return tuple(
+            sorted(IndexedState(str(s), self.index) for s in self.flow.initial)
+        )
+
+    @property
+    def stop(self) -> Tuple[IndexedState, ...]:
+        return tuple(
+            sorted(IndexedState(str(s), self.index) for s in self.flow.stop)
+        )
+
+    @property
+    def atomic(self) -> Tuple[IndexedState, ...]:
+        return tuple(
+            sorted(IndexedState(str(s), self.index) for s in self.flow.atomic)
+        )
+
+    @property
+    def messages(self) -> Tuple[IndexedMessage, ...]:
+        return tuple(
+            sorted(IndexedMessage(m, self.index) for m in self.flow.messages)
+        )
+
+    def transitions(self) -> List[Tuple[IndexedState, IndexedMessage, IndexedState]]:
+        """The indexed transition relation."""
+        result = []
+        for t in self.flow.transitions:
+            result.append(
+                (
+                    IndexedState(str(t.source), self.index),
+                    IndexedMessage(t.message, self.index),
+                    IndexedState(str(t.target), self.index),
+                )
+            )
+        return result
+
+    def outgoing(
+        self, state: IndexedState
+    ) -> List[Tuple[IndexedMessage, IndexedState]]:
+        """Indexed ``(message, target)`` pairs leaving *state*."""
+        if state.index != self.index:
+            raise IndexingError(
+                f"state {state} does not belong to flow instance {self.name}"
+            )
+        return [
+            (
+                IndexedMessage(t.message, self.index),
+                IndexedState(str(t.target), self.index),
+            )
+            for t in self.flow.outgoing(state.state)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexedFlow({self.flow.name!r}, index={self.index})"
+
+
+def legally_indexed(first: IndexedFlow, second: IndexedFlow) -> bool:
+    """Definition 4: legal iff different flows, or same flow with
+    different indices."""
+    if first.flow is not second.flow and first.flow.name != second.flow.name:
+        return True
+    return first.index != second.index
+
+
+def check_legally_indexed(instances: Iterable[IndexedFlow]) -> None:
+    """Raise :class:`IndexingError` unless *instances* are pairwise
+    legally indexed (Definition 4)."""
+    seen: Dict[Tuple[str, int], str] = {}
+    for inst in instances:
+        key = (inst.flow.name, inst.index)
+        if key in seen:
+            raise IndexingError(
+                f"flow instances {inst.name} and {seen[key]} are not "
+                "legally indexed: same flow, same index"
+            )
+        seen[key] = inst.name
+
+
+def index_flows(flows: Iterable[Flow]) -> List[IndexedFlow]:
+    """Index *flows* so the result is pairwise legally indexed.
+
+    Instances of the same flow receive consecutive indices starting at
+    1; distinct flows may share indices (which Definition 4 allows).
+    """
+    counters: Dict[str, int] = {}
+    instances: List[IndexedFlow] = []
+    for flow in flows:
+        counters[flow.name] = counters.get(flow.name, 0) + 1
+        instances.append(IndexedFlow(flow, counters[flow.name]))
+    return instances

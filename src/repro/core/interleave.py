@@ -1,0 +1,354 @@
+"""The interleaving product of legally indexed flows (Definition 5).
+
+``interleave(instances)`` constructs the n-ary generalization of the
+paper's binary operator ``F ||| G``:
+
+* product states are tuples of component :class:`IndexedState`\\ s,
+* a component may take one of its transitions only while **every other
+  component is outside its atomic set** (rules i/ii of Definition 5),
+* consequently no reachable product state ever has two components in
+  their atomic states simultaneously -- e.g. state ``(c1, c2)`` of the
+  running example is unreachable.
+
+Only the reachable part of the product is materialized (sparse, BFS
+from the initial product states), which is what keeps the construction
+tractable for multi-flow usage scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.flow import Execution, Flow
+from repro.core.indexing import (
+    IndexedFlow,
+    IndexedState,
+    check_legally_indexed,
+    index_flows,
+)
+from repro.core.message import IndexedMessage, Message, MessageCombination
+from repro.errors import InterleavingError
+
+ProductState = Tuple[IndexedState, ...]
+
+
+@dataclass(frozen=True, order=True)
+class InterleavedTransition:
+    """One edge of the interleaved flow: ``src --<i:msg>--> dst``."""
+
+    source: ProductState
+    message: IndexedMessage
+    target: ProductState
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        src = "(" + ",".join(s.name for s in self.source) + ")"
+        dst = "(" + ",".join(s.name for s in self.target) + ")"
+        return f"{src} --{self.message.name}--> {dst}"
+
+
+class InterleavedFlow:
+    """Reachable interleaving product ``U = F1 ||| F2 ||| ... ||| Fn``.
+
+    Instances are built with :func:`interleave`; the constructor is
+    internal.  The object exposes everything the selection machinery
+    needs:
+
+    * ``states`` / ``initial`` / ``stop`` / ``transitions`` -- the
+      product automaton,
+    * ``outgoing(state)`` -- adjacency,
+    * ``message_occurrences`` -- how often each indexed message labels
+      an edge (the marginal ``p(y)`` numerator of Section 3.2),
+    * ``count_paths()`` -- number of executions (used as the
+      denominator of path localization, Section 5.2),
+    * ``executions()`` / ``random_execution()`` -- path enumeration and
+      sampling.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[IndexedFlow],
+        states: FrozenSet[ProductState],
+        initial: FrozenSet[ProductState],
+        stop: FrozenSet[ProductState],
+        transitions: Tuple[InterleavedTransition, ...],
+    ) -> None:
+        self.components = tuple(components)
+        self.states = states
+        self.initial = initial
+        self.stop = stop
+        self.transitions = transitions
+        self._outgoing: Dict[ProductState, List[InterleavedTransition]] = {}
+        for t in transitions:
+            self._outgoing.setdefault(t.source, []).append(t)
+        for adjacency in self._outgoing.values():
+            adjacency.sort()
+        self._paths_to_stop: Optional[Dict[ProductState, int]] = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return " ||| ".join(c.name for c in self.components)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def messages(self) -> MessageCombination:
+        """The (un-indexed) message set ``E = union of component E_i``."""
+        return MessageCombination(
+            m for c in self.components for m in c.flow.messages
+        )
+
+    @property
+    def indexed_messages(self) -> Tuple[IndexedMessage, ...]:
+        """Every indexed message labelling at least one edge."""
+        return tuple(sorted({t.message for t in self.transitions}))
+
+    def indices_of(self, message: Message) -> Tuple[int, ...]:
+        """Instance indices under which *message* occurs in the product."""
+        return tuple(
+            sorted(
+                {
+                    t.message.index
+                    for t in self.transitions
+                    if t.message.message == message
+                }
+            )
+        )
+
+    def outgoing(self, state: ProductState) -> Tuple[InterleavedTransition, ...]:
+        return tuple(self._outgoing.get(state, ()))
+
+    @property
+    def message_occurrences(self) -> Dict[IndexedMessage, int]:
+        """Edge count per indexed message over the whole product."""
+        counts: Dict[IndexedMessage, int] = {}
+        for t in self.transitions:
+            counts[t.message] = counts.get(t.message, 0) + 1
+        return counts
+
+    def destinations(self, message: IndexedMessage) -> List[ProductState]:
+        """Target states of every edge labelled *message* (with
+        multiplicity)."""
+        return [t.target for t in self.transitions if t.message == message]
+
+    # ------------------------------------------------------------------
+    # paths / executions
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[ProductState]:
+        """Reachable product states in topological order."""
+        indegree: Dict[ProductState, int] = {s: 0 for s in self.states}
+        for t in self.transitions:
+            indegree[t.target] += 1
+        ready = [s for s, d in indegree.items() if d == 0]
+        order: List[ProductState] = []
+        while ready:
+            state = ready.pop()
+            order.append(state)
+            for t in self.outgoing(state):
+                indegree[t.target] -= 1
+                if indegree[t.target] == 0:
+                    ready.append(t.target)
+        if len(order) != len(self.states):
+            raise InterleavingError(
+                "interleaved flow is not a DAG"
+            )  # pragma: no cover - components are validated DAGs
+        return order
+
+    def paths_to_stop(self) -> Dict[ProductState, int]:
+        """Number of paths from each state to any stop state (memoised)."""
+        if self._paths_to_stop is None:
+            counts: Dict[ProductState, int] = {}
+            for state in reversed(self.topological_order()):
+                total = 1 if state in self.stop else 0
+                for t in self.outgoing(state):
+                    total += counts[t.target]
+                counts[state] = total
+            self._paths_to_stop = counts
+        return self._paths_to_stop
+
+    def count_paths(self) -> int:
+        """Total number of executions of the interleaved flow."""
+        counts = self.paths_to_stop()
+        return sum(counts.get(s, 0) for s in self.initial)
+
+    def executions(self) -> Iterator[Execution]:
+        """Lazily enumerate executions (may be astronomically many --
+        callers should bound their consumption)."""
+        for start in sorted(self.initial):
+            stack: List[
+                Tuple[ProductState, Tuple[ProductState, ...], Tuple[IndexedMessage, ...]]
+            ] = [(start, (start,), ())]
+            while stack:
+                state, path_states, path_msgs = stack.pop()
+                if state in self.stop:
+                    yield Execution(path_states, path_msgs)
+                for t in reversed(self.outgoing(state)):
+                    stack.append(
+                        (t.target, path_states + (t.target,), path_msgs + (t.message,))
+                    )
+
+    def random_execution(self, rng: random.Random) -> Execution:
+        """Sample one execution uniformly at random among all executions.
+
+        Uses the path-count DP so every complete path has equal
+        probability (a plain random walk would bias towards short or
+        low-branching paths).
+        """
+        counts = self.paths_to_stop()
+        starts = sorted(self.initial)
+        weights = [counts.get(s, 0) for s in starts]
+        if sum(weights) == 0:
+            raise InterleavingError(
+                f"interleaved flow {self.name} has no execution"
+            )
+        state = rng.choices(starts, weights=weights)[0]
+        states: List[ProductState] = [state]
+        msgs: List[IndexedMessage] = []
+        while True:
+            options: List[Tuple[Optional[InterleavedTransition], int]] = []
+            if state in self.stop:
+                options.append((None, 1))
+            for t in self.outgoing(state):
+                options.append((t, counts[t.target]))
+            choice = rng.choices(
+                [o for o, _ in options], weights=[w for _, w in options]
+            )[0]
+            if choice is None:
+                return Execution(tuple(states), tuple(msgs))
+            msgs.append(choice.message)
+            states.append(choice.target)
+            state = choice.target
+
+    # ------------------------------------------------------------------
+    # projections
+    # ------------------------------------------------------------------
+    def project(self, execution: Execution, component: IndexedFlow) -> Execution:
+        """Project an interleaved execution onto one component instance.
+
+        The result is the component's own execution: its local state
+        sequence with the messages carrying *component*'s index.
+        """
+        position = self.components.index(component)
+        local_states: List[object] = [execution.states[0][position].state]
+        local_msgs: List[Message] = []
+        for msg, state in zip(execution.messages, execution.states[1:]):
+            if isinstance(msg, IndexedMessage) and msg.index == component.index \
+                    and msg.message in component.flow.messages:
+                local_msgs.append(msg.message)
+                local_states.append(state[position].state)
+        return Execution(tuple(local_states), tuple(local_msgs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InterleavedFlow({self.name!r}, |S|={self.num_states}, "
+            f"|delta|={self.num_transitions})"
+        )
+
+
+def interleave(instances: Sequence[IndexedFlow]) -> InterleavedFlow:
+    """Construct the reachable interleaving of *instances* (Definition 5).
+
+    Parameters
+    ----------
+    instances:
+        Pairwise legally indexed flow instances (Definition 4);
+        violations raise :class:`~repro.errors.IndexingError`.
+
+    Returns
+    -------
+    InterleavedFlow
+        The reachable product automaton.  Atomic-state mutual exclusion
+        is enforced: a component moves only while every other component
+        is outside its atomic set, so no reachable state has two
+        components simultaneously atomic.
+    """
+    instances = tuple(instances)
+    if not instances:
+        raise InterleavingError("cannot interleave zero flow instances")
+    check_legally_indexed(instances)
+
+    atomic_sets: List[FrozenSet[IndexedState]] = [
+        frozenset(inst.atomic) for inst in instances
+    ]
+    initial_states: List[ProductState] = []
+    for combo in _cartesian([inst.initial for inst in instances]):
+        initial_states.append(tuple(combo))
+
+    states: Set[ProductState] = set(initial_states)
+    transitions: List[InterleavedTransition] = []
+    frontier: List[ProductState] = list(initial_states)
+    while frontier:
+        current = frontier.pop()
+        for position, inst in enumerate(instances):
+            others_quiescent = all(
+                current[j] not in atomic_sets[j]
+                for j in range(len(instances))
+                if j != position
+            )
+            if not others_quiescent:
+                continue
+            for message, target_local in inst.outgoing(current[position]):
+                target = current[:position] + (target_local,) + current[position + 1:]
+                transitions.append(InterleavedTransition(current, message, target))
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+
+    stop_states = frozenset(
+        s
+        for s in states
+        if all(s[i] in set(inst.stop) for i, inst in enumerate(instances))
+    )
+    return InterleavedFlow(
+        components=instances,
+        states=frozenset(states),
+        initial=frozenset(initial_states),
+        stop=stop_states,
+        transitions=tuple(sorted(transitions)),
+    )
+
+
+def interleave_flows(
+    flows: Sequence[Flow], copies: int = 1
+) -> InterleavedFlow:
+    """Convenience wrapper: index *copies* instances of each flow
+    (legally, via :func:`repro.core.indexing.index_flows`) and
+    interleave them all."""
+    if copies < 1:
+        raise InterleavingError(f"copies must be >= 1, got {copies}")
+    expanded: List[Flow] = []
+    for flow in flows:
+        expanded.extend([flow] * copies)
+    return interleave(index_flows(expanded))
+
+
+def _cartesian(
+    sets: Sequence[Sequence[IndexedState]],
+) -> Iterator[Tuple[IndexedState, ...]]:
+    """Cartesian product of component state sets (no itertools import to
+    keep recursion explicit and typed)."""
+    if not sets:
+        yield ()
+        return
+    for head in sets[0]:
+        for rest in _cartesian(sets[1:]):
+            yield (head,) + rest

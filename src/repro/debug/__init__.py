@@ -1,0 +1,64 @@
+"""Post-silicon debug stack: bug injection, symptoms, root-causing.
+
+* :mod:`repro.debug.bugs` -- the bug catalog (Table 2 categories, QED
+  bug-model taxonomy) and behavioural fault effects.
+* :mod:`repro.debug.injection` -- applies a bug to a golden simulation
+  trace and detects the symptom.
+* :mod:`repro.debug.observation` -- what the validator can conclude
+  from the captured trace buffer (per-flow message statuses).
+* :mod:`repro.debug.rootcause` -- root-cause catalogs per usage
+  scenario and the evidence-based pruning engine (Sections 5.6-5.7).
+* :mod:`repro.debug.ippairs` -- legal IP pair analysis.
+* :mod:`repro.debug.metrics` -- bug coverage and message importance
+  (Table 5).
+* :mod:`repro.debug.session` -- the end-to-end debugging session
+  driver (Tables 3 and 6, Figures 6 and 7).
+* :mod:`repro.debug.casestudies` -- the five case studies.
+"""
+
+from repro.debug.bugs import (
+    Bug,
+    BugCategory,
+    BugEffect,
+    EffectKind,
+    BUG_CATALOG,
+    bug,
+)
+from repro.debug.injection import inject
+from repro.debug.observation import MessageStatus, Observation, observe
+from repro.debug.rootcause import (
+    Evidence,
+    Expectation,
+    RootCause,
+    prune_causes,
+    root_cause_catalog,
+)
+from repro.debug.ippairs import legal_ip_pairs
+from repro.debug.metrics import affected_messages, bug_coverage_rows
+from repro.debug.session import DebugSession, DebugReport
+from repro.debug.casestudies import CaseStudy, case_studies
+
+__all__ = [
+    "Bug",
+    "BugCategory",
+    "BugEffect",
+    "EffectKind",
+    "BUG_CATALOG",
+    "bug",
+    "inject",
+    "MessageStatus",
+    "Observation",
+    "observe",
+    "Evidence",
+    "Expectation",
+    "RootCause",
+    "prune_causes",
+    "root_cause_catalog",
+    "legal_ip_pairs",
+    "affected_messages",
+    "bug_coverage_rows",
+    "DebugSession",
+    "DebugReport",
+    "CaseStudy",
+    "case_studies",
+]

@@ -1,0 +1,229 @@
+"""The bug catalog.
+
+Bugs follow the paper's two sources: sanitized communication bugs from
+industrial partners and the QED bug model (Lin et al., TCAD 2014) of
+commonly occurring SoC bugs.  Table 2 characterizes them by hierarchy
+depth, category (control/data), and functional implication; we add an
+executable *effect* so each bug can actually be injected into the
+transaction simulator:
+
+* ``DROP`` -- the IP never produces the message: it and everything
+  after it in the affected flow instance disappear (interrupt never
+  generated, request swallowed, ...).  Manifests as a hang.
+* ``CORRUPT`` -- the message is produced with a wrong payload (wrong
+  command encoding, bad address, corrupted table entry).  Manifests as
+  a Bad Trap when the payload is consumed.
+* ``STALL_AFTER`` -- the message itself is sent correctly but its
+  processing wedges the flow (misrouted to a bypass queue, dequeue
+  logic error): everything after it in the instance disappears.
+  Manifests as a hang.
+
+The catalog holds 36 numbered bugs -- two to three per catalog message
+-- of which each case study injects 14 (Section 4, "Bug injection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+from repro.errors import DebugSessionError
+from repro.soc.t2.messages import t2_message_catalog
+
+
+class BugCategory(str, Enum):
+    """Table-2 bug categories."""
+
+    CONTROL = "control"
+    DATA = "data"
+
+
+class EffectKind(str, Enum):
+    """Executable fault effects (see module docstring)."""
+
+    DROP = "drop"
+    CORRUPT = "corrupt"
+    STALL_AFTER = "stall_after"
+
+
+@dataclass(frozen=True)
+class BugEffect:
+    """How an injected bug perturbs the message stream.
+
+    Attributes
+    ----------
+    kind:
+        The fault effect.
+    message:
+        Catalog name of the targeted message.
+    mask:
+        For ``CORRUPT``: XOR mask applied to the payload (must be
+        non-zero so the corruption is visible).
+    """
+
+    kind: EffectKind
+    message: str
+    mask: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is EffectKind.CORRUPT and self.mask == 0:
+            raise DebugSessionError(
+                f"CORRUPT effect on {self.message!r} needs a non-zero mask"
+            )
+
+
+@dataclass(frozen=True)
+class Bug:
+    """One catalog bug (cf. Table 2).
+
+    Attributes
+    ----------
+    bug_id:
+        Catalog number (1..36).
+    depth:
+        Hierarchical depth of the buggy logic below the SoC top.
+    category:
+        Control or data.
+    description:
+        Functional implication, in Table-2 style.
+    ip:
+        The buggy IP block.
+    effect:
+        The executable fault model.
+    """
+
+    bug_id: int
+    depth: int
+    category: BugCategory
+    description: str
+    ip: str
+    effect: BugEffect
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"bug#{self.bug_id} [{self.ip}] {self.description}"
+
+
+def _build_catalog() -> Dict[int, Bug]:
+    """36 bugs: a DROP and a CORRUPT per catalog message, plus four
+    STALL_AFTER routing/queueing bugs."""
+    catalog = t2_message_catalog()
+    c, d = BugCategory.CONTROL, BugCategory.DATA
+    drop, corrupt, stall = (
+        EffectKind.DROP,
+        EffectKind.CORRUPT,
+        EffectKind.STALL_AFTER,
+    )
+    # (id, depth, category, description, ip, effect kind, message)
+    rows: Tuple[Tuple[int, int, BugCategory, str, str, EffectKind, str], ...] = (
+        (1, 4, c, "Wrong command generation by data misinterpretation in "
+                  "PIO request path", "DMU", corrupt, "dmusii_req"),
+        (2, 4, d, "Data corruption by wrong address generation on PIO read "
+                  "return", "DMU", corrupt, "dmu_rd_data"),
+        (3, 3, c, "Wrong construction of Unit Control Block resulting in "
+                  "malformed request", "DMU", corrupt, "ncudmu_pio_req"),
+        (4, 4, c, "Generating wrong request due to incorrect decoding of "
+                  "request packet from CPU buffer", "NCU", corrupt,
+         "ncumcu_req"),
+        (5, 3, c, "PIO read request swallowed by DMU ingress arbiter",
+         "DMU", drop, "dmusii_req"),
+        (6, 4, c, "SIU accept logic drops the request acknowledge",
+         "SIU", drop, "siidmu_ack"),
+        (7, 4, d, "SIU corrupts the request acknowledge tag",
+         "SIU", corrupt, "siidmu_ack"),
+        (8, 5, d, "Upstream packet to NCU carries a stale credit ID",
+         "SIU", corrupt, "siincu"),
+        (9, 4, c, "Upstream packet to NCU never leaves the SIU queue",
+         "SIU", drop, "siincu"),
+        (10, 3, c, "PIO write request lost in NCU egress staging",
+         "NCU", drop, "ncudmu_pio_wr"),
+        (11, 4, d, "PIO write payload re-encoded with wrong byte enables",
+         "DMU", corrupt, "ncudmu_pio_wr"),
+        (12, 4, c, "PIO write credit never returned (credit leak)",
+         "DMU", drop, "piowcrd"),
+        (13, 5, d, "PIO write credit returned with wrong credit ID",
+         "DMU", corrupt, "piowcrd"),
+        (14, 4, c, "Mondo transfer request not generated by DMU",
+         "DMU", drop, "reqtot"),
+        (15, 4, d, "Mondo transfer request encodes a wrong source ID",
+         "DMU", corrupt, "reqtot"),
+        (16, 4, c, "SIU arbiter starves the DMU Mondo grant",
+         "SIU", drop, "grant"),
+        (17, 5, d, "SIU grant carries a wrong queue pointer",
+         "SIU", corrupt, "grant"),
+        (18, 4, d, "Invalid Mondo payload forwarded to NCU (wrong CPU ID / "
+                   "thread ID)", "DMU", corrupt, "dmusiidata"),
+        (19, 4, c, "Mondo payload transfer never issued after grant",
+         "DMU", drop, "dmusiidata"),
+        (20, 4, c, "Interrupt ack/nack never produced by NCU",
+         "NCU", drop, "mondoacknack"),
+        (21, 5, c, "Wrong interrupt decoding logic in NCU (ack/nack "
+                   "inverted)", "NCU", corrupt, "mondoacknack"),
+        (22, 3, d, "Memory read data corrupted on the MCU-NCU interface",
+         "MCU", corrupt, "mcuncu_data"),
+        (23, 3, c, "Memory read data return dropped by MCU scheduler",
+         "MCU", drop, "mcuncu_data"),
+        (24, 4, c, "NCU-to-crossbar issue request malformed",
+         "NCU", corrupt, "ncucpx_req"),
+        (25, 4, c, "NCU-to-crossbar issue request never dispatched",
+         "NCU", drop, "ncucpx_req"),
+        (26, 4, c, "Crossbar grant logic wedged (no CPX grant)",
+         "CCX", drop, "cpxgnt"),
+        (27, 5, d, "Crossbar grant carries a wrong destination port",
+         "CCX", corrupt, "cpxgnt"),
+        (28, 3, c, "Malformed CPU request from Cache Crossbar to NCU",
+         "CCX", corrupt, "pcxreq"),
+        (29, 3, c, "CPU request from crossbar silently dropped",
+         "CCX", drop, "pcxreq"),
+        (30, 4, c, "NCU request to memory controller never issued",
+         "NCU", drop, "ncumcu_req"),
+        (31, 3, c, "PIO read request never forwarded by NCU",
+         "NCU", drop, "ncudmu_pio_req"),
+        (32, 4, d, "PIO read return data re-ordered and truncated",
+         "DMU", drop, "dmu_rd_data"),
+        # routing / queueing bugs: the message goes out, the flow wedges
+        (33, 4, c, "Mondo request forwarded to SIU bypass queue instead of "
+                   "ordered queue", "SIU", stall, "reqtot"),
+        (34, 4, c, "Erroneous interrupt dequeue logic after interrupt is "
+                   "serviced", "NCU", stall, "siincu"),
+        (35, 4, c, "PIO read response parked behind stale ordered-queue "
+                   "entry", "SIU", stall, "siidmu_ack"),
+        (36, 4, c, "CPU request wedged in MCU decode stage (erroneous "
+                   "decoding of CPU requests)", "MCU", stall, "ncumcu_req"),
+    )
+    bugs: Dict[int, Bug] = {}
+    for bug_id, depth, category, description, ip, kind, message in rows:
+        width = catalog[message].width
+        mask = 0
+        if kind is EffectKind.CORRUPT:
+            # a deterministic non-zero mask derived from the bug id
+            mask = (bug_id * 2654435761) % (1 << width) or 1
+        bugs[bug_id] = Bug(
+            bug_id=bug_id,
+            depth=depth,
+            category=category,
+            description=description,
+            ip=ip,
+            effect=BugEffect(kind=kind, message=message, mask=mask),
+        )
+    return bugs
+
+
+#: All 36 catalog bugs by id.
+BUG_CATALOG: Dict[int, Bug] = _build_catalog()
+
+
+def bug(bug_id: int) -> Bug:
+    """Look up a catalog bug.
+
+    Raises
+    ------
+    DebugSessionError
+        If the id is not in the catalog.
+    """
+    try:
+        return BUG_CATALOG[bug_id]
+    except KeyError:
+        raise DebugSessionError(
+            f"unknown bug id {bug_id}; catalog has 1..{len(BUG_CATALOG)}"
+        ) from None

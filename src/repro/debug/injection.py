@@ -1,0 +1,162 @@
+"""Bug injection: transform a golden simulation trace into a buggy one.
+
+Effects operate per flow *instance*: a bug in an IP's logic perturbs
+every instance whose flow carries the targeted message.
+
+* ``DROP``: the targeted message and everything after it in each
+  affected instance disappear; the run hangs.
+* ``CORRUPT``: every occurrence of the targeted message has its payload
+  XOR-ed with the bug's mask; the run fails with a Bad Trap when the
+  last message of an affected instance is consumed.
+* ``STALL_AFTER``: the targeted message is delivered intact, but the
+  instance makes no further progress; the run hangs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.debug.bugs import Bug, EffectKind
+from repro.errors import DebugSessionError
+from repro.sim.engine import SimulationTrace, Symptom, TraceRecord
+
+#: Cycles a validator waits before declaring a hang.
+HANG_TIMEOUT = 10_000
+
+
+def inject(
+    trace: SimulationTrace, bug: Bug, truncate_at_trap: bool = True
+) -> SimulationTrace:
+    """Apply *bug* to a golden *trace*; returns the buggy trace.
+
+    The buggy trace carries a :class:`~repro.sim.engine.Symptom`
+    describing how the failure manifests.  If the bug's message never
+    occurs in the run, the trace is returned unchanged (the bug is
+    dormant -- no symptom).
+
+    Parameters
+    ----------
+    trace:
+        A golden run.
+    bug:
+        The catalog bug to apply.
+    truncate_at_trap:
+        When ``True`` (the capture-accurate default), a Bad Trap stops
+        the machine and later records never exist.  Pass ``False`` to
+        keep the full perturbed stream -- the right setting for
+        affected-message analysis, which compares *values*, not what a
+        halted capture would have seen.
+    """
+    if trace.symptom is not None:
+        raise DebugSessionError(
+            "inject() expects a golden trace; this one already failed "
+            f"({trace.symptom})"
+        )
+    target = bug.effect.message
+    affected_instances: Set[int] = {
+        r.message.index
+        for r in trace.records
+        if r.message.message.name == target
+    }
+    if not affected_instances:
+        return trace
+
+    kind = bug.effect.kind
+    records: List[TraceRecord] = []
+    stalled: Set[int] = set()
+    corrupted_last: Optional[TraceRecord] = None
+    last_per_instance = _last_record_per_instance(trace)
+    for record in trace.records:
+        index = record.message.index
+        name = record.message.message.name
+        if index in stalled:
+            continue
+        if index in affected_instances and name == target:
+            if kind is EffectKind.DROP:
+                stalled.add(index)
+                continue
+            if kind is EffectKind.STALL_AFTER:
+                records.append(record)
+                stalled.add(index)
+                continue
+            # CORRUPT
+            mutated = TraceRecord(
+                cycle=record.cycle,
+                message=record.message,
+                value=record.value ^ bug.effect.mask,
+            )
+            records.append(mutated)
+            continue
+        records.append(record)
+        if (
+            kind is EffectKind.CORRUPT
+            and index in affected_instances
+            and record == last_per_instance[index]
+        ):
+            corrupted_last = record
+
+    symptom = _detect_symptom(
+        bug, kind, records, trace, affected_instances, corrupted_last
+    )
+    if symptom.kind == "bad_trap" and truncate_at_trap:
+        # the machine stops at the trap: nothing later is ever emitted
+        records = [r for r in records if r.cycle <= symptom.cycle]
+    return SimulationTrace(
+        scenario_name=trace.scenario_name,
+        execution=trace.execution,
+        records=tuple(records),
+        seed=trace.seed,
+        total_cycles=symptom.cycle,
+        symptom=symptom,
+    )
+
+
+def _last_record_per_instance(
+    trace: SimulationTrace,
+) -> Dict[int, TraceRecord]:
+    last: Dict[int, TraceRecord] = {}
+    for record in trace.records:
+        last[record.message.index] = record
+    return last
+
+
+def _detect_symptom(
+    bug: Bug,
+    kind: EffectKind,
+    records: List[TraceRecord],
+    golden: SimulationTrace,
+    affected_instances: Set[int],
+    corrupted_last: Optional[TraceRecord],
+) -> Symptom:
+    instances = ", ".join(str(i) for i in sorted(affected_instances))
+    if kind in (EffectKind.DROP, EffectKind.STALL_AFTER):
+        last_cycle = records[-1].cycle if records else 0
+        return Symptom(
+            kind="hang",
+            cycle=last_cycle + HANG_TIMEOUT,
+            detail=(
+                f"flow instance(s) {instances} never completed "
+                f"(bug#{bug.bug_id}: {bug.description})"
+            ),
+        )
+    # CORRUPT: the consumer of the affected instance's final message
+    # traps.  If the corrupted message *is* the final one, it traps
+    # itself.
+    trap_record = corrupted_last
+    if trap_record is None:
+        # all affected occurrences were final messages
+        for record in reversed(records):
+            if (
+                record.message.index in affected_instances
+                and record.message.message.name == bug.effect.message
+            ):
+                trap_record = record
+                break
+    if trap_record is None:  # pragma: no cover - affected_instances nonempty
+        raise DebugSessionError("corruption produced no trap point")
+    return Symptom(
+        kind="bad_trap",
+        cycle=trap_record.cycle,
+        detail=f"FAIL: Bad Trap (bug#{bug.bug_id}: {bug.description})",
+        message=trap_record.message,
+    )

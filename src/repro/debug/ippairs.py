@@ -1,0 +1,41 @@
+"""Legal IP pair analysis (Section 5.6).
+
+Every message is sourced by an IP and reaches a destination IP; an IP
+pair is *legal* if some message of the usage scenario passes between
+them.  During debug, the validator explores legal pairs starting from
+the symptom; the number of pairs actually investigated measures how
+focused the traced messages keep the search.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from repro.core.message import Message
+from repro.soc.t2.scenarios import UsageScenario
+
+IPPair = Tuple[str, str]
+
+
+def legal_ip_pairs(scenario: UsageScenario) -> FrozenSet[IPPair]:
+    """All (source, destination) pairs carrying scenario messages."""
+    pairs: Set[IPPair] = set()
+    for message in scenario.message_pool:
+        pair = message.ip_pair
+        if pair is not None:
+            pairs.add(pair)
+    return frozenset(pairs)
+
+
+def pairs_of_messages(messages: Iterable[Message]) -> FrozenSet[IPPair]:
+    """The legal pairs touched by *messages*."""
+    return frozenset(
+        m.ip_pair for m in messages if m.ip_pair is not None
+    )
+
+
+def pairs_implicated_by_ip(
+    pairs: Iterable[IPPair], ip: str
+) -> FrozenSet[IPPair]:
+    """Pairs with *ip* as an endpoint (where a bug in *ip* could act)."""
+    return frozenset(p for p in pairs if ip in p)

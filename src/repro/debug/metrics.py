@@ -1,0 +1,148 @@
+"""Bug coverage and message importance (Section 5.5, Table 5).
+
+A message is *affected* by a bug if its value (or presence) in a buggy
+execution differs from the bug-free execution.  *Bug coverage* of a
+message is the fraction of injected bugs affecting it; a message is
+*important* when its coverage is low -- it symptomizes subtle bugs --
+and the paper defines importance as the reciprocal of coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.message import Message
+from repro.debug.bugs import Bug
+from repro.debug.injection import inject
+from repro.sim.engine import SimulationTrace, TransactionSimulator
+from repro.soc.t2.scenarios import UsageScenario
+
+
+def affected_messages(
+    golden: SimulationTrace, bug: Bug
+) -> FrozenSet[str]:
+    """Messages whose presence or value differs under *bug*.
+
+    The comparison is occurrence-by-occurrence between the golden run
+    and the injected run (same seed, same underlying execution).  The
+    injected stream is *not* truncated at a Bad Trap: affectedness is a
+    property of values, not of what a halted capture retains.
+    """
+    buggy = inject(golden, bug, truncate_at_trap=False)
+    golden_by_key: Dict[Tuple[object, int], int] = {}
+    counts: Dict[object, int] = {}
+    for record in golden.records:
+        occurrence = counts.get(record.message, 0)
+        counts[record.message] = occurrence + 1
+        golden_by_key[(record.message, occurrence)] = record.value
+    buggy_by_key: Dict[Tuple[object, int], int] = {}
+    counts = {}
+    for record in buggy.records:
+        occurrence = counts.get(record.message, 0)
+        counts[record.message] = occurrence + 1
+        buggy_by_key[(record.message, occurrence)] = record.value
+    affected = set()
+    for key, value in golden_by_key.items():
+        if buggy_by_key.get(key) != value:
+            affected.add(key[0].message.name)
+    for key in buggy_by_key:
+        if key not in golden_by_key:  # pragma: no cover - bugs never add
+            affected.add(key[0].message.name)
+    return frozenset(affected)
+
+
+@dataclass(frozen=True)
+class BugCoverageRow:
+    """One row of Table 5.
+
+    ``importance`` is ``1 / coverage`` (``None`` when no bug affects
+    the message); ``selected_in`` lists the scenario numbers whose
+    traced set contains the message (directly or via a sub-group).
+    """
+
+    message: str
+    affecting_bugs: Tuple[int, ...]
+    coverage: float
+    importance: Optional[float]
+    selected: bool
+    selected_in: Tuple[int, ...]
+
+
+def bug_coverage_rows(
+    scenarios: Dict[int, UsageScenario],
+    traced_by_scenario: Dict[int, Iterable[Message]],
+    bugs: Sequence[Bug],
+    seed: int = 0,
+) -> Tuple[BugCoverageRow, ...]:
+    """Compute Table 5 over the full message catalog.
+
+    Parameters
+    ----------
+    scenarios:
+        Usage scenarios by number.
+    traced_by_scenario:
+        The traced set selected for each scenario (from
+        :class:`~repro.selection.selector.MessageSelector`).
+    bugs:
+        The injected bug set (14 in the paper).
+    seed:
+        Simulation seed for the golden runs.
+    """
+    goldens: Dict[int, SimulationTrace] = {}
+    for number, scenario in scenarios.items():
+        simulator = TransactionSimulator(
+            scenario.interleaved(), scenario_name=scenario.name
+        )
+        goldens[number] = simulator.run(seed=seed)
+
+    # which messages belong to which scenario
+    message_scenarios: Dict[str, List[int]] = {}
+    all_messages: Dict[str, Message] = {}
+    for number, scenario in scenarios.items():
+        for m in scenario.message_pool:
+            message_scenarios.setdefault(m.name, []).append(number)
+            all_messages[m.name] = m
+
+    # affected sets per bug, evaluated in every scenario containing the
+    # bug's target (a bug is dormant elsewhere)
+    affecting: Dict[str, List[int]] = {name: [] for name in all_messages}
+    for bug in bugs:
+        touched = set()
+        for number, golden in goldens.items():
+            touched |= affected_messages(golden, bug)
+        for name in touched:
+            affecting[name].append(bug.bug_id)
+
+    traced_names: Dict[int, set] = {}
+    for number, traced in traced_by_scenario.items():
+        names = set()
+        for m in traced:
+            names.add(m.name)
+            if m.parent is not None:
+                names.add(m.parent)
+        traced_names[number] = names
+
+    rows: List[BugCoverageRow] = []
+    for name in sorted(all_messages):
+        bug_ids = tuple(sorted(affecting[name]))
+        coverage = len(bug_ids) / len(bugs) if bugs else 0.0
+        importance = (1.0 / coverage) if coverage > 0 else None
+        selected_in = tuple(
+            sorted(
+                number
+                for number in message_scenarios.get(name, ())
+                if name in traced_names.get(number, set())
+            )
+        )
+        rows.append(
+            BugCoverageRow(
+                message=name,
+                affecting_bugs=bug_ids,
+                coverage=coverage,
+                importance=importance,
+                selected=bool(selected_in),
+                selected_in=selected_in,
+            )
+        )
+    return tuple(rows)

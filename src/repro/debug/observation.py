@@ -1,0 +1,158 @@
+"""What the validator can conclude from the captured trace buffer.
+
+For every ``(flow, message)`` pair of the usage scenario, the captured
+buffer content -- compared against the golden reference run -- yields a
+status:
+
+* ``OK`` -- observed with the expected payload,
+* ``CORRUPT`` -- observed with a wrong payload,
+* ``ABSENT`` -- traced, expected in the golden run, but never captured,
+* ``UNKNOWN`` -- not traced (the buffer can say nothing about it).
+
+Statuses are per flow (not per raw message name) because flows share
+interface messages (``siincu`` closes both a PIO read and a Mondo
+delivery) and tagging lets the validator attribute each capture to its
+flow instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.message import Message
+from repro.sim.engine import SimulationTrace
+from repro.sim.tracebuffer import CapturedMessage
+from repro.soc.t2.scenarios import UsageScenario
+
+
+class MessageStatus(str, Enum):
+    """Observation status of one (flow, message) pair."""
+
+    OK = "ok"
+    CORRUPT = "corrupt"
+    ABSENT = "absent"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Everything the validator knows after reading the trace buffer.
+
+    Attributes
+    ----------
+    statuses:
+        ``(flow name, message name) -> MessageStatus``.
+    symptom_kind:
+        The observed failure kind (``"hang"`` / ``"bad_trap"``), or
+        ``None`` when the run passed.
+    """
+
+    statuses: Mapping[Tuple[str, str], MessageStatus]
+    symptom_kind: Optional[str] = None
+
+    def status(self, flow: str, message: str) -> MessageStatus:
+        return self.statuses.get((flow, message), MessageStatus.UNKNOWN)
+
+    def known(self) -> Tuple[Tuple[str, str], ...]:
+        """Pairs with a definite (non-UNKNOWN) status."""
+        return tuple(
+            sorted(
+                key
+                for key, value in self.statuses.items()
+                if value is not MessageStatus.UNKNOWN
+            )
+        )
+
+
+def observe(
+    scenario: UsageScenario,
+    captured: Sequence[CapturedMessage],
+    golden: SimulationTrace,
+    traced: Iterable[Message],
+    symptom_kind: Optional[str] = None,
+) -> Observation:
+    """Derive per-(flow, message) statuses from a buffer capture.
+
+    Parameters
+    ----------
+    scenario:
+        The usage scenario that ran (provides the instance -> flow map).
+    captured:
+        Trace-buffer content from the buggy run.
+    golden:
+        The golden reference run (same seed): supplies expected payload
+        values and which messages were expected at all.
+    traced:
+        The traced message set (full messages and sub-groups).
+    symptom_kind:
+        Observed failure kind, recorded into the observation.
+    """
+    flow_of_index: Dict[int, str] = {
+        inst.index: inst.flow.name for inst in scenario.instances()
+    }
+    traced_names = set()
+    for m in traced:
+        traced_names.add(m.parent if m.parent is not None else m.name)
+    subgroup_masks: Dict[str, int] = {
+        m.parent: (1 << m.width) - 1
+        for m in traced
+        if m.parent is not None
+    }
+    # fully traced multi-cycle messages capture one slice per beat
+    beat_shapes: Dict[str, Tuple[int, int]] = {
+        m.name: (m.width, m.beats)
+        for m in traced
+        if m.parent is None and m.beats > 1
+    }
+
+    # expected occurrences (golden), keyed per (flow, message)
+    golden_values: Dict[Tuple[str, str], list] = {}
+    for record in golden.records:
+        name = record.message.message.name
+        if name not in traced_names:
+            continue
+        flow = flow_of_index[record.message.index]
+        golden_values.setdefault((flow, name), []).append(record.value)
+
+    captured_values: Dict[Tuple[str, str], list] = {}
+    for entry in captured:
+        name = entry.message.message.name
+        flow = flow_of_index[entry.message.index]
+        captured_values.setdefault((flow, name), []).append(entry.value)
+
+    statuses: Dict[Tuple[str, str], MessageStatus] = {}
+    for flow in scenario.flows:
+        for message in flow.messages:
+            key = (flow.name, message.name)
+            if message.name not in traced_names:
+                statuses[key] = MessageStatus.UNKNOWN
+                continue
+            expected = golden_values.get(key, [])
+            got = captured_values.get(key, [])
+            if not expected:
+                # the golden run never produced it either: nothing to say
+                statuses[key] = MessageStatus.UNKNOWN
+                continue
+            if not got:
+                statuses[key] = MessageStatus.ABSENT
+                continue
+            mask = subgroup_masks.get(message.name)
+            reference = [
+                v & mask if mask is not None else v for v in expected
+            ]
+            shape = beat_shapes.get(message.name)
+            if shape is not None:
+                width, beats = shape
+                beat_mask = (1 << width) - 1
+                reference = [
+                    (v >> (beat * width)) & beat_mask
+                    for v in reference
+                    for beat in range(beats)
+                ]
+            if got == reference[: len(got)]:
+                statuses[key] = MessageStatus.OK
+            else:
+                statuses[key] = MessageStatus.CORRUPT
+    return Observation(statuses=statuses, symptom_kind=symptom_kind)

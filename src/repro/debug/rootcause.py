@@ -1,0 +1,396 @@
+"""Root-cause catalogs and the evidence-based pruning engine.
+
+Following Section 4, potential architecture-level root causes were
+identified per usage scenario (Table 1, column 8: 9 / 8 / 9 causes).
+Each cause carries *evidence*: the message statuses its culprit-hood
+would imply.  Pruning (Sections 5.6-5.7) eliminates every cause whose
+evidence is contradicted by a definite observation; the causes that
+survive are the plausible ones the validator must examine by hand.
+
+The worked example of Section 5.7 falls out directly: when the Mondo
+interrupt is never generated, the traced absences of ``reqtot``,
+``dmusiidata``/``cputhreadid``, and ``mondoacknack`` contradict eight
+of the nine Scenario-1 causes, leaving only "non-generation of Mondo
+interrupt by DMU" (88.89% pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Tuple
+
+from repro.debug.observation import MessageStatus, Observation
+from repro.errors import RootCauseError
+
+
+class Expectation(str, Enum):
+    """What a culprit cause implies for one (flow, message) pair."""
+
+    ABSENT = "absent"      # the message would never reach the buffer
+    PRESENT = "present"    # the message would be seen (any payload)
+    OK = "ok"              # the message would be seen, payload correct
+    CORRUPT = "corrupt"    # the message would be seen, payload wrong
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One implied observation: flow, message, expectation."""
+
+    flow: str
+    message: str
+    expectation: Expectation
+
+
+@dataclass(frozen=True)
+class RootCause:
+    """A potential architecture-level root cause.
+
+    Attributes
+    ----------
+    cause_id:
+        Number within its scenario's catalog.
+    description:
+        The architectural malfunction (Table-7 style).
+    implication:
+        The user-visible consequence (Table-7 style).
+    ip:
+        The IP block the cause implicates.
+    evidence:
+        Observations implied if this cause is the culprit.
+    symptom:
+        Failure kind this cause produces (``"hang"`` / ``"bad_trap"``),
+        or ``None`` if either is possible.
+    """
+
+    cause_id: int
+    description: str
+    implication: str
+    ip: str
+    evidence: Tuple[Evidence, ...]
+    symptom: Optional[str] = None
+
+    def contradiction(self, observation: Observation) -> Optional[str]:
+        """Why this cause is ruled out, or ``None`` if still plausible."""
+        if (
+            self.symptom is not None
+            and observation.symptom_kind is not None
+            and observation.symptom_kind != self.symptom
+        ):
+            return (
+                f"symptom is {observation.symptom_kind!r}, cause would "
+                f"produce {self.symptom!r}"
+            )
+        for item in self.evidence:
+            status = observation.status(item.flow, item.message)
+            if status is MessageStatus.UNKNOWN:
+                continue
+            if _contradicts(item.expectation, status):
+                return (
+                    f"{item.flow}.{item.message} expected "
+                    f"{item.expectation.value}, observed {status.value}"
+                )
+        return None
+
+
+def _contradicts(expectation: Expectation, status: MessageStatus) -> bool:
+    if expectation is Expectation.ABSENT:
+        return status in (MessageStatus.OK, MessageStatus.CORRUPT)
+    if expectation is Expectation.PRESENT:
+        return status is MessageStatus.ABSENT
+    if expectation is Expectation.OK:
+        return status in (MessageStatus.ABSENT, MessageStatus.CORRUPT)
+    if expectation is Expectation.CORRUPT:
+        return status in (MessageStatus.ABSENT, MessageStatus.OK)
+    raise RootCauseError(f"unknown expectation {expectation!r}")
+
+
+@dataclass(frozen=True)
+class PruningResult:
+    """Outcome of pruning a cause catalog against an observation."""
+
+    plausible: Tuple[RootCause, ...]
+    pruned: Tuple[Tuple[RootCause, str], ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.plausible) + len(self.pruned)
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of candidate causes eliminated (Figure 7)."""
+        if self.total == 0:
+            return 0.0
+        return len(self.pruned) / self.total
+
+
+def prune_causes(
+    causes: Iterable[RootCause], observation: Observation
+) -> PruningResult:
+    """Eliminate causes contradicted by the observation."""
+    plausible: List[RootCause] = []
+    pruned: List[Tuple[RootCause, str]] = []
+    for cause in causes:
+        reason = cause.contradiction(observation)
+        if reason is None:
+            plausible.append(cause)
+        else:
+            pruned.append((cause, reason))
+    return PruningResult(plausible=tuple(plausible), pruned=tuple(pruned))
+
+
+def _e(flow: str, message: str, expectation: Expectation) -> Evidence:
+    return Evidence(flow=flow, message=message, expectation=expectation)
+
+
+def root_cause_catalog(scenario_number: int) -> Tuple[RootCause, ...]:
+    """The potential root causes of a usage scenario (Table 1 col. 8).
+
+    Raises
+    ------
+    RootCauseError
+        For an unknown scenario number.
+    """
+    A, P, OK, C = (
+        Expectation.ABSENT,
+        Expectation.PRESENT,
+        Expectation.OK,
+        Expectation.CORRUPT,
+    )
+    if scenario_number == 1:
+        return (
+            RootCause(
+                1,
+                "Mondo request forwarded from DMU to SIU's bypass queue "
+                "instead of ordered queue",
+                "Mondo interrupt not serviced",
+                "SIU",
+                (_e("Mon", "reqtot", P), _e("Mon", "grant", P),
+                 _e("Mon", "dmusiidata", P), _e("Mon", "siincu", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                2,
+                "Invalid Mondo payload forwarded to NCU from DMU via SIU",
+                "Interrupt assigned to wrong CPU ID and Thread ID",
+                "DMU",
+                (_e("Mon", "dmusiidata", C), _e("Mon", "siincu", P)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                3,
+                "Non-generation of Mondo interrupt by DMU",
+                "Computing thread fetches operand from wrong memory "
+                "location",
+                "DMU",
+                (_e("Mon", "reqtot", A), _e("Mon", "dmusiidata", A),
+                 _e("Mon", "mondoacknack", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                4,
+                "SIU arbiter starves DMU's Mondo transfer grant",
+                "Interrupt delivery stalls behind bulk DMA traffic",
+                "SIU",
+                (_e("Mon", "reqtot", P), _e("Mon", "grant", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                5,
+                "Wrong interrupt decoding logic in NCU",
+                "Interrupt acknowledged to the wrong source",
+                "NCU",
+                (_e("Mon", "siincu", P), _e("Mon", "mondoacknack", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                6,
+                "NCU drops the interrupt without ack/nack",
+                "Device driver times out waiting for the interrupt",
+                "NCU",
+                (_e("Mon", "siincu", P), _e("Mon", "mondoacknack", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                7,
+                "Wrong address generation on PIO read return path",
+                "Computing thread fetches operand from wrong memory "
+                "location",
+                "DMU",
+                (_e("PIOR", "ncudmu_pio_req", P),
+                 _e("PIOR", "siincu", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                8,
+                "PIO write credit leak in DMU",
+                "PIO writes back-pressure the NCU until it wedges",
+                "DMU",
+                (_e("PIOW", "ncudmu_pio_wr", P),
+                 _e("PIOW", "piowcrd", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                9,
+                "PIO read request misdecoded at DMU ingress",
+                "Wrong device register read; Bad Trap on consume",
+                "DMU",
+                (_e("PIOR", "ncudmu_pio_req", P),
+                 _e("PIOR", "dmusii_req", C)),
+                symptom="bad_trap",
+            ),
+        )
+    if scenario_number == 2:
+        return (
+            RootCause(
+                1,
+                "Wrong interrupt decoding logic in NCU",
+                "Interrupt serviced on the wrong CPU thread",
+                "NCU",
+                (_e("Mon", "siincu", P), _e("Mon", "mondoacknack", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                2,
+                "Corrupted interrupt handling table in NCU",
+                "Interrupt vector resolves to an invalid handler",
+                "NCU",
+                (_e("Mon", "dmusiidata", OK),
+                 _e("Mon", "mondoacknack", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                3,
+                "Erroneous interrupt dequeue logic after interrupt is "
+                "serviced",
+                "Serviced interrupt never retired; queue fills up",
+                "NCU",
+                (_e("Mon", "siincu", P), _e("Mon", "mondoacknack", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                4,
+                "SIU arbiter starves DMU's Mondo transfer grant",
+                "Interrupt delivery stalls indefinitely",
+                "SIU",
+                (_e("Mon", "reqtot", P), _e("Mon", "grant", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                5,
+                "Malformed CPU request from Cache Crossbar to NCU",
+                "NCU issues a wrong downstream command",
+                "CCX",
+                (_e("NCUD", "pcxreq", C),),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                6,
+                "Erroneous CPU request decoding logic of NCU",
+                "Memory controller receives a malformed request",
+                "NCU",
+                (_e("NCUD", "pcxreq", OK), _e("NCUD", "ncumcu_req", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                7,
+                "MCU never returns read data upstream",
+                "Load instruction never completes; thread hangs",
+                "MCU",
+                # no upstream data also means the NCU never issues to the
+                # crossbar, so the grant would be missing too
+                (_e("NCUU", "mcuncu_data", A), _e("NCUU", "cpxgnt", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                8,
+                "Crossbar grant logic wedged",
+                "NCU upstream data never reaches the core",
+                "CCX",
+                (_e("NCUU", "ncucpx_req", P), _e("NCUU", "cpxgnt", A)),
+                symptom="hang",
+            ),
+        )
+    if scenario_number == 3:
+        return (
+            RootCause(
+                1,
+                "PIO read request misdecoded at DMU ingress",
+                "Wrong device register read",
+                "DMU",
+                (_e("PIOR", "ncudmu_pio_req", P),
+                 _e("PIOR", "dmusii_req", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                2,
+                "Wrong address generation on PIO read return path",
+                "Computing thread fetches operand from wrong memory "
+                "location",
+                "DMU",
+                (_e("PIOR", "dmusii_req", OK), _e("PIOR", "siincu", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                3,
+                "SIU accept logic drops the PIO acknowledge",
+                "PIO read wedges awaiting SIU acceptance",
+                "SIU",
+                (_e("PIOR", "dmusii_req", P),
+                 _e("PIOR", "siidmu_ack", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                4,
+                "PIO read response parked in SIU ordered queue",
+                "PIO read data never returns to NCU",
+                "SIU",
+                (_e("PIOR", "siidmu_ack", P), _e("PIOR", "siincu", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                5,
+                "PIO write credit leak in DMU",
+                "PIO writes back-pressure the NCU until it wedges",
+                "DMU",
+                (_e("PIOW", "ncudmu_pio_wr", P),
+                 _e("PIOW", "piowcrd", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                6,
+                "Malformed CPU request from Cache Crossbar to NCU",
+                "NCU issues a wrong downstream command",
+                "CCX",
+                (_e("NCUD", "pcxreq", C),),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                7,
+                "Erroneous CPU request decoding logic of NCU",
+                "Memory controller receives a malformed request",
+                "NCU",
+                (_e("NCUD", "pcxreq", OK), _e("NCUD", "ncumcu_req", C)),
+                symptom="bad_trap",
+            ),
+            RootCause(
+                8,
+                "Erroneous decoding of CPU requests in memory controller",
+                "Request wedges in the MCU decode stage",
+                "MCU",
+                (_e("NCUD", "ncumcu_req", OK),
+                 _e("NCUU", "mcuncu_data", A)),
+                symptom="hang",
+            ),
+            RootCause(
+                9,
+                "Crossbar grant logic wedged",
+                "Upstream data never reaches the core",
+                "CCX",
+                (_e("NCUU", "ncucpx_req", P), _e("NCUU", "cpxgnt", A)),
+                symptom="hang",
+            ),
+        )
+    raise RootCauseError(
+        f"unknown usage scenario {scenario_number!r}; choose 1, 2, or 3"
+    )

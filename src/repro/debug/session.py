@@ -1,0 +1,236 @@
+"""The end-to-end debugging session driver (Sections 5.2, 5.6, 5.7).
+
+One session: run the buggy silicon (transaction simulator + injected
+bug), capture the trace buffer, then debug:
+
+1. **Path localization** -- how many interleaved-flow paths are
+   consistent with the captured prefix (Table 3, columns 7-8).
+2. **Investigation** -- starting from the bug symptom, examine traced
+   messages one at a time (newest first, then the traced-but-absent
+   ones).  Each examined message refines the observation, eliminates
+   candidate legal IP pairs, and prunes root causes (Figures 6a/6b).
+3. **Root-causing** -- the causes that survive full pruning are the
+   plausible root causes (Figure 7, Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.message import Message
+from repro.debug.bugs import Bug
+from repro.debug.injection import inject
+from repro.debug.ippairs import IPPair, legal_ip_pairs
+from repro.debug.observation import MessageStatus, Observation, observe
+from repro.debug.rootcause import PruningResult, RootCause, prune_causes
+from repro.errors import DebugSessionError
+from repro.selection.localization import LocalizationResult, PathLocalizer
+from repro.sim.engine import TransactionSimulator
+from repro.sim.tracebuffer import TraceBuffer
+from repro.soc.t2.scenarios import UsageScenario
+
+
+@dataclass(frozen=True)
+class InvestigationStep:
+    """State after examining one traced message.
+
+    ``subject`` is ``"flow.message"``; cumulative counters follow.
+    """
+
+    step: int
+    subject: str
+    status: MessageStatus
+    pairs_eliminated: int
+    causes_eliminated: int
+
+
+@dataclass(frozen=True)
+class DebugReport:
+    """Everything a debugging session produced.
+
+    The fields map onto the paper's evaluation artifacts -- see the
+    attribute comments.
+    """
+
+    scenario_name: str
+    bug: Bug
+    symptom_kind: str
+    localization: LocalizationResult          # Table 3, cols 7-8
+    legal_pairs: FrozenSet[IPPair]            # Table 6, col 3
+    pairs_investigated: FrozenSet[IPPair]     # Table 6, col 4
+    messages_investigated: int                # Table 6, col 5
+    steps: Tuple[InvestigationStep, ...]      # Figure 6a / 6b
+    pruning: PruningResult                    # Figure 7
+    captured_count: int
+    observation: Observation                  # full evidence (triage)
+
+    @property
+    def plausible_causes(self) -> Tuple[RootCause, ...]:
+        return self.pruning.plausible
+
+    @property
+    def root_cause_text(self) -> str:
+        """Table-6 style: plausible cause descriptions joined by '/'."""
+        return " / ".join(c.description for c in self.pruning.plausible)
+
+    @property
+    def pruned_fraction(self) -> float:
+        return self.pruning.pruned_fraction
+
+    @property
+    def buggy_ip_is_plausible(self) -> bool:
+        """Whether a surviving cause implicates the truly buggy IP."""
+        return any(c.ip == self.bug.ip for c in self.pruning.plausible)
+
+    def triage(self) -> str:
+        """Next-steps note: the isolated cause, or which additional
+        message to observe to separate the survivors
+        (:mod:`repro.debug.triage`)."""
+        from repro.debug.triage import triage_note
+
+        return triage_note(self.pruning.plausible, self.observation)
+
+
+class DebugSession:
+    """Drives one post-silicon debugging session.
+
+    Parameters
+    ----------
+    scenario:
+        The usage scenario under validation.
+    traced:
+        The traced message set (selection output: messages +
+        sub-groups).
+    causes:
+        The scenario's potential root causes.
+    buffer_width, buffer_depth:
+        Trace buffer geometry.
+    """
+
+    def __init__(
+        self,
+        scenario: UsageScenario,
+        traced: Iterable[Message],
+        causes: Sequence[RootCause],
+        buffer_width: int = 32,
+        buffer_depth: int = 1024,
+        min_delay: int = 1,
+        max_delay: int = 64,
+    ) -> None:
+        self.scenario = scenario
+        self.traced: Tuple[Message, ...] = tuple(sorted(set(traced)))
+        self.causes = tuple(causes)
+        self.buffer = TraceBuffer(buffer_width, buffer_depth, self.traced)
+        self.interleaved = scenario.interleaved()  # memoized on the scenario
+        self.simulator = TransactionSimulator(
+            self.interleaved,
+            scenario_name=scenario.name,
+            min_delay=min_delay,
+            max_delay=max_delay,
+        )
+
+    def run(self, bug: Bug, seed: int = 0) -> DebugReport:
+        """Execute the buggy run and debug it to a report."""
+        golden = self.simulator.run(seed=seed)
+        buggy = inject(golden, bug)
+        if buggy.symptom is None:
+            raise DebugSessionError(
+                f"bug#{bug.bug_id} is dormant in {self.scenario.name} "
+                f"(message {bug.effect.message!r} never occurs)"
+            )
+        captured = self.buffer.capture(buggy.records)
+
+        localizer = PathLocalizer(self.interleaved, self.traced)
+        observed = tuple(entry.message for entry in captured)
+        # a ring buffer that wrapped only retains a *window* of the
+        # visible history; a deep buffer retains the full prefix
+        truncated = self.buffer.visible_count(buggy.records) > len(captured)
+        localization = localizer.localize(
+            observed, mode="window" if truncated else "prefix"
+        )
+
+        full = observe(
+            self.scenario,
+            captured,
+            golden,
+            self.traced,
+            symptom_kind=buggy.symptom.kind,
+        )
+        steps, pairs_touched = self._investigate(captured, full)
+        pruning = prune_causes(self.causes, full)
+
+        return DebugReport(
+            scenario_name=self.scenario.name,
+            bug=bug,
+            symptom_kind=buggy.symptom.kind,
+            localization=localization,
+            legal_pairs=legal_ip_pairs(self.scenario),
+            pairs_investigated=frozenset(pairs_touched),
+            messages_investigated=len(steps),
+            steps=tuple(steps),
+            pruning=pruning,
+            captured_count=len(captured),
+            observation=full,
+        )
+
+    # ------------------------------------------------------------------
+    def _investigate(
+        self, captured, full: Observation
+    ) -> Tuple[List[InvestigationStep], Set[IPPair]]:
+        """Replay the investigation one traced message at a time.
+
+        Captured entries are examined newest-first (backtracking from
+        the symptom); traced-but-absent messages are checked afterwards
+        (scanning the buffer for what *should* be there).  The
+        incremental observation after each step drives pair and cause
+        elimination curves.
+        """
+        flow_of_index = {
+            inst.index: inst.flow.name for inst in self.scenario.instances()
+        }
+        message_by_key: Dict[Tuple[str, str], Message] = {}
+        for flow in self.scenario.flows:
+            for m in flow.messages:
+                message_by_key[(flow.name, m.name)] = m
+
+        order: List[Tuple[str, str]] = []
+        seen: Set[Tuple[str, str]] = set()
+        for entry in reversed(captured):
+            key = (flow_of_index[entry.message.index],
+                   entry.message.message.name)
+            if key not in seen:
+                seen.add(key)
+                order.append(key)
+        for key in full.known():
+            if key not in seen and full.statuses[key] is MessageStatus.ABSENT:
+                seen.add(key)
+                order.append(key)
+
+        legal = legal_ip_pairs(self.scenario)
+        candidate_pairs: Set[IPPair] = set(legal)
+        pairs_touched: Set[IPPair] = set()
+        partial: Dict[Tuple[str, str], MessageStatus] = {}
+        steps: List[InvestigationStep] = []
+        for position, key in enumerate(order, start=1):
+            partial[key] = full.statuses[key]
+            message = message_by_key[key]
+            if message.ip_pair is not None:
+                pairs_touched.add(message.ip_pair)
+                # a correct message over a pair exonerates that link
+                if partial[key] is MessageStatus.OK:
+                    candidate_pairs.discard(message.ip_pair)
+            observation = Observation(
+                statuses=dict(partial), symptom_kind=full.symptom_kind
+            )
+            pruning = prune_causes(self.causes, observation)
+            steps.append(
+                InvestigationStep(
+                    step=position,
+                    subject=f"{key[0]}.{key[1]}",
+                    status=full.statuses[key],
+                    pairs_eliminated=len(legal) - len(candidate_pairs),
+                    causes_eliminated=len(pruning.pruned),
+                )
+            )
+        return steps, pairs_touched

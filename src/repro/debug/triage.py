@@ -1,0 +1,140 @@
+"""Triage: what to instrument next when pruning leaves several causes.
+
+Sections 5.6-5.7 end when the evidence singles out one cause; when
+several survive (our case studies 1, 2, 3, and 5 keep two), the
+validator's next question is *which additional message would tell them
+apart?*  Trace buffers are reconfigurable between re-runs, so the
+answer directly drives the next silicon run.
+
+A ``(flow, message)`` pair **discriminates** two plausible causes when
+their evidence implies incompatible observations for it -- one expects
+the message ABSENT while the other expects it PRESENT/OK/CORRUPT, or
+one expects OK while the other expects CORRUPT.  The triage engine
+ranks currently-unobserved pairs by how many plausible-cause pairs
+they split, yielding the minimal extra observability that resolves the
+ambiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.debug.observation import MessageStatus, Observation
+from repro.debug.rootcause import Expectation, RootCause
+
+#: Expectation pairs that cannot both hold for one (flow, message).
+_INCOMPATIBLE: Set[frozenset] = {
+    frozenset({Expectation.ABSENT, Expectation.PRESENT}),
+    frozenset({Expectation.ABSENT, Expectation.OK}),
+    frozenset({Expectation.ABSENT, Expectation.CORRUPT}),
+    frozenset({Expectation.OK, Expectation.CORRUPT}),
+}
+
+
+@dataclass(frozen=True)
+class Discriminator:
+    """One candidate observation that separates plausible causes.
+
+    Attributes
+    ----------
+    flow, message:
+        The (flow, message) pair to make observable.
+    splits:
+        The cause-id pairs this observation would tell apart.
+    """
+
+    flow: str
+    message: str
+    splits: Tuple[Tuple[int, int], ...]
+
+    @property
+    def power(self) -> int:
+        """How many plausible-cause pairs the observation separates."""
+        return len(self.splits)
+
+
+def expectations_conflict(a: Expectation, b: Expectation) -> bool:
+    """Whether two expectations cannot both be true."""
+    return frozenset({a, b}) in _INCOMPATIBLE
+
+
+def suggest_discriminators(
+    plausible: Sequence[RootCause],
+    observation: Observation,
+) -> Tuple[Discriminator, ...]:
+    """Rank unobserved (flow, message) pairs by discriminating power.
+
+    Only pairs whose current status is ``UNKNOWN`` are candidates (a
+    definite status has already done its pruning).  Result is sorted
+    by descending power, then by name for determinism; empty when one
+    or zero causes remain (nothing left to discriminate).
+    """
+    if len(plausible) < 2:
+        return ()
+    expectation_of: Dict[Tuple[str, str], Dict[int, Expectation]] = {}
+    for cause in plausible:
+        for item in cause.evidence:
+            expectation_of.setdefault(
+                (item.flow, item.message), {}
+            )[cause.cause_id] = item.expectation
+
+    found: List[Discriminator] = []
+    for (flow, message), per_cause in expectation_of.items():
+        if observation.status(flow, message) is not MessageStatus.UNKNOWN:
+            continue
+        splits: List[Tuple[int, int]] = []
+        ids = sorted(per_cause)
+        for i, first in enumerate(ids):
+            for second in ids[i + 1:]:
+                if expectations_conflict(
+                    per_cause[first], per_cause[second]
+                ):
+                    splits.append((first, second))
+        if splits:
+            found.append(
+                Discriminator(
+                    flow=flow, message=message, splits=tuple(splits)
+                )
+            )
+    found.sort(key=lambda d: (-d.power, d.flow, d.message))
+    return tuple(found)
+
+
+def triage_note(
+    plausible: Sequence[RootCause],
+    observation: Observation,
+) -> str:
+    """A human-readable next-steps note for the validation lab."""
+    if not plausible:
+        return (
+            "All catalogued causes are contradicted by the evidence: "
+            "extend the root-cause catalog before the next run."
+        )
+    if len(plausible) == 1:
+        cause = plausible[0]
+        return (
+            f"Root cause isolated: [{cause.ip}] {cause.description} "
+            f"({cause.implication})."
+        )
+    lines = [
+        f"{len(plausible)} causes remain plausible: "
+        + ", ".join(f"#{c.cause_id} ({c.ip})" for c in plausible)
+    ]
+    suggestions = suggest_discriminators(plausible, observation)
+    if not suggestions:
+        lines.append(
+            "No single additional message discriminates them; "
+            "escalate to targeted unit-level debug."
+        )
+    else:
+        lines.append("Reconfigure the trace buffer to also observe:")
+        for suggestion in suggestions[:3]:
+            pairs = ", ".join(
+                f"#{a} vs #{b}" for a, b in suggestion.splits
+            )
+            lines.append(
+                f"  - {suggestion.flow}.{suggestion.message} "
+                f"(separates {pairs})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``
+et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FlowValidationError(ReproError):
+    """A flow definition violates Definition 1 of the paper.
+
+    Raised, for example, when a stop state is also atomic, when a
+    transition references an unknown state, or when the transition
+    relation contains a cycle (flows must be DAGs).
+    """
+
+
+class IndexingError(ReproError):
+    """Two flow instances are not legally indexed (Definition 4)."""
+
+
+class InterleavingError(ReproError):
+    """The interleaving product could not be constructed."""
+
+
+class SelectionError(ReproError):
+    """Message selection failed (e.g. no combination fits the buffer)."""
+
+
+class TraceBufferError(ReproError):
+    """Invalid trace buffer configuration or overflowing write."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a gate-level circuit definition."""
+
+
+class SimulationError(ReproError):
+    """The transaction-level or gate-level simulation failed."""
+
+
+class DebugSessionError(ReproError):
+    """A post-silicon debugging session was mis-configured."""
+
+
+class RootCauseError(ReproError):
+    """Root-cause catalog inconsistency (unknown message, cause, ...)."""

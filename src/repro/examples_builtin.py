@@ -1,0 +1,36 @@
+"""Built-in example flows from the paper's running example.
+
+The toy cache-coherence flow of Figure 1a is the ground-truth fixture
+for the whole library: its two-instance interleaving has 15 states and
+18 transitions, the information gain of ``{ReqE, GntE}`` is ~1.073, and
+the flow specification coverage of that combination is 11/15 = 0.7333.
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import Flow, Transition
+from repro.core.message import Message
+
+
+def toy_cache_coherence_flow() -> Flow:
+    """The exclusive-line-access flow of Figure 1a.
+
+    States ``n`` (Init), ``w`` (Wait), ``c`` (GntW, atomic), ``d``
+    (Done); messages ``ReqE``, ``GntE``, ``Ack``, each 1 bit wide,
+    exchanged between IP ``1`` and the directory ``Dir``.
+    """
+    req = Message("ReqE", 1, source="1", destination="Dir")
+    gnt = Message("GntE", 1, source="Dir", destination="1")
+    ack = Message("Ack", 1, source="1", destination="Dir")
+    return Flow(
+        name="CacheCoherence",
+        states=["n", "w", "c", "d"],
+        initial=["n"],
+        stop=["d"],
+        transitions=[
+            Transition("n", req, "w"),
+            Transition("w", gnt, "c"),
+            Transition("c", ack, "d"),
+        ],
+        atomic=["c"],
+    )

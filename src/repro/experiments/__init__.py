@@ -1,0 +1,27 @@
+"""Experiment drivers: one module per table and figure of the paper.
+
+Every module exposes a ``<name>()`` function computing a structured
+result and a ``format_<name>()`` function rendering the same rows and
+series the paper reports.  The benchmark harness under ``benchmarks/``
+wraps these; ``EXPERIMENTS.md`` records paper-vs-measured for each.
+
+========  ===============================================  =========================
+Artifact  What it reports                                  Module
+========  ===============================================  =========================
+Table 1   usage scenarios, flows, root-cause counts        repro.experiments.table1
+Table 2   representative injected bugs                     repro.experiments.table2
+Table 3   utilization / FSP coverage / localization        repro.experiments.table3
+Table 4   USB signal selection vs SigSeT and PRNet         repro.experiments.table4
+Table 5   bug coverage and message importance              repro.experiments.table5
+Table 6   debugging statistics per case study              repro.experiments.table6
+Table 7   root causes for the Scenario-1 case study        repro.experiments.table7
+Fig. 5    MI gain vs flow-spec coverage correlation        repro.experiments.fig5
+Fig. 6    IP pairs / root causes eliminated per message    repro.experiments.fig6
+Fig. 7    plausible vs pruned causes per case study        repro.experiments.fig7
+headline  abstract / intro aggregate numbers               repro.experiments.headline
+========  ===============================================  =========================
+"""
+
+from repro.experiments.common import scenario_selections, render_table
+
+__all__ = ["scenario_selections", "render_table"]

@@ -1,0 +1,92 @@
+"""Terminal plotting for the figures (no matplotlib dependency).
+
+The paper's figures are a scatter plot (Fig. 5), line series (Fig. 6),
+and stacked bars (Fig. 7); these helpers render all three shapes as
+fixed-width ASCII so ``repro tables fig5 ...`` shows the actual curves
+in a terminal or CI log, not just summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 16,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """An ASCII scatter plot of (x, y) *points*."""
+    if not points:
+        return "(no points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+    lines: List[str] = []
+    for i, row_cells in enumerate(grid):
+        label = f"{y_hi:7.3f} |" if i == 0 else (
+            f"{y_lo:7.3f} |" if i == height - 1 else "        |"
+        )
+        lines.append(label + "".join(row_cells))
+    lines.append("        +" + "-" * width)
+    lines.append(
+        f"         {x_lo:<10.3f}{xlabel:^{max(width - 20, 1)}}{x_hi:>10.3f}"
+    )
+    lines.insert(0, f"  {ylabel}")
+    return "\n".join(lines)
+
+
+def step_series(
+    series: Sequence[Tuple[str, Sequence[int]]],
+    width: int = 50,
+) -> str:
+    """Horizontal bar-progression rendering of cumulative step series.
+
+    Each entry is ``(label, cumulative counts)``; rendered one line per
+    step with a bar proportional to the count.
+    """
+    lines: List[str] = []
+    peak = max(
+        (max(values) for _, values in series if values), default=1
+    ) or 1
+    for label, values in series:
+        lines.append(label)
+        for step, value in enumerate(values, start=1):
+            bar = "#" * int(value / peak * width)
+            lines.append(f"  step {step:>2} |{bar} {value}")
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    bars: Sequence[Tuple[str, int, int]],
+    width: int = 40,
+    kept_char: str = "O",
+    removed_char: str = "x",
+) -> str:
+    """Figure-7-style stacked bars: (label, kept, removed) per row."""
+    lines: List[str] = []
+    peak = max((kept + removed for _, kept, removed in bars), default=1)
+    for label, kept, removed in bars:
+        total = kept + removed
+        kept_cells = int(kept / peak * width) if peak else 0
+        removed_cells = int(removed / peak * width) if peak else 0
+        lines.append(
+            f"{label:<14} |{kept_char * kept_cells}"
+            f"{removed_char * removed_cells} "
+            f"({kept} plausible, {removed} pruned)"
+        )
+    lines.append(
+        f"{'':<14}  {kept_char} = plausible cause, "
+        f"{removed_char} = pruned cause"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Shared infrastructure for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.selection.selector import MessageSelector, SelectionResult
+from repro.soc.t2.scenarios import UsageScenario, usage_scenarios
+
+#: Trace buffer width used throughout the paper's experiments.
+BUFFER_WIDTH = 32
+
+_CACHE: Dict[Tuple[int, int], "ScenarioSelection"] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSelection:
+    """A scenario with its with- and without-packing selections."""
+
+    scenario: UsageScenario
+    selector: MessageSelector
+    with_packing: SelectionResult
+    without_packing: SelectionResult
+
+
+def scenario_selection(
+    number: int, instances: int = 1
+) -> ScenarioSelection:
+    """Selection results for one scenario (memoized per process --
+    interleaving and selection are deterministic)."""
+    key = (number, instances)
+    if key not in _CACHE:
+        scenario = usage_scenarios(instances=instances)[number]
+        selector = MessageSelector(
+            scenario.interleaved(),
+            BUFFER_WIDTH,
+            subgroups=scenario.subgroup_pool,
+        )
+        # the paper's formulation: exhaustive Step-1/2 argmax (feasible
+        # for the <= 12-message scenario pools; coverage breaks gain ties)
+        _CACHE[key] = ScenarioSelection(
+            scenario=scenario,
+            selector=selector,
+            with_packing=selector.select(method="exhaustive", packing=True),
+            without_packing=selector.select(
+                method="exhaustive", packing=False
+            ),
+        )
+    return _CACHE[key]
+
+
+def scenario_selections(instances: int = 1) -> Dict[int, ScenarioSelection]:
+    """Selections for all three scenarios."""
+    return {n: scenario_selection(n, instances) for n in (1, 2, 3)}
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table (the benches print paper-shaped tables)."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+".join("-" * (w + 2) for w in widths)
+    line = f"+{line}+"
+
+    def fmt(cells: Sequence[str]) -> str:
+        padded = [f" {c:<{w}} " for c, w in zip(cells, widths)]
+        return "|" + "|".join(padded) + "|"
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line)
+    parts.append(fmt(headers))
+    parts.append(line)
+    for row in materialized:
+        parts.append(fmt(row))
+    parts.append(line)
+    return "\n".join(parts)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{digits}f}%"

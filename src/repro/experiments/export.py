@@ -1,0 +1,150 @@
+"""Machine-readable export of every experiment result.
+
+``export_results`` gathers all tables and figures into one
+JSON-serializable dictionary (and optionally writes it), so downstream
+tooling -- plotting scripts, CI dashboards, regression trackers -- can
+consume the reproduction without scraping ASCII tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, TextIO
+
+from repro import __version__
+
+
+def export_results(instances: int = 1) -> Dict[str, Any]:
+    """Compute all experiments and return a JSON-ready dictionary."""
+    from repro.experiments.fig5 import fig5
+    from repro.experiments.fig7 import average_pruned_fraction, fig7
+    from repro.experiments.headline import headline
+    from repro.experiments.table1 import table1
+    from repro.experiments.table3 import table3
+    from repro.experiments.table4 import table4
+    from repro.experiments.table5 import table5
+    from repro.experiments.table6 import table6
+
+    table6_rows, reports = table6(instances)
+    usb = table4()
+    aggregates = headline(instances)
+    fig7_bars = fig7(instances)
+
+    return {
+        "library_version": __version__,
+        "instances_per_flow": instances,
+        "table1": [
+            {
+                "scenario": row.scenario,
+                "flows": [
+                    {"name": n, "states": s, "messages": m}
+                    for n, s, m in row.flows
+                ],
+                "participating_ips": list(row.participating_ips),
+                "potential_root_causes": row.potential_root_causes,
+            }
+            for row in table1()
+        ],
+        "table3": [
+            {
+                "case_study": row.case_study,
+                "scenario": row.scenario,
+                "utilization": {
+                    "with_packing": row.utilization_wp,
+                    "without_packing": row.utilization_wop,
+                },
+                "coverage": {
+                    "with_packing": row.coverage_wp,
+                    "without_packing": row.coverage_wop,
+                },
+                "localization": {
+                    "with_packing": row.localization_wp,
+                    "without_packing": row.localization_wop,
+                },
+            }
+            for row in table3(instances)
+        ],
+        "table4": {
+            "verdicts": {
+                name: {
+                    "sigset": verdict[0],
+                    "prnet": verdict[1],
+                    "infogain": verdict[2],
+                }
+                for name, verdict in usb.verdicts.items()
+            },
+            "coverage": dict(usb.coverage),
+        },
+        "table5": [
+            {
+                "message": row.message,
+                "affecting_bugs": list(row.affecting_bugs),
+                "coverage": row.coverage,
+                "importance": row.importance,
+                "selected_in": list(row.selected_in),
+            }
+            for row in table5(instances)
+        ],
+        "table6": [
+            {
+                "case_study": row.case_study,
+                "flows": row.num_flows,
+                "legal_ip_pairs": row.legal_ip_pairs,
+                "pairs_investigated": row.pairs_investigated,
+                "messages_investigated": row.messages_investigated,
+                "root_caused": row.root_caused,
+            }
+            for row in table6_rows
+        ],
+        "fig5": {
+            str(number): {
+                "scenario": series.scenario,
+                "spearman": series.spearman,
+                "points": [list(p) for p in series.points],
+            }
+            for number, series in fig5(instances).items()
+        },
+        "fig6": {
+            str(number): {
+                "subjects": [s.subject for s in report.steps],
+                "pairs_eliminated": [
+                    s.pairs_eliminated for s in report.steps
+                ],
+                "causes_eliminated": [
+                    s.causes_eliminated for s in report.steps
+                ],
+            }
+            for number, report in reports.items()
+        },
+        "fig7": {
+            "bars": [
+                {
+                    "case_study": bar.case_study,
+                    "plausible": bar.plausible,
+                    "pruned": bar.pruned,
+                }
+                for bar in fig7_bars
+            ],
+            "average_pruned": average_pruned_fraction(fig7_bars),
+        },
+        "headline": {
+            "avg_utilization_wp": aggregates.avg_utilization_wp,
+            "avg_coverage_wp": aggregates.avg_coverage_wp,
+            "max_localization_wop": aggregates.max_localization_wop,
+            "max_localization_wp": aggregates.max_localization_wp,
+            "avg_pruned": aggregates.avg_pruned,
+            "max_pruned": aggregates.max_pruned,
+            "usb_baseline_best_reconstruction":
+                aggregates.usb_baseline_best_reconstruction,
+            "usb_ours_reconstruction":
+                aggregates.usb_ours_reconstruction,
+        },
+    }
+
+
+def write_results(
+    stream: TextIO, instances: int = 1, indent: Optional[int] = 2
+) -> None:
+    """Serialize :func:`export_results` as JSON to *stream*."""
+    json.dump(export_results(instances), stream, indent=indent)
+    stream.write("\n")

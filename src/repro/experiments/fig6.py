@@ -1,0 +1,61 @@
+"""Figure 6: progressive elimination during debug.
+
+(a) investigated traced messages vs candidate legal IP pairs
+eliminated; (b) the same vs candidate root causes eliminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.table6 import table6
+
+
+@dataclass(frozen=True)
+class Fig6Series:
+    case_study: int
+    subjects: Tuple[str, ...]
+    pairs_eliminated: Tuple[int, ...]
+    causes_eliminated: Tuple[int, ...]
+
+
+def fig6(instances: int = 1) -> Dict[int, Fig6Series]:
+    _, reports = table6(instances)
+    series: Dict[int, Fig6Series] = {}
+    for number, report in reports.items():
+        series[number] = Fig6Series(
+            case_study=number,
+            subjects=tuple(s.subject for s in report.steps),
+            pairs_eliminated=tuple(s.pairs_eliminated for s in report.steps),
+            causes_eliminated=tuple(
+                s.causes_eliminated for s in report.steps
+            ),
+        )
+    return series
+
+
+def format_fig6(instances: int = 1, plot: bool = True) -> str:
+    from repro.experiments.asciiplot import step_series
+
+    lines = ["Figure 6: elimination per investigated traced message"]
+    for number, series in fig6(instances).items():
+        lines.append(f"  Case study {number}:")
+        for i, subject in enumerate(series.subjects):
+            lines.append(
+                f"    msg {i + 1} ({subject}): "
+                f"pairs eliminated={series.pairs_eliminated[i]}, "
+                f"causes eliminated={series.causes_eliminated[i]}"
+            )
+        if plot:
+            lines.append(
+                step_series(
+                    [
+                        ("  (a) IP pairs eliminated",
+                         series.pairs_eliminated),
+                        ("  (b) root causes eliminated",
+                         series.causes_eliminated),
+                    ]
+                )
+            )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Figure 7: plausible vs pruned root causes per case study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.experiments.common import render_table
+from repro.experiments.table6 import table6
+
+#: Paper aggregate: average 78.89% of causes pruned, maximum 88.89%.
+PAPER_AVERAGE_PRUNED = 0.7889
+PAPER_MAX_PRUNED = 0.8889
+
+
+@dataclass(frozen=True)
+class Fig7Bar:
+    case_study: int
+    plausible: int
+    pruned: int
+
+    @property
+    def pruned_fraction(self) -> float:
+        total = self.plausible + self.pruned
+        return self.pruned / total if total else 0.0
+
+
+def fig7(instances: int = 1) -> Tuple[Fig7Bar, ...]:
+    _, reports = table6(instances)
+    return tuple(
+        Fig7Bar(
+            case_study=number,
+            plausible=len(report.pruning.plausible),
+            pruned=len(report.pruning.pruned),
+        )
+        for number, report in reports.items()
+    )
+
+
+def average_pruned_fraction(bars: Tuple[Fig7Bar, ...]) -> float:
+    return sum(b.pruned_fraction for b in bars) / len(bars)
+
+
+def format_fig7(instances: int = 1) -> str:
+    bars = fig7(instances)
+    headers = ["Case study", "Plausible causes", "Pruned causes",
+               "Pruned fraction"]
+    body = [
+        [b.case_study, b.plausible, b.pruned,
+         f"{b.pruned_fraction:.2%}"]
+        for b in bars
+    ]
+    table = render_table(
+        headers, body, title="Figure 7: root-cause pruning per case study"
+    )
+    from repro.experiments.asciiplot import stacked_bars
+
+    chart = stacked_bars(
+        [(f"case study {b.case_study}", b.plausible, b.pruned)
+         for b in bars]
+    )
+    avg = average_pruned_fraction(bars)
+    best = max(b.pruned_fraction for b in bars)
+    return (table + "\n" + chart
+            + f"\nAverage pruned: {avg:.2%} (max {best:.2%})")

@@ -1,0 +1,101 @@
+"""One-shot markdown reproduction report.
+
+``build_report`` regenerates every experiment and assembles a
+self-contained markdown document -- measured tables in code fences,
+each introduced by what the paper reports for the same artifact.  CI
+can archive the output next to the benchmark JSON
+(:mod:`repro.experiments.export`) to track the reproduction over time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import __version__
+
+_PAPER_NOTES = {
+    "Table 1": "Scenario composition, flow shapes, and root-cause "
+               "counts (9/8/9) match the paper exactly.",
+    "Table 2": "The four representative bugs are modelled one-for-one "
+               "(depth, category, functional implication, buggy IP).",
+    "Table 3": "Paper: utilization 71.87-93.75% (WoP) vs 96.88-100% "
+               "(WP); coverage 77.78-97.22% vs 83.33-99.86%; "
+               "localization 2.47-6.11% vs 0.10-0.31%.",
+    "Table 4": "Paper: SigSeT 9%, PRNet 23.8%, InfoGain 93.65% flow "
+               "specification coverage; both baselines miss the PID "
+               "select signals.",
+    "Table 5": "Paper: bugs affect at most 4 messages each; m9/m15 "
+               "are affected but too wide (> 32 bits) to select.",
+    "Table 6": "Paper: 54.67% of legal IP pairs investigated on "
+               "average; root-caused functions as listed.",
+    "Table 7": "Paper shows three of the nine Scenario-1 causes; the "
+               "Section-5.7 session prunes 8 of 9 (88.89%).",
+    "Figure 5": "Paper: coverage increases monotonically with mutual "
+                "information gain in all three scenarios.",
+    "Figure 6": "Paper: every investigated traced message eliminates "
+                "candidate IP pairs and root causes.",
+    "Figure 7": "Paper: 78.89% of causes pruned on average "
+                "(max 88.89%).",
+    "Reconstruction": "Paper (Section 1): existing selection methods "
+                      "reconstruct no more than 26% of required "
+                      "interface messages; flow-level selection 100%.",
+    "Headline": "Paper abstract: 98.96% average utilization, 94.3% "
+                "average coverage, <= 6.11% localization, 78.89% "
+                "average pruning.",
+}
+
+
+def build_report(instances: int = 1) -> str:
+    """Regenerate everything and return the markdown report."""
+    from repro.experiments.fig5 import format_fig5
+    from repro.experiments.fig6 import format_fig6
+    from repro.experiments.fig7 import format_fig7
+    from repro.experiments.headline import format_headline
+    from repro.experiments.reconstruction import (
+        format_reconstruction,
+        usb_reconstruction,
+    )
+    from repro.experiments.table1 import format_table1
+    from repro.experiments.table2 import format_table2
+    from repro.experiments.table3 import format_table3
+    from repro.experiments.table4 import format_table4
+    from repro.experiments.table5 import format_table5
+    from repro.experiments.table6 import format_table6
+    from repro.experiments.table7 import format_table7
+
+    sections = [
+        ("Table 1", format_table1()),
+        ("Table 2", format_table2()),
+        ("Table 3", format_table3(instances)),
+        ("Table 4", format_table4()),
+        ("Table 5", format_table5(instances)),
+        ("Table 6", format_table6(instances)),
+        ("Table 7", format_table7(instances)),
+        ("Figure 5", format_fig5(instances, plot=False)),
+        ("Figure 6", format_fig6(instances, plot=False)),
+        ("Figure 7", format_fig7(instances)),
+        ("Reconstruction", format_reconstruction(usb_reconstruction())),
+        ("Headline", format_headline(instances)),
+    ]
+    lines: List[str] = [
+        "# Reproduction report",
+        "",
+        "Pal et al., *Application Level Hardware Tracing for Scaling "
+        "Post-Silicon Debug*, DAC 2018.",
+        "",
+        f"Library version {__version__}; {instances} concurrent "
+        f"instance(s) per scenario flow.",
+        "",
+    ]
+    for title, body in sections:
+        lines.append(f"## {title}")
+        lines.append("")
+        note = _PAPER_NOTES.get(title)
+        if note:
+            lines.append(f"*Paper:* {note}")
+            lines.append("")
+        lines.append("```text")
+        lines.append(body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Table 1: usage scenarios, participating flows and IPs, root causes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.debug.rootcause import root_cause_catalog
+from repro.experiments.common import render_table
+from repro.soc.t2.flows import t2_flows
+from repro.soc.t2.scenarios import SCENARIO_FLOWS, usage_scenarios
+
+#: Paper values for comparison: scenario -> number of root causes.
+PAPER_ROOT_CAUSES = {1: 9, 2: 8, 3: 9}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    scenario: str
+    flows: Tuple[Tuple[str, int, int], ...]  # (name, states, messages)
+    participating_ips: Tuple[str, ...]
+    potential_root_causes: int
+
+
+def table1() -> Tuple[Table1Row, ...]:
+    """Compute Table 1 from the model."""
+    all_flows = t2_flows()
+    rows = []
+    for number, scenario in usage_scenarios().items():
+        flows = tuple(
+            (name, all_flows[name].num_states, all_flows[name].num_messages)
+            for name in SCENARIO_FLOWS[number]
+        )
+        rows.append(
+            Table1Row(
+                scenario=scenario.name,
+                flows=flows,
+                participating_ips=scenario.participating_ips,
+                potential_root_causes=len(root_cause_catalog(number)),
+            )
+        )
+    return tuple(rows)
+
+
+def format_table1() -> str:
+    headers = ["Usage Scenario", "Participating flows (states, msgs)",
+               "Participating IPs", "Potential root causes"]
+    body = []
+    for row in table1():
+        flows = ", ".join(f"{n}({s},{m})" for n, s, m in row.flows)
+        body.append(
+            [row.scenario, flows, ", ".join(row.participating_ips),
+             row.potential_root_causes]
+        )
+    return render_table(headers, body, title="Table 1: usage scenarios")

@@ -1,0 +1,44 @@
+"""Table 2: representative injected bugs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.debug.bugs import BUG_CATALOG
+from repro.experiments.common import render_table
+
+#: The paper shows four representative bugs; our catalog ids 1-4 model
+#: exactly those (same depth, category, type, and buggy IP).
+REPRESENTATIVE_BUG_IDS: Tuple[int, ...] = (1, 2, 3, 4)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    bug_id: int
+    depth: int
+    category: str
+    bug_type: str
+    buggy_ip: str
+
+
+def table2(bug_ids: Tuple[int, ...] = REPRESENTATIVE_BUG_IDS) -> Tuple[Table2Row, ...]:
+    return tuple(
+        Table2Row(
+            bug_id=b.bug_id,
+            depth=b.depth,
+            category=b.category.value.capitalize(),
+            bug_type=b.description,
+            buggy_ip=b.ip,
+        )
+        for b in (BUG_CATALOG[i] for i in bug_ids)
+    )
+
+
+def format_table2() -> str:
+    headers = ["Bug ID", "Bug depth", "Bug category", "Bug type", "Buggy IP"]
+    body = [
+        [r.bug_id, r.depth, r.category, r.bug_type, r.buggy_ip]
+        for r in table2()
+    ]
+    return render_table(headers, body, title="Table 2: representative bugs")

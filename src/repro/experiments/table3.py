@@ -1,0 +1,99 @@
+"""Table 3: trace buffer utilization, flow specification coverage, and
+path localization for the five case studies, with and without packing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.debug.casestudies import case_studies
+from repro.debug.rootcause import root_cause_catalog
+from repro.debug.session import DebugSession
+from repro.experiments.common import (
+    BUFFER_WIDTH,
+    percent,
+    render_table,
+    scenario_selection,
+)
+
+#: Paper Table 3 (case study -> WP/WoP utilization, coverage,
+#: localization), for EXPERIMENTS.md comparison.
+PAPER_TABLE3 = {
+    1: (0.9688, 0.8437, 0.9986, 0.9722, 0.0013, 0.0323),
+    2: (0.9688, 0.8437, 0.9986, 0.9722, 0.0031, 0.0611),
+    3: (1.0000, 0.7187, 0.9969, 0.9375, 0.0026, 0.0513),
+    4: (1.0000, 0.7187, 0.9969, 0.9375, 0.0010, 0.0247),
+    5: (1.0000, 0.9375, 0.8333, 0.7778, 0.0011, 0.0265),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    case_study: int
+    scenario: str
+    utilization_wp: float
+    utilization_wop: float
+    coverage_wp: float
+    coverage_wop: float
+    localization_wp: float
+    localization_wop: float
+
+
+def table3(instances: int = 1) -> Tuple[Table3Row, ...]:
+    """Compute Table 3.
+
+    Parameters
+    ----------
+    instances:
+        Concurrent instances per flow.  ``1`` keeps the run fast;
+        ``2`` exercises tagging and yields the paper-scale (sub-percent)
+        localization fractions.
+    """
+    rows = []
+    for number, cs in case_studies().items():
+        bundle = scenario_selection(cs.scenario_number, instances)
+        causes = root_cause_catalog(cs.scenario_number)
+        localizations = {}
+        for tag, result in (("wp", bundle.with_packing),
+                            ("wop", bundle.without_packing)):
+            session = DebugSession(
+                bundle.scenario, result.traced, causes,
+                buffer_width=BUFFER_WIDTH,
+            )
+            report = session.run(cs.active_bug, seed=cs.seed)
+            localizations[tag] = report.localization.fraction
+        rows.append(
+            Table3Row(
+                case_study=number,
+                scenario=bundle.scenario.name,
+                utilization_wp=bundle.with_packing.utilization,
+                utilization_wop=bundle.without_packing.utilization,
+                coverage_wp=bundle.with_packing.coverage,
+                coverage_wop=bundle.without_packing.coverage,
+                localization_wp=localizations["wp"],
+                localization_wop=localizations["wop"],
+            )
+        )
+    return tuple(rows)
+
+
+def format_table3(instances: int = 1) -> str:
+    headers = [
+        "Case study", "Usage Scenario",
+        "Util WP", "Util WoP",
+        "FSP Cov WP", "FSP Cov WoP",
+        "Path Loc WP", "Path Loc WoP",
+    ]
+    body = [
+        [
+            r.case_study, r.scenario,
+            percent(r.utilization_wp), percent(r.utilization_wop),
+            percent(r.coverage_wp), percent(r.coverage_wop),
+            percent(r.localization_wp, 4), percent(r.localization_wop, 4),
+        ]
+        for r in table3(instances)
+    ]
+    return render_table(
+        headers, body,
+        title="Table 3: utilization, coverage, localization (32-bit buffer)",
+    )

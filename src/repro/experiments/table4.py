@@ -1,0 +1,114 @@
+"""Table 4: USB signal selection -- SigSeT vs PRNet vs our method --
+plus the flow specification coverage comparison of Section 5.4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.baselines import (
+    classify_group_selection,
+    prnet_select,
+    sigset_select,
+)
+from repro.core.coverage import flow_specification_coverage
+from repro.core.interleave import interleave_flows
+from repro.experiments.common import BUFFER_WIDTH, percent, render_table
+from repro.selection.selector import MessageSelector
+from repro.soc.usb import build_usb_design, usb_flows
+from repro.soc.usb.flows import (
+    MESSAGE_COMPOSITION,
+    observable_messages,
+    usb_messages,
+)
+from repro.soc.usb.netlist import TABLE4_SIGNAL_NAMES
+
+#: Paper verdicts (signal -> (SigSeT, PRNet, InfoGain)) and coverages.
+PAPER_TABLE4 = {
+    "rx_data": ("none", "full", "full"),
+    "rx_valid": ("none", "full", "full"),
+    "rx_data_valid": ("none", "none", "full"),
+    "token_valid": ("none", "none", "full"),
+    "rx_data_done": ("none", "none", "full"),
+    "tx_data": ("none", "none", "full"),
+    "tx_valid": ("none", "full", "full"),
+    "send_token": ("none", "none", "full"),
+    "token_pid_sel": ("partial", "partial", "full"),
+    "data_pid_sel": ("partial", "none", "full"),
+}
+PAPER_COVERAGE = {"sigset": 0.09, "prnet": 0.238, "infogain": 0.9365}
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Per-signal verdicts and method coverages."""
+
+    verdicts: Dict[str, Tuple[str, str, str]]  # signal -> 3 verdicts
+    modules: Dict[str, str]
+    coverage: Dict[str, float]  # method -> FSP coverage
+    infogain_messages: Tuple[str, ...]
+
+
+def table4() -> Table4Result:
+    design = build_usb_design()
+    circuit = design.circuit
+    flows = usb_flows(design)
+    interleaved = interleave_flows(list(flows.values()))
+    messages = usb_messages(design)
+
+    sigset = sigset_select(circuit, BUFFER_WIDTH)
+    prnet = prnet_select(circuit, BUFFER_WIDTH)
+    ours = MessageSelector(interleaved, BUFFER_WIDTH).select(
+        method="exhaustive", packing=False
+    )
+    our_groups = set()
+    for message in ours.combination:
+        our_groups.update(MESSAGE_COMPOSITION[message.name])
+
+    verdicts: Dict[str, Tuple[str, str, str]] = {}
+    modules: Dict[str, str] = {}
+    for name in TABLE4_SIGNAL_NAMES:
+        group = design.groups[name]
+        verdicts[name] = (
+            classify_group_selection(sigset, group),
+            classify_group_selection(prnet, group),
+            "full" if name in our_groups else "none",
+        )
+        modules[name] = group.module
+
+    coverage = {
+        "sigset": flow_specification_coverage(
+            interleaved, observable_messages(design, sigset)
+        ),
+        "prnet": flow_specification_coverage(
+            interleaved, observable_messages(design, prnet)
+        ),
+        "infogain": ours.coverage,
+    }
+    return Table4Result(
+        verdicts=verdicts,
+        modules=modules,
+        coverage=coverage,
+        infogain_messages=tuple(sorted(m.name for m in ours.combination)),
+    )
+
+
+_MARK = {"full": "Y", "partial": "P", "none": "X"}
+
+
+def format_table4() -> str:
+    result = table4()
+    headers = ["Signal Name", "USB Module", "SigSeT", "PRNet", "InfoGain"]
+    body = [
+        [name, result.modules[name]] + [_MARK[v] for v in verdict]
+        for name, verdict in result.verdicts.items()
+    ]
+    table = render_table(
+        headers, body, title="Table 4: USB signal selection comparison"
+    )
+    coverage = (
+        f"\nFSP coverage -- SigSeT: {percent(result.coverage['sigset'])}, "
+        f"PRNet: {percent(result.coverage['prnet'])}, "
+        f"InfoGain: {percent(result.coverage['infogain'])}"
+    )
+    return table + coverage

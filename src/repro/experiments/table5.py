@@ -1,0 +1,45 @@
+"""Table 5: bug coverage, message importance, and selection verdicts."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.debug.bugs import bug
+from repro.debug.casestudies import TABLE5_BUG_IDS
+from repro.debug.metrics import BugCoverageRow, bug_coverage_rows
+from repro.experiments.common import render_table, scenario_selections
+from repro.soc.t2.messages import TABLE5_ALIASES
+
+
+def table5(instances: int = 1, seed: int = 42) -> Tuple[BugCoverageRow, ...]:
+    """Compute Table 5 over the 16-message catalog and 14 bugs."""
+    bundles = scenario_selections(instances)
+    scenarios = {n: b.scenario for n, b in bundles.items()}
+    traced = {n: b.with_packing.traced for n, b in bundles.items()}
+    bugs = [bug(i) for i in TABLE5_BUG_IDS]
+    return bug_coverage_rows(scenarios, traced, bugs, seed=seed)
+
+
+def format_table5(instances: int = 1) -> str:
+    rows = table5(instances)
+    alias_of = {name: alias for alias, name in TABLE5_ALIASES}
+    headers = [
+        "Message", "Affecting Bug IDs", "Bug coverage",
+        "Message importance", "Selected Y/N", "Usage scenario",
+    ]
+    body = []
+    ordered = sorted(rows, key=lambda r: int(alias_of[r.message][1:]))
+    for row in ordered:
+        body.append(
+            [
+                f"{alias_of[row.message]} ({row.message})",
+                ", ".join(str(i) for i in row.affecting_bugs) or "-",
+                f"{row.coverage:.2f}" if row.affecting_bugs else "-",
+                f"{row.importance:.2f}" if row.importance else "-",
+                "Y" if row.selected else "N",
+                ", ".join(str(s) for s in row.selected_in) or "-",
+            ]
+        )
+    return render_table(
+        headers, body, title="Table 5: message bug coverage and importance"
+    )

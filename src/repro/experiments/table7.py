@@ -1,0 +1,40 @@
+"""Table 7: selected messages and potential root causes for the
+Scenario-1 debugging case study (Section 5.7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.debug.rootcause import RootCause, root_cause_catalog
+from repro.experiments.common import render_table, scenario_selection
+
+
+@dataclass(frozen=True)
+class Table7Result:
+    selected_messages: Tuple[str, ...]
+    causes: Tuple[RootCause, ...]
+
+
+def table7(instances: int = 1) -> Table7Result:
+    bundle = scenario_selection(1, instances)
+    selected = tuple(sorted(m.name for m in bundle.with_packing.traced))
+    return Table7Result(
+        selected_messages=selected,
+        causes=root_cause_catalog(1),
+    )
+
+
+def format_table7(instances: int = 1) -> str:
+    result = table7(instances)
+    headers = ["#", "Potential Cause", "Potential implication", "IP"]
+    body = [
+        [c.cause_id, c.description, c.implication, c.ip]
+        for c in result.causes
+    ]
+    table = render_table(
+        headers, body,
+        title="Table 7: potential root causes (Scenario 1 case study)",
+    )
+    selected = "Selected messages: " + ", ".join(result.selected_messages)
+    return selected + "\n" + table

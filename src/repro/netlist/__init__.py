@@ -1,0 +1,37 @@
+"""Gate-level netlist substrate for the signal-selection baselines.
+
+The SRR-based (SigSeT) and PageRank-based (PRNet) comparators of the
+paper operate on gate-level designs, not flows.  This package provides
+everything they need, built from scratch:
+
+* :mod:`repro.netlist.signals` -- three-valued (0/1/X) logic,
+* :mod:`repro.netlist.gates` -- combinational gate primitives,
+* :mod:`repro.netlist.circuit` -- flip-flops + gates + validation,
+* :mod:`repro.netlist.simulator` -- cycle-accurate two- and
+  three-valued simulation,
+* :mod:`repro.netlist.restoration` -- forward/backward X-propagation
+  state restoration and the State Restoration Ratio (SRR),
+* :mod:`repro.netlist.generators` -- synthetic building blocks
+  (counters, shift registers, one-hot FSMs) used by tests and by the
+  USB controller model.
+"""
+
+from repro.netlist.signals import ZERO, ONE, UNKNOWN
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.circuit import Circuit, CircuitBuilder, FlipFlop
+from repro.netlist.simulator import Simulator
+from repro.netlist.restoration import RestorationEngine, state_restoration_ratio
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "UNKNOWN",
+    "Gate",
+    "GateKind",
+    "Circuit",
+    "CircuitBuilder",
+    "FlipFlop",
+    "Simulator",
+    "RestorationEngine",
+    "state_restoration_ratio",
+]

@@ -1,0 +1,302 @@
+"""Sequential circuits: primary inputs, flip-flops, combinational gates.
+
+A :class:`Circuit` is a synchronous netlist.  Every signal is named;
+each name is driven by exactly one of: a primary input, a flip-flop
+output, a constant, or a gate output.  Combinational logic must be
+acyclic (levelized at construction).
+
+Circuits also carry a *module map* (signal name -> module name), which
+the USB comparison experiment uses to report selections per design
+block as in Table 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.signals import ONE, ZERO
+
+
+@dataclass(frozen=True)
+class FlipFlop:
+    """A D flip-flop: ``output`` samples ``data`` at every clock edge."""
+
+    output: str
+    data: str
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.init not in (ZERO, ONE):
+            raise NetlistError(
+                f"flip-flop {self.output!r} init must be 0 or 1, "
+                f"got {self.init!r}"
+            )
+
+
+class Circuit:
+    """A validated synchronous gate-level netlist.
+
+    Use :class:`CircuitBuilder` to construct circuits incrementally; the
+    constructor validates single-driver discipline, reference integrity,
+    and combinational acyclicity, and precomputes a gate levelization
+    plus fan-in/fan-out maps.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str],
+        flops: Iterable[FlipFlop],
+        gates: Iterable[Gate],
+        constants: Optional[Mapping[str, int]] = None,
+        modules: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+        self.flops: Tuple[FlipFlop, ...] = tuple(flops)
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        self.constants: Dict[str, int] = dict(constants or {})
+        self.modules: Dict[str, str] = dict(modules or {})
+        self._validate()
+        self._levelized: Tuple[Gate, ...] = self._levelize()
+        self._fanin, self._fanout = self._connectivity()
+
+    # ------------------------------------------------------------------
+    @property
+    def flop_names(self) -> Tuple[str, ...]:
+        return tuple(f.output for f in self.flops)
+
+    @property
+    def signals(self) -> FrozenSet[str]:
+        """Every named signal of the circuit."""
+        names: Set[str] = set(self.inputs)
+        names.update(self.constants)
+        names.update(f.output for f in self.flops)
+        names.update(g.output for g in self.gates)
+        return frozenset(names)
+
+    @property
+    def num_flops(self) -> int:
+        return len(self.flops)
+
+    def flop(self, name: str) -> FlipFlop:
+        for f in self.flops:
+            if f.output == name:
+                return f
+        raise KeyError(f"circuit {self.name!r} has no flip-flop {name!r}")
+
+    def module_of(self, signal: str) -> str:
+        """Module owning *signal* (``"top"`` when unmapped)."""
+        return self.modules.get(signal, "top")
+
+    def levelized_gates(self) -> Tuple[Gate, ...]:
+        """Gates in dependency order (inputs before consumers)."""
+        return self._levelized
+
+    def fanin(self, signal: str) -> FrozenSet[str]:
+        """Immediate combinational fan-in of *signal*."""
+        return self._fanin.get(signal, frozenset())
+
+    def fanout(self, signal: str) -> FrozenSet[str]:
+        """Immediate combinational fan-out of *signal*."""
+        return self._fanout.get(signal, frozenset())
+
+    def flop_dependency_graph(self) -> Dict[str, FrozenSet[str]]:
+        """Sequential dependencies: FF -> the FFs/inputs in the
+        transitive combinational fan-in of its data signal.
+
+        This is the graph PRNet runs PageRank on.
+        """
+        sources = set(self.inputs) | set(self.flop_names) | set(self.constants)
+        memo: Dict[str, FrozenSet[str]] = {}
+
+        def cone(signal: str) -> FrozenSet[str]:
+            if signal in sources:
+                return frozenset([signal])
+            cached = memo.get(signal)
+            if cached is not None:
+                return cached
+            memo[signal] = frozenset()  # cycle guard (cannot happen: DAG)
+            collected: Set[str] = set()
+            for upstream in self._fanin.get(signal, frozenset()):
+                collected |= cone(upstream)
+            result = frozenset(collected)
+            memo[signal] = result
+            return result
+
+        return {f.output: cone(f.data) for f in self.flops}
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        drivers: Dict[str, str] = {}
+        for name in self.inputs:
+            self._claim(drivers, name, "primary input")
+        for name in self.constants:
+            self._claim(drivers, name, "constant")
+            if self.constants[name] not in (ZERO, ONE):
+                raise NetlistError(f"constant {name!r} must be 0 or 1")
+        for flop in self.flops:
+            self._claim(drivers, flop.output, "flip-flop")
+        for gate in self.gates:
+            self._claim(drivers, gate.output, "gate")
+        known = set(drivers)
+        for gate in self.gates:
+            for signal in gate.inputs:
+                if signal not in known:
+                    raise NetlistError(
+                        f"gate {gate.output!r} reads undriven signal "
+                        f"{signal!r}"
+                    )
+        for flop in self.flops:
+            if flop.data not in known:
+                raise NetlistError(
+                    f"flip-flop {flop.output!r} samples undriven signal "
+                    f"{flop.data!r}"
+                )
+        for signal in self.modules:
+            if signal not in known:
+                raise NetlistError(
+                    f"module map references unknown signal {signal!r}"
+                )
+
+    @staticmethod
+    def _claim(drivers: Dict[str, str], name: str, kind: str) -> None:
+        if not name:
+            raise NetlistError("signal names must be non-empty")
+        if name in drivers:
+            raise NetlistError(
+                f"signal {name!r} driven twice ({drivers[name]} and {kind})"
+            )
+        drivers[name] = kind
+
+    def _levelize(self) -> Tuple[Gate, ...]:
+        """Topologically sort gates; raise on combinational cycles."""
+        ready: Set[str] = set(self.inputs) | set(self.constants)
+        ready.update(f.output for f in self.flops)
+        pending = list(self.gates)
+        ordered: List[Gate] = []
+        while pending:
+            progressed = False
+            still: List[Gate] = []
+            for gate in pending:
+                if all(s in ready for s in gate.inputs):
+                    ordered.append(gate)
+                    ready.add(gate.output)
+                    progressed = True
+                else:
+                    still.append(gate)
+            if not progressed:
+                cyclic = ", ".join(sorted(g.output for g in still)[:5])
+                raise NetlistError(
+                    f"combinational cycle in circuit {self.name!r} "
+                    f"involving: {cyclic}"
+                )
+            pending = still
+        return tuple(ordered)
+
+    def _connectivity(
+        self,
+    ) -> Tuple[Dict[str, FrozenSet[str]], Dict[str, FrozenSet[str]]]:
+        fanin: Dict[str, Set[str]] = {}
+        fanout: Dict[str, Set[str]] = {}
+        for gate in self.gates:
+            fanin.setdefault(gate.output, set()).update(gate.inputs)
+            for signal in gate.inputs:
+                fanout.setdefault(signal, set()).add(gate.output)
+        for flop in self.flops:
+            fanout.setdefault(flop.data, set()).add(flop.output)
+        return (
+            {k: frozenset(v) for k, v in fanin.items()},
+            {k: frozenset(v) for k, v in fanout.items()},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"flops={len(self.flops)}, gates={len(self.gates)})"
+        )
+
+
+class CircuitBuilder:
+    """Incremental, module-aware construction of :class:`Circuit`.
+
+    The builder tracks a *current module* label; every signal declared
+    while a module is active is attributed to it, which the USB model
+    uses to mirror the per-module layout of Table 4.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inputs: List[str] = []
+        self._flops: List[FlipFlop] = []
+        self._gates: List[Gate] = []
+        self._constants: Dict[str, int] = {}
+        self._modules: Dict[str, str] = {}
+        self._current_module: Optional[str] = None
+
+    # -- module scoping -------------------------------------------------
+    def module(self, name: str) -> "CircuitBuilder":
+        """Set the module label for subsequently declared signals."""
+        self._current_module = name
+        return self
+
+    def _attribute(self, signal: str) -> None:
+        if self._current_module is not None:
+            self._modules[signal] = self._current_module
+
+    # -- declarations ----------------------------------------------------
+    def input(self, name: str) -> str:
+        self._inputs.append(name)
+        self._attribute(name)
+        return name
+
+    def inputs(self, *names: str) -> List[str]:
+        return [self.input(n) for n in names]
+
+    def constant(self, name: str, value: int) -> str:
+        self._constants[name] = value
+        self._attribute(name)
+        return name
+
+    def flop(self, name: str, data: str, init: int = 0) -> str:
+        self._flops.append(FlipFlop(output=name, data=data, init=init))
+        self._attribute(name)
+        return name
+
+    def gate(self, kind: GateKind, output: str, *inputs: str) -> str:
+        self._gates.append(Gate(kind=kind, inputs=tuple(inputs), output=output))
+        self._attribute(output)
+        return output
+
+    # convenience wrappers
+    def and_(self, output: str, *inputs: str) -> str:
+        return self.gate(GateKind.AND, output, *inputs)
+
+    def or_(self, output: str, *inputs: str) -> str:
+        return self.gate(GateKind.OR, output, *inputs)
+
+    def not_(self, output: str, value: str) -> str:
+        return self.gate(GateKind.NOT, output, value)
+
+    def xor_(self, output: str, *inputs: str) -> str:
+        return self.gate(GateKind.XOR, output, *inputs)
+
+    def buf(self, output: str, value: str) -> str:
+        return self.gate(GateKind.BUF, output, value)
+
+    def mux(self, output: str, select: str, if_zero: str, if_one: str) -> str:
+        return self.gate(GateKind.MUX, output, select, if_zero, if_one)
+
+    def build(self) -> Circuit:
+        """Validate and freeze the netlist."""
+        return Circuit(
+            name=self.name,
+            inputs=self._inputs,
+            flops=self._flops,
+            gates=self._gates,
+            constants=self._constants,
+            modules=self._modules,
+        )

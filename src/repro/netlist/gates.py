@@ -1,0 +1,180 @@
+"""Combinational gate primitives with ternary evaluation and
+backward-justification rules used by state restoration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.signals import (
+    ONE,
+    ZERO,
+    Value,
+    and3,
+    is_known,
+    mux3,
+    not3,
+    or3,
+    xor3,
+)
+
+
+class GateKind(str, Enum):
+    """Supported combinational gate types."""
+
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    BUF = "buf"
+    MUX = "mux"  # inputs: (select, if_zero, if_one)
+
+
+_MIN_INPUTS = {
+    GateKind.AND: 2,
+    GateKind.OR: 2,
+    GateKind.XOR: 2,
+    GateKind.NAND: 2,
+    GateKind.NOR: 2,
+    GateKind.XNOR: 2,
+    GateKind.NOT: 1,
+    GateKind.BUF: 1,
+    GateKind.MUX: 3,
+}
+_MAX_INPUTS = {GateKind.NOT: 1, GateKind.BUF: 1, GateKind.MUX: 3}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate: ``output = kind(inputs)``."""
+
+    kind: GateKind
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        minimum = _MIN_INPUTS[self.kind]
+        maximum = _MAX_INPUTS.get(self.kind)
+        if len(self.inputs) < minimum:
+            raise NetlistError(
+                f"{self.kind.value} gate driving {self.output!r} needs at "
+                f"least {minimum} inputs, got {len(self.inputs)}"
+            )
+        if maximum is not None and len(self.inputs) > maximum:
+            raise NetlistError(
+                f"{self.kind.value} gate driving {self.output!r} takes at "
+                f"most {maximum} inputs, got {len(self.inputs)}"
+            )
+        if self.output in self.inputs:
+            raise NetlistError(
+                f"gate output {self.output!r} feeds back into its own inputs"
+            )
+
+    def evaluate(self, values: Sequence[Value]) -> Value:
+        """Ternary evaluation of the gate on input *values*."""
+        kind = self.kind
+        if kind is GateKind.AND:
+            return and3(values)
+        if kind is GateKind.OR:
+            return or3(values)
+        if kind is GateKind.XOR:
+            return xor3(values)
+        if kind is GateKind.NAND:
+            return not3(and3(values))
+        if kind is GateKind.NOR:
+            return not3(or3(values))
+        if kind is GateKind.XNOR:
+            return not3(xor3(values))
+        if kind is GateKind.NOT:
+            return not3(values[0])
+        if kind is GateKind.BUF:
+            return values[0]
+        if kind is GateKind.MUX:
+            return mux3(values[0], values[1], values[2])
+        raise NetlistError(f"unknown gate kind {kind!r}")  # pragma: no cover
+
+    def justify(
+        self, output_value: Value, input_values: Sequence[Value]
+    ) -> List[Value]:
+        """Backward justification: infer unknown inputs from a known output.
+
+        Returns a (possibly refined) copy of *input_values*.  Only
+        sound, forced inferences are made -- the classic restoration
+        rules, e.g.:
+
+        * ``AND = 1``  => every input is 1,
+        * ``AND = 0`` with all inputs but one known-1 => that one is 0,
+        * ``NOT``/``BUF`` invert/copy the known output,
+        * ``XOR`` with a single unknown input => solve for parity.
+        """
+        refined = list(input_values)
+        if not is_known(output_value):
+            return refined
+        kind = self.kind
+        if kind in (GateKind.NOT, GateKind.BUF):
+            value = (
+                not3(output_value) if kind is GateKind.NOT else output_value
+            )
+            refined[0] = value
+            return refined
+        if kind in (GateKind.AND, GateKind.NAND):
+            effective = (
+                output_value if kind is GateKind.AND else not3(output_value)
+            )
+            if effective == ONE:
+                return [ONE] * len(refined)
+            # effective 0: forced only if exactly one input is not known-1
+            unknown_positions = [
+                i for i, v in enumerate(refined) if v != ONE
+            ]
+            if len(unknown_positions) == 1:
+                refined[unknown_positions[0]] = ZERO
+            return refined
+        if kind in (GateKind.OR, GateKind.NOR):
+            effective = (
+                output_value if kind is GateKind.OR else not3(output_value)
+            )
+            if effective == ZERO:
+                return [ZERO] * len(refined)
+            unknown_positions = [
+                i for i, v in enumerate(refined) if v != ZERO
+            ]
+            if len(unknown_positions) == 1:
+                refined[unknown_positions[0]] = ONE
+            return refined
+        if kind in (GateKind.XOR, GateKind.XNOR):
+            effective = (
+                output_value if kind is GateKind.XOR else not3(output_value)
+            )
+            unknown_positions = [
+                i for i, v in enumerate(refined) if not is_known(v)
+            ]
+            if len(unknown_positions) == 1:
+                parity = 0
+                for i, v in enumerate(refined):
+                    if i != unknown_positions[0]:
+                        parity ^= int(v)
+                refined[unknown_positions[0]] = int(effective) ^ parity
+            return refined
+        if kind is GateKind.MUX:
+            select, if_zero, if_one = refined
+            if select == ZERO:
+                refined[1] = output_value
+            elif select == ONE:
+                refined[2] = output_value
+            else:
+                # select unknown: if one branch is known and contradicts
+                # the output, the select is forced to the other branch
+                if is_known(if_zero) and if_zero != output_value:
+                    refined[0] = ONE
+                    refined[2] = output_value
+                elif is_known(if_one) and if_one != output_value:
+                    refined[0] = ZERO
+                    refined[1] = output_value
+            return refined
+        raise NetlistError(f"unknown gate kind {kind!r}")  # pragma: no cover

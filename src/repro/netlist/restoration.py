@@ -1,0 +1,209 @@
+"""State restoration and the State Restoration Ratio (SRR).
+
+Given a golden execution and the values of a small set of *traced*
+flip-flops, restoration recovers the values of untraced flip-flops by
+propagating knowns **forward** (ternary gate evaluation, FF data at
+cycle *t* fixes FF output at *t+1*) and **backward** (gate
+justification, FF output at *t+1* fixes FF data at *t*) until a
+fixpoint across all timeframes.
+
+``SRR = restored state values / traced state values`` -- the metric the
+SRR family of selection algorithms (SigSeT et al.) maximizes.  The
+paper's point is that a high SRR does **not** imply the traced signals
+matter for application-level debug; this engine exists so the
+comparison of Section 5.4 can be reproduced end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import Circuit
+from repro.netlist.signals import UNKNOWN, Value, is_known
+from repro.netlist.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class RestorationReport:
+    """Outcome of one restoration run.
+
+    Attributes
+    ----------
+    restored_values:
+        Known flip-flop values per cycle (including the traced ones).
+    traced_count:
+        Total traced values over all cycles (the SRR denominator).
+    restored_count:
+        Total known flip-flop values over all cycles (the numerator).
+    """
+
+    restored_values: Tuple[Dict[str, Value], ...]
+    traced_count: int
+    restored_count: int
+
+    @property
+    def srr(self) -> float:
+        """State Restoration Ratio (>= 1.0 whenever anything is traced)."""
+        if self.traced_count == 0:
+            return 0.0
+        return self.restored_count / self.traced_count
+
+    def restoration_fraction(self, circuit: Circuit) -> float:
+        """Fraction of *all* flip-flop values that became known."""
+        total = circuit.num_flops * len(self.restored_values)
+        if total == 0:
+            return 0.0
+        return self.restored_count / total
+
+
+class RestorationEngine:
+    """Forward/backward X-propagation restoration over timeframes."""
+
+    def __init__(self, circuit: Circuit, check_golden: bool = False) -> None:
+        self.circuit = circuit
+        self.simulator = Simulator(circuit)
+        self.check_golden = check_golden
+
+    def restore(
+        self,
+        golden: Sequence[Mapping[str, Value]],
+        traced: Iterable[str],
+        inputs_known: bool = False,
+    ) -> RestorationReport:
+        """Restore flip-flop values from a golden run and traced FFs.
+
+        Parameters
+        ----------
+        golden:
+            Per-cycle full value maps from a binary simulation (the
+            silicon's actual behaviour; only traced slices of it are
+            observable).
+        traced:
+            Names of traced flip-flops (their value is known every
+            cycle).
+        inputs_known:
+            Whether primary input values are also observable (off-chip
+            stimulus replay).  The paper's setting is ``False``.
+        """
+        traced_set = set(traced)
+        unknown_flops = set(self.circuit.flop_names) - traced_set
+        if traced_set - set(self.circuit.flop_names):
+            missing = traced_set - set(self.circuit.flop_names)
+            raise SimulationError(
+                f"traced signals are not flip-flops: {sorted(missing)}"
+            )
+        cycles = len(golden)
+        values: List[Dict[str, Value]] = []
+        for t in range(cycles):
+            frame: Dict[str, Value] = {}
+            for name in self.circuit.inputs:
+                frame[name] = golden[t][name] if inputs_known else UNKNOWN
+            for name, constant in self.circuit.constants.items():
+                frame[name] = constant
+            for name in self.circuit.flop_names:
+                frame[name] = golden[t][name] if name in traced_set else UNKNOWN
+            for gate in self.circuit.gates:
+                frame.setdefault(gate.output, UNKNOWN)
+            values.append(frame)
+
+        self._fixpoint(values)
+
+        if self.check_golden:
+            self._check(values, golden)
+
+        restored = tuple(
+            {name: values[t][name] for name in self.circuit.flop_names}
+            for t in range(cycles)
+        )
+        restored_count = sum(
+            1
+            for frame in restored
+            for v in frame.values()
+            if is_known(v)
+        )
+        return RestorationReport(
+            restored_values=restored,
+            traced_count=len(traced_set) * cycles,
+            restored_count=restored_count,
+        )
+
+    # ------------------------------------------------------------------
+    def _fixpoint(self, values: List[Dict[str, Value]]) -> None:
+        gates = self.circuit.levelized_gates()
+        flops = self.circuit.flops
+        cycles = len(values)
+        changed = True
+        while changed:
+            changed = False
+            # forward sweep: combinational evaluation + FF time-shift
+            for t in range(cycles):
+                frame = values[t]
+                for gate in gates:
+                    current = frame[gate.output]
+                    if is_known(current):
+                        continue
+                    result = gate.evaluate([frame[s] for s in gate.inputs])
+                    if is_known(result):
+                        frame[gate.output] = result
+                        changed = True
+                if t + 1 < cycles:
+                    nxt = values[t + 1]
+                    for flop in flops:
+                        if is_known(frame[flop.data]) and not is_known(
+                            nxt[flop.output]
+                        ):
+                            nxt[flop.output] = frame[flop.data]
+                            changed = True
+            # backward sweep: justification + FF time-shift
+            for t in range(cycles - 1, -1, -1):
+                frame = values[t]
+                if t + 1 < cycles:
+                    nxt = values[t + 1]
+                    for flop in flops:
+                        if is_known(nxt[flop.output]) and not is_known(
+                            frame[flop.data]
+                        ):
+                            frame[flop.data] = nxt[flop.output]
+                            changed = True
+                for gate in reversed(gates):
+                    output_value = frame[gate.output]
+                    if not is_known(output_value):
+                        continue
+                    inputs = [frame[s] for s in gate.inputs]
+                    refined = gate.justify(output_value, inputs)
+                    for signal, old, new in zip(gate.inputs, inputs, refined):
+                        if not is_known(old) and is_known(new):
+                            frame[signal] = new
+                            changed = True
+
+    def _check(
+        self,
+        values: Sequence[Mapping[str, Value]],
+        golden: Sequence[Mapping[str, Value]],
+    ) -> None:
+        """Every restored value must agree with the golden run."""
+        for t, frame in enumerate(values):
+            for name, value in frame.items():
+                if is_known(value) and name in golden[t]:
+                    if golden[t][name] != value:
+                        raise SimulationError(
+                            f"restoration inferred {name}={value} at cycle "
+                            f"{t}, golden value is {golden[t][name]}"
+                        )
+
+
+def state_restoration_ratio(
+    circuit: Circuit,
+    traced: Iterable[str],
+    cycles: int = 64,
+    seed: int = 0,
+    inputs_known: bool = False,
+) -> float:
+    """SRR of tracing *traced* on *circuit* under random stimulus."""
+    simulator = Simulator(circuit)
+    golden = simulator.run_random(cycles, seed=seed)
+    engine = RestorationEngine(circuit)
+    report = engine.restore(golden, traced, inputs_known=inputs_known)
+    return report.srr

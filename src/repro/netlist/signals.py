@@ -1,0 +1,106 @@
+"""Three-valued (0 / 1 / X) logic for simulation and state restoration.
+
+Values are plain ints ``0`` and ``1`` plus the sentinel :data:`UNKNOWN`
+(rendered ``"x"``).  X-propagation follows standard ternary semantics:
+a controlling value decides the output even when other inputs are
+unknown (``AND(0, x) = 0``, ``OR(1, x) = 1``), which is exactly what
+state-restoration engines exploit to recover untraced flip-flops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+ZERO = 0
+ONE = 1
+#: The unknown value "X" of ternary simulation.
+UNKNOWN = "x"
+
+Value = Union[int, str]
+
+VALID_VALUES = (ZERO, ONE, UNKNOWN)
+
+
+def validate_value(value: Value) -> Value:
+    """Return *value* if it is a legal ternary value, else raise."""
+    if value not in VALID_VALUES:
+        raise ValueError(f"not a ternary logic value: {value!r}")
+    return value
+
+
+def is_known(value: Value) -> bool:
+    """Whether *value* is a definite 0 or 1."""
+    return value == ZERO or value == ONE
+
+
+def not3(value: Value) -> Value:
+    """Ternary NOT."""
+    if value == ZERO:
+        return ONE
+    if value == ONE:
+        return ZERO
+    return UNKNOWN
+
+
+def and3(values: Iterable[Value]) -> Value:
+    """Ternary AND: any 0 dominates, else X poisons, else 1."""
+    saw_unknown = False
+    for v in values:
+        if v == ZERO:
+            return ZERO
+        if v == UNKNOWN:
+            saw_unknown = True
+    return UNKNOWN if saw_unknown else ONE
+
+
+def or3(values: Iterable[Value]) -> Value:
+    """Ternary OR: any 1 dominates, else X poisons, else 0."""
+    saw_unknown = False
+    for v in values:
+        if v == ONE:
+            return ONE
+        if v == UNKNOWN:
+            saw_unknown = True
+    return UNKNOWN if saw_unknown else ZERO
+
+
+def xor3(values: Iterable[Value]) -> Value:
+    """Ternary XOR: any X poisons; otherwise parity."""
+    parity = 0
+    for v in values:
+        if v == UNKNOWN:
+            return UNKNOWN
+        parity ^= v  # type: ignore[operator]
+    return parity
+
+
+def mux3(select: Value, if_zero: Value, if_one: Value) -> Value:
+    """Ternary 2:1 MUX.
+
+    An unknown select still yields a known output when both data inputs
+    agree (standard optimistic X semantics).
+    """
+    if select == ZERO:
+        return if_zero
+    if select == ONE:
+        return if_one
+    if if_zero == if_one and is_known(if_zero):
+        return if_zero
+    return UNKNOWN
+
+
+def to_bits(value: int, width: int) -> Sequence[int]:
+    """Little-endian bit decomposition of *value* into *width* bits."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: Sequence[Value]) -> Union[int, str]:
+    """Recompose little-endian *bits*; ``UNKNOWN`` if any bit is X."""
+    total = 0
+    for i, bit in enumerate(bits):
+        if not is_known(bit):
+            return UNKNOWN
+        total |= int(bit) << i
+    return total

@@ -1,0 +1,96 @@
+"""Step 1 of the selection method: width-feasible message combinations.
+
+From the set of all messages of the participating flows of a usage
+scenario, enumerate every message combination (Definition 6) whose
+total bit width fits within the available trace buffer width.  For the
+running example of the paper (3 one-bit messages, 2-bit buffer) this
+yields six of the seven non-empty subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.message import Message, MessageCombination
+from repro.errors import SelectionError
+
+#: Enumerating all subsets of more messages than this is refused --
+#: use the knapsack selector instead (see DESIGN.md, "Additivity").
+MAX_EXHAUSTIVE_MESSAGES = 22
+
+
+def feasible_combinations(
+    messages: Iterable[Message],
+    buffer_width: int,
+    include_empty: bool = False,
+) -> Iterator[MessageCombination]:
+    """Lazily enumerate combinations with ``W(M) <= buffer_width``.
+
+    The enumeration is depth-first over a sorted message list and prunes
+    on width, so it never materializes infeasible subsets.
+
+    Parameters
+    ----------
+    messages:
+        The candidate message pool (duplicates are collapsed).
+    buffer_width:
+        Available trace buffer width in bits; must be positive.
+    include_empty:
+        Whether to yield the empty combination (excluded by default --
+        it is never a useful tracing candidate).
+
+    Raises
+    ------
+    SelectionError
+        If *buffer_width* is not positive, or the pool is too large for
+        exhaustive enumeration (:data:`MAX_EXHAUSTIVE_MESSAGES`).
+    """
+    if buffer_width <= 0:
+        raise SelectionError(
+            f"trace buffer width must be positive, got {buffer_width}"
+        )
+    pool: List[Message] = sorted(set(messages))
+    if len(pool) > MAX_EXHAUSTIVE_MESSAGES:
+        raise SelectionError(
+            f"{len(pool)} messages is too many for exhaustive subset "
+            f"enumeration (limit {MAX_EXHAUSTIVE_MESSAGES}); use the "
+            "knapsack selector"
+        )
+    if include_empty:
+        yield MessageCombination()
+
+    def extend(
+        start: int, chosen: Tuple[Message, ...], used: int
+    ) -> Iterator[MessageCombination]:
+        for position in range(start, len(pool)):
+            candidate = pool[position]
+            width = used + candidate.width
+            if width > buffer_width:
+                continue
+            combo = chosen + (candidate,)
+            yield MessageCombination(combo)
+            yield from extend(position + 1, combo, width)
+
+    yield from extend(0, (), 0)
+
+
+def count_feasible_combinations(
+    messages: Iterable[Message], buffer_width: int
+) -> int:
+    """Number of non-empty feasible combinations (for reporting)."""
+    return sum(1 for _ in feasible_combinations(messages, buffer_width))
+
+
+def widest_feasible(
+    messages: Sequence[Message], buffer_width: int
+) -> MessageCombination:
+    """The feasible combination with the largest total width.
+
+    Used by utilization reporting; ties break lexicographically on
+    message names for determinism.
+    """
+    best: MessageCombination = MessageCombination()
+    for combo in feasible_combinations(messages, buffer_width):
+        if (combo.total_width, combo.names()) > (best.total_width, best.names()):
+            best = combo
+    return best

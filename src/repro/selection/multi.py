@@ -1,0 +1,138 @@
+"""Joint message selection across multiple usage scenarios.
+
+The paper selects per usage scenario; silicon ships with *one* trace
+buffer configuration at a time, and reconfiguring between scenarios is
+not always possible (e.g. a long soak test cycles through scenarios).
+Joint selection picks a single traced set maximizing the *summed*
+information gain across scenarios -- still an exact knapsack, because
+each scenario's gain is additive per message and sums of additive
+functions stay additive.
+
+Table 5's "usage scenario" column is the per-scenario view of the same
+idea: messages like ``siincu`` that serve several scenarios are
+exactly the ones joint selection favors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.coverage import flow_specification_coverage
+from repro.core.information import InformationModel
+from repro.core.interleave import InterleavedFlow
+from repro.core.message import Message, MessageCombination
+from repro.errors import SelectionError
+
+
+@dataclass(frozen=True)
+class JointSelectionResult:
+    """A single traced set evaluated against every scenario.
+
+    Attributes
+    ----------
+    combination:
+        The jointly selected messages.
+    total_gain:
+        Sum of per-scenario information gains.
+    per_scenario_gain / per_scenario_coverage:
+        The selection's quality in each individual scenario.
+    """
+
+    combination: MessageCombination
+    buffer_width: int
+    total_gain: float
+    per_scenario_gain: Mapping[str, float]
+    per_scenario_coverage: Mapping[str, float]
+
+    @property
+    def utilization(self) -> float:
+        return self.combination.total_width / self.buffer_width
+
+    @property
+    def min_coverage(self) -> float:
+        """The worst scenario's coverage (robustness measure)."""
+        return min(self.per_scenario_coverage.values())
+
+
+def select_jointly(
+    interleavings: Mapping[str, InterleavedFlow],
+    buffer_width: int,
+    weights: Optional[Mapping[str, float]] = None,
+) -> JointSelectionResult:
+    """One traced set for all *interleavings* (scenario name -> flow).
+
+    Parameters
+    ----------
+    interleavings:
+        The scenarios' interleaved flows.
+    buffer_width:
+        Trace buffer width in bits.
+    weights:
+        Optional per-scenario weight (e.g. expected validation time
+        share); defaults to 1 each.
+
+    Raises
+    ------
+    SelectionError
+        On an empty scenario set, or when no message fits the buffer.
+    """
+    if not interleavings:
+        raise SelectionError("joint selection needs at least one scenario")
+    if buffer_width <= 0:
+        raise SelectionError(
+            f"trace buffer width must be positive, got {buffer_width}"
+        )
+    weight_of = {
+        name: (weights or {}).get(name, 1.0) for name in interleavings
+    }
+    models = {
+        name: InformationModel(u) for name, u in interleavings.items()
+    }
+    # the union message pool with summed weighted contributions
+    values: Dict[Message, float] = {}
+    for name, model in models.items():
+        for message in interleavings[name].messages:
+            if message.width > buffer_width:
+                continue
+            values[message] = values.get(message, 0.0) + (
+                weight_of[name] * model.message_contribution(message)
+            )
+    if not values:
+        raise SelectionError(
+            f"no message fits the trace buffer ({buffer_width} bits)"
+        )
+
+    # exact 0/1 knapsack over the union pool
+    items = sorted(values)
+    empty = (0.0, 0, ())
+    dp: List[Tuple[float, int, Tuple[Message, ...]]] = [empty] * (
+        buffer_width + 1
+    )
+    for item in items:
+        for capacity in range(buffer_width, item.width - 1, -1):
+            gain, used, chosen = dp[capacity - item.width]
+            candidate = (
+                gain + values[item],
+                used + item.width,
+                chosen + (item,),
+            )
+            if candidate[:2] > dp[capacity][:2]:
+                dp[capacity] = candidate
+    total_gain, _, chosen = dp[buffer_width]
+    combination = MessageCombination(chosen)
+
+    per_gain = {
+        name: models[name].gain(combination) for name in interleavings
+    }
+    per_coverage = {
+        name: flow_specification_coverage(u, combination)
+        for name, u in interleavings.items()
+    }
+    return JointSelectionResult(
+        combination=combination,
+        buffer_width=buffer_width,
+        total_gain=total_gain,
+        per_scenario_gain=per_gain,
+        per_scenario_coverage=per_coverage,
+    )

@@ -1,0 +1,152 @@
+"""Step 3 of the selection method: packing the trace buffer.
+
+The combination with the highest information gain may leave trace
+buffer bits unused.  Packing fills the leftover width with *sub-message
+groups* -- narrow slices of messages that are themselves too wide to
+trace (e.g. 6-bit ``cputhreadid`` inside the 20-bit ``dmusiidata`` of
+OpenSPARC T2) -- greedily maximizing the information gain of the union
+until nothing else fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.information import InformationModel
+from repro.core.message import Message, MessageCombination
+from repro.errors import SelectionError
+
+#: Gain policies for a sub-group relative to its parent message.
+#: ``"proportional"`` scales the parent's contribution by the fraction
+#: of parent bits observed; ``"full"`` credits the whole contribution
+#: (observing any slice still timestamps the parent message).
+SUBGROUP_POLICIES = ("proportional", "full")
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Outcome of Step 3.
+
+    Attributes
+    ----------
+    packed:
+        Sub-groups added to the traced set, in packing order.
+    gain:
+        Information gain of the base combination united with the packed
+        groups, under the chosen policy.
+    leftover:
+        Trace buffer bits still unused after packing.
+    """
+
+    packed: Tuple[Message, ...]
+    gain: float
+    leftover: int
+
+
+def subgroup_gain(
+    model: InformationModel,
+    subgroup: Message,
+    parents: Dict[str, Message],
+    policy: str = "proportional",
+) -> float:
+    """Information-gain credit of tracing *subgroup* (see module docs)."""
+    if policy not in SUBGROUP_POLICIES:
+        raise SelectionError(
+            f"unknown subgroup gain policy {policy!r}; "
+            f"choose one of {SUBGROUP_POLICIES}"
+        )
+    if subgroup.parent is None:
+        return model.message_contribution(subgroup)
+    parent = parents.get(subgroup.parent)
+    if parent is None:
+        return 0.0
+    contribution = model.message_contribution(parent)
+    if policy == "proportional":
+        return contribution * subgroup.width / parent.width
+    return contribution
+
+
+def pack_trace_buffer(
+    model: InformationModel,
+    base: MessageCombination,
+    buffer_width: int,
+    subgroups: Iterable[Message],
+    policy: str = "proportional",
+) -> PackingResult:
+    """Greedily pack *subgroups* into the leftover buffer width.
+
+    Parameters
+    ----------
+    model:
+        Information model of the scenario's interleaved flow.
+    base:
+        The combination selected in Step 2; its width must already fit.
+    buffer_width:
+        Total trace buffer width in bits.
+    subgroups:
+        Candidate sub-message groups (messages with a ``parent``).
+        Groups whose parent is already traced, or that do not fit, are
+        skipped.
+    policy:
+        Gain-credit policy, see :data:`SUBGROUP_POLICIES`.
+
+    Returns
+    -------
+    PackingResult
+        Packed groups, the gain of the union, and the remaining bits.
+    """
+    if base.total_width > buffer_width:
+        raise SelectionError(
+            f"base combination ({base.total_width} bits) exceeds the "
+            f"{buffer_width}-bit trace buffer"
+        )
+    parents = {m.name: m for m in model.interleaved.messages}
+    selected_names: Set[str] = {m.name for m in base}
+    leftover = buffer_width - base.total_width
+    packed: List[Message] = []
+    gain = model.gain(base)
+
+    candidates = sorted(set(subgroups))
+    while True:
+        best: Optional[Message] = None
+        best_gain = 0.0
+        for group in candidates:
+            if group.width > leftover:
+                continue
+            if group.name in selected_names:
+                continue
+            if group.parent is not None and group.parent in selected_names:
+                continue  # parent already fully traced: the slice is free
+            credit = subgroup_gain(model, group, parents, policy)
+            key = (credit, group.width, group.name)
+            if best is None or key > (best_gain, best.width, best.name):
+                best, best_gain = group, credit
+        if best is None:
+            break
+        packed.append(best)
+        selected_names.add(best.name)
+        leftover -= best.width
+        gain += best_gain
+        candidates.remove(best)
+
+    return PackingResult(packed=tuple(packed), gain=gain, leftover=leftover)
+
+
+def expand_subgroups(
+    messages: Iterable[Message], flow_messages: Iterable[Message]
+) -> MessageCombination:
+    """Map every sub-group of *messages* to its parent flow message.
+
+    Visibility-wise, tracing a slice of a message makes the enclosing
+    message's transitions observable; this expansion is what coverage
+    and path localization operate on.
+    """
+    parents = {m.name: m for m in flow_messages}
+    expanded: List[Message] = []
+    for m in messages:
+        if m.parent is not None and m.parent in parents:
+            expanded.append(parents[m.parent])
+        else:
+            expanded.append(m)
+    return MessageCombination(expanded)

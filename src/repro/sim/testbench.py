@@ -1,0 +1,69 @@
+"""Regression-test library in the style of the ``fc1_all_T2`` suite.
+
+The paper drives its case studies with five tests from the OpenSPARC
+T2 ``fc1_all_T2`` regression environment, each exercising two or more
+IPs and their flows.  This module defines the equivalent five named
+tests over our T2 model: a scenario, a seed, and delay bounds that set
+the run length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.sim.engine import SimulationTrace, TransactionSimulator
+from repro.soc.t2.scenarios import UsageScenario, scenario
+
+
+@dataclass(frozen=True)
+class RegressionTest:
+    """One named regression test.
+
+    Attributes
+    ----------
+    name:
+        Test name (fc1-style).
+    scenario_number:
+        Which Table-1 usage scenario the test exercises.
+    seed:
+        Simulation seed.
+    min_delay, max_delay:
+        Inter-message delay bounds in cycles; large bounds model the
+        hundreds of thousands of cycles real symptoms take to manifest.
+    """
+
+    name: str
+    scenario_number: int
+    seed: int
+    min_delay: int = 16
+    max_delay: int = 4096
+
+    def build_scenario(self, instances: int = 1) -> UsageScenario:
+        return scenario(self.scenario_number, instances=instances)
+
+    def run(self, instances: int = 1) -> SimulationTrace:
+        """Execute the test and return its golden trace."""
+        sc = self.build_scenario(instances)
+        simulator = TransactionSimulator(
+            sc.interleaved(),
+            scenario_name=sc.name,
+            min_delay=self.min_delay,
+            max_delay=self.max_delay,
+        )
+        return simulator.run(seed=self.seed)
+
+
+#: The five fc1-style regression tests of the experimental setup.
+REGRESSION_TESTS: Tuple[RegressionTest, ...] = (
+    RegressionTest("fc1_pio_mondo_basic", 1, seed=101),
+    RegressionTest("fc1_pio_mondo_stress", 1, seed=137),
+    RegressionTest("fc1_ncu_updown_mondo", 2, seed=211),
+    RegressionTest("fc1_ncu_mondo_deque", 2, seed=263),
+    RegressionTest("fc1_mixed_pio_mem", 3, seed=307),
+)
+
+
+def regression_suite() -> Dict[str, RegressionTest]:
+    """The regression tests by name."""
+    return {t.name: t for t in REGRESSION_TESTS}

@@ -1,0 +1,140 @@
+"""The on-chip trace buffer model.
+
+A trace buffer has a *width* (bits per entry) and a *depth* (number of
+entries).  Message selection guarantees that everything routed to the
+buffer fits the width; the buffer itself enforces that invariant,
+masks sub-group captures down to their slice of the parent payload, and
+keeps only the most recent *depth* entries (ring-buffer semantics, the
+usual silicon behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.message import IndexedMessage, Message
+from repro.errors import TraceBufferError
+from repro.sim.engine import TraceRecord
+
+
+@dataclass(frozen=True)
+class CapturedMessage:
+    """One trace buffer entry.
+
+    ``captured_as`` names the traced message the entry belongs to --
+    for a sub-group capture it is the sub-group, while ``message`` is
+    the full indexed message that occurred on the interface.
+    """
+
+    cycle: int
+    message: IndexedMessage
+    captured_as: Message
+    value: int
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether only a slice of the message was captured."""
+        return self.captured_as.name != self.message.message.name
+
+
+class TraceBuffer:
+    """A width x depth trace buffer capturing selected messages.
+
+    Parameters
+    ----------
+    width:
+        Entry width in bits (32 throughout the paper's experiments).
+    depth:
+        Number of entries retained; older entries are overwritten.
+    traced:
+        The traced set from message selection -- plain messages and/or
+        sub-groups.
+    """
+
+    def __init__(
+        self, width: int, depth: int, traced: Iterable[Message]
+    ) -> None:
+        if width <= 0:
+            raise TraceBufferError(f"width must be positive, got {width}")
+        if depth <= 0:
+            raise TraceBufferError(f"depth must be positive, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.traced: Tuple[Message, ...] = tuple(sorted(set(traced)))
+        total = sum(m.width for m in self.traced)
+        if total > width:
+            raise TraceBufferError(
+                f"traced set needs {total} bits but the buffer entry is "
+                f"{width} bits wide"
+            )
+        self._full: Dict[str, Message] = {
+            m.name: m for m in self.traced if m.parent is None
+        }
+        self._partial: Dict[str, Message] = {}
+        for m in self.traced:
+            if m.parent is not None and m.parent not in self._full:
+                self._partial[m.parent] = m
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the entry width used by the traced set."""
+        return sum(m.width for m in self.traced) / self.width
+
+    def visible_count(self, records: Sequence[TraceRecord]) -> int:
+        """How many of *records* the buffer would capture if its depth
+        were unbounded (used to detect ring-buffer truncation)."""
+        return sum(
+            1
+            for r in records
+            if r.message.message.name in self._full
+            or r.message.message.name in self._partial
+        )
+
+    def capture(self, records: Sequence[TraceRecord]) -> Tuple[CapturedMessage, ...]:
+        """Filter a simulation record stream through the buffer.
+
+        Full messages are stored verbatim; messages traced only through
+        a sub-group are masked down to the sub-group's low
+        ``sub.width`` bits.  Only the last *depth* captures survive.
+        """
+        captured: List[CapturedMessage] = []
+        for record in records:
+            name = record.message.message.name
+            if name in self._full:
+                traced = self._full[name]
+                if traced.beats == 1:
+                    captured.append(
+                        CapturedMessage(
+                            cycle=record.cycle,
+                            message=record.message,
+                            captured_as=traced,
+                            value=record.value,
+                        )
+                    )
+                else:
+                    # multi-cycle message: one entry per beat, width
+                    # bits each (footnote 2 of the paper)
+                    mask = (1 << traced.width) - 1
+                    for beat in range(traced.beats):
+                        captured.append(
+                            CapturedMessage(
+                                cycle=record.cycle + beat,
+                                message=record.message,
+                                captured_as=traced,
+                                value=(record.value >> (beat * traced.width))
+                                & mask,
+                            )
+                        )
+            elif name in self._partial:
+                sub = self._partial[name]
+                mask = (1 << sub.width) - 1
+                captured.append(
+                    CapturedMessage(
+                        cycle=record.cycle,
+                        message=record.message,
+                        captured_as=sub,
+                        value=record.value & mask,
+                    )
+                )
+        return tuple(captured[-self.depth:])

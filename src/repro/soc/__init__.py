@@ -1,0 +1,8 @@
+"""SoC design models used by the experiments.
+
+* :mod:`repro.soc.t2` -- transaction-level model of the OpenSPARC T2:
+  IP blocks, message catalog, the five system-level flows of Table 1,
+  the three usage scenarios, and the per-scenario root-cause catalogs.
+* :mod:`repro.soc.usb` -- synthetic gate-level USB 2.0 controller used
+  for the baseline comparison of Section 5.4 (Table 4).
+"""

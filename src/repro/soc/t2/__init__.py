@@ -1,0 +1,43 @@
+"""Transaction-level model of the OpenSPARC T2 processor.
+
+The OpenSPARC T2 is a publicly documented 8-core SoC; the paper uses
+five of its system-level protocol flows across the NCU (non-cacheable
+unit), DMU (data management unit), SIU (system interface unit), MCU
+(memory controller unit), and CCX (cache crossbar).  This package
+models those flows at the transaction level -- the same abstraction the
+paper's System-Verilog monitors produce (Figure 4) -- so the message
+selection and debug machinery exercises the identical input format
+without the RTL.
+"""
+
+from repro.soc.t2.ips import IPBlock, T2_IPS, ip
+from repro.soc.t2.messages import (
+    T2MessageCatalog,
+    t2_message_catalog,
+)
+from repro.soc.t2.flows import (
+    pio_read_flow,
+    pio_write_flow,
+    ncu_upstream_flow,
+    ncu_downstream_flow,
+    mondo_interrupt_flow,
+    t2_flows,
+)
+from repro.soc.t2.scenarios import UsageScenario, usage_scenarios, scenario
+
+__all__ = [
+    "IPBlock",
+    "T2_IPS",
+    "ip",
+    "T2MessageCatalog",
+    "t2_message_catalog",
+    "pio_read_flow",
+    "pio_write_flow",
+    "ncu_upstream_flow",
+    "ncu_downstream_flow",
+    "mondo_interrupt_flow",
+    "t2_flows",
+    "UsageScenario",
+    "usage_scenarios",
+    "scenario",
+]

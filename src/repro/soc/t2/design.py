@@ -1,0 +1,169 @@
+"""SoC design-rule checking for the T2 model.
+
+A :class:`SoCDesign` ties together the IP inventory, the message
+catalog, the flows, and the scenarios, and validates their mutual
+consistency -- the checks a real architecture team runs on its flow
+collateral before handing it to the post-silicon group:
+
+* every message endpoint is a known IP,
+* every flow message comes from the shared catalog,
+* every sub-group is strictly narrower than its parent,
+* flows are connected (every state reachable from an initial state,
+  every state can reach a stop state),
+* every scenario's root-cause evidence references real flow messages
+  and implicates participating IPs only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping
+
+from repro.core.flow import Flow
+from repro.debug.rootcause import root_cause_catalog
+from repro.soc.t2.flows import t2_flows
+from repro.soc.t2.ips import T2_IPS, IPBlock
+from repro.soc.t2.messages import T2MessageCatalog, t2_message_catalog
+from repro.soc.t2.scenarios import UsageScenario, usage_scenarios
+
+
+@dataclass(frozen=True)
+class SoCDesign:
+    """The complete T2 model plus its design-rule checker."""
+
+    ips: Mapping[str, IPBlock]
+    catalog: T2MessageCatalog
+    flows: Mapping[str, Flow]
+    scenarios: Mapping[int, UsageScenario]
+
+    def validate(self) -> List[str]:
+        """Run every design rule; returns the list of violations
+        (empty = clean)."""
+        problems: List[str] = []
+        problems += self._check_endpoints()
+        problems += self._check_flow_messages()
+        problems += self._check_subgroups()
+        problems += self._check_connectivity()
+        problems += self._check_root_causes()
+        return problems
+
+    # ------------------------------------------------------------------
+    def _check_endpoints(self) -> List[str]:
+        problems = []
+        for message in self.catalog:
+            for endpoint in (message.source, message.destination):
+                if endpoint not in self.ips:
+                    problems.append(
+                        f"message {message.name!r} references unknown "
+                        f"IP {endpoint!r}"
+                    )
+        return problems
+
+    def _check_flow_messages(self) -> List[str]:
+        problems = []
+        catalog_messages = set(self.catalog)
+        for flow in self.flows.values():
+            for message in flow.messages:
+                if message not in catalog_messages:
+                    problems.append(
+                        f"flow {flow.name!r} uses message "
+                        f"{message.name!r} that is not in the catalog"
+                    )
+        return problems
+
+    def _check_subgroups(self) -> List[str]:
+        problems = []
+        for group in self.catalog.subgroup_list:
+            try:
+                parent = self.catalog[group.parent]
+            except KeyError:
+                problems.append(
+                    f"sub-group {group.name!r} has unknown parent "
+                    f"{group.parent!r}"
+                )
+                continue
+            if group.width >= parent.width:
+                problems.append(
+                    f"sub-group {group.name!r} ({group.width}b) is not "
+                    f"narrower than {parent.name!r} ({parent.width}b)"
+                )
+        return problems
+
+    def _check_connectivity(self) -> List[str]:
+        problems = []
+        for flow in self.flows.values():
+            forward = {s: set() for s in flow.states}
+            for t in flow.transitions:
+                forward[t.source].add(t.target)
+            reachable = set()
+            frontier = list(flow.initial)
+            while frontier:
+                state = frontier.pop()
+                if state in reachable:
+                    continue
+                reachable.add(state)
+                frontier.extend(forward[state])
+            for state in flow.states:
+                if state not in reachable:
+                    problems.append(
+                        f"flow {flow.name!r}: state {state!r} is "
+                        "unreachable from the initial states"
+                    )
+            # reverse reachability to a stop state
+            backward = {s: set() for s in flow.states}
+            for t in flow.transitions:
+                backward[t.target].add(t.source)
+            completing = set()
+            frontier = list(flow.stop)
+            while frontier:
+                state = frontier.pop()
+                if state in completing:
+                    continue
+                completing.add(state)
+                frontier.extend(backward[state])
+            for state in flow.states:
+                if state not in completing:
+                    problems.append(
+                        f"flow {flow.name!r}: state {state!r} cannot "
+                        "reach a stop state"
+                    )
+        return problems
+
+    def _check_root_causes(self) -> List[str]:
+        problems = []
+        for number, scenario in self.scenarios.items():
+            flow_messages = {
+                f.name: {m.name for m in f.messages}
+                for f in scenario.flows
+            }
+            participants = set(scenario.participating_ips)
+            for cause in root_cause_catalog(number):
+                if cause.ip not in participants:
+                    problems.append(
+                        f"scenario {number} cause {cause.cause_id} "
+                        f"implicates non-participating IP {cause.ip!r}"
+                    )
+                for item in cause.evidence:
+                    if item.flow not in flow_messages:
+                        problems.append(
+                            f"scenario {number} cause {cause.cause_id} "
+                            f"references unknown flow {item.flow!r}"
+                        )
+                    elif item.message not in flow_messages[item.flow]:
+                        problems.append(
+                            f"scenario {number} cause {cause.cause_id} "
+                            f"references {item.flow}.{item.message} "
+                            "which the flow does not carry"
+                        )
+        return problems
+
+
+def t2_design() -> SoCDesign:
+    """Build the full T2 design bundle."""
+    catalog = t2_message_catalog()
+    return SoCDesign(
+        ips=T2_IPS,
+        catalog=catalog,
+        flows=t2_flows(catalog),
+        scenarios=usage_scenarios(catalog),
+    )

@@ -1,0 +1,118 @@
+"""The five T2 system-level flows of Table 1.
+
+Each flow is annotated in the paper with (number of flow states, number
+of messages):
+
+* PIOR -- PIO Read (6, 5)
+* PIOW -- PIO Write (3, 2)
+* NCUU -- NCU Upstream (4, 3)
+* NCUD -- NCU Downstream (3, 2)
+* Mon  -- Mondo Interrupt (6, 5)
+
+The message names and the Mondo sequencing follow the debugging case
+study of Section 5.7: ``siincu`` closes a PIO read, ``piowcrd`` closes
+a PIO write, and a Mondo interrupt runs ``reqtot`` -> ``grant`` ->
+``dmusiidata`` -> ``siincu`` -> ``mondoacknack``.  States that hold an
+arbitration grant are atomic (SIU grants one transfer at a time), which
+is what the interleaving's ``Atom`` mutex models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.flow import Flow, linear_flow
+from repro.soc.t2.messages import T2MessageCatalog, t2_message_catalog
+
+
+def pio_read_flow(catalog: Optional[T2MessageCatalog] = None) -> Flow:
+    """PIOR: a CPU programmed-I/O read through NCU, DMU, and SIU."""
+    c = catalog or t2_message_catalog()
+    return linear_flow(
+        "PIOR",
+        ["Idle", "ReqAtDmu", "ReqAtSiu", "SiuAcked", "DataReady", "Done"],
+        [
+            c["ncudmu_pio_req"],
+            c["dmusii_req"],
+            c["siidmu_ack"],
+            c["dmu_rd_data"],
+            c["siincu"],
+        ],
+        atomic=["SiuAcked"],
+    )
+
+
+def pio_write_flow(catalog: Optional[T2MessageCatalog] = None) -> Flow:
+    """PIOW: a posted PIO write; completion is the credit return."""
+    c = catalog or t2_message_catalog()
+    return linear_flow(
+        "PIOW",
+        ["Idle", "WrIssued", "Done"],
+        [c["ncudmu_pio_wr"], c["piowcrd"]],
+    )
+
+
+def ncu_upstream_flow(catalog: Optional[T2MessageCatalog] = None) -> Flow:
+    """NCUU: memory read data returning to a core via NCU and CCX."""
+    c = catalog or t2_message_catalog()
+    return linear_flow(
+        "NCUU",
+        ["Idle", "DataAtNcu", "IssuedToCcx", "Done"],
+        [c["mcuncu_data"], c["ncucpx_req"], c["cpxgnt"]],
+    )
+
+
+def ncu_downstream_flow(catalog: Optional[T2MessageCatalog] = None) -> Flow:
+    """NCUD: a core's non-cacheable request descending to the MCU."""
+    c = catalog or t2_message_catalog()
+    return linear_flow(
+        "NCUD",
+        ["Idle", "ReqAtNcu", "Done"],
+        [c["pcxreq"], c["ncumcu_req"]],
+    )
+
+
+def mondo_interrupt_flow(catalog: Optional[T2MessageCatalog] = None) -> Flow:
+    """Mon: DMU-generated Mondo interrupt delivered to the NCU.
+
+    The ``Granted`` state is atomic: SIU's arbiter grants one payload
+    transfer at a time, so no concurrent flow may simultaneously hold
+    its grant.
+    """
+    c = catalog or t2_message_catalog()
+    return linear_flow(
+        "Mon",
+        ["Idle", "TransferReq", "Granted", "PayloadSent", "AtNcu", "Done"],
+        [
+            c["reqtot"],
+            c["grant"],
+            c["dmusiidata"],
+            c["siincu"],
+            c["mondoacknack"],
+        ],
+        atomic=["Granted"],
+    )
+
+
+def t2_flows(
+    catalog: Optional[T2MessageCatalog] = None,
+) -> Dict[str, Flow]:
+    """All five flows, keyed by their Table-1 names."""
+    c = catalog or t2_message_catalog()
+    return {
+        "PIOR": pio_read_flow(c),
+        "PIOW": pio_write_flow(c),
+        "NCUU": ncu_upstream_flow(c),
+        "NCUD": ncu_downstream_flow(c),
+        "Mon": mondo_interrupt_flow(c),
+    }
+
+
+#: (states, messages) annotations from Table 1, used as test oracles.
+TABLE1_SHAPES: Tuple[Tuple[str, int, int], ...] = (
+    ("PIOR", 6, 5),
+    ("PIOW", 3, 2),
+    ("NCUU", 4, 3),
+    ("NCUD", 3, 2),
+    ("Mon", 6, 5),
+)

@@ -1,0 +1,71 @@
+"""IP blocks of the OpenSPARC T2 (Figure 3 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class IPBlock:
+    """A hardware IP block of the SoC."""
+
+    name: str
+    full_name: str
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The T2 IP blocks that participate in the modelled flows.
+T2_IPS: Dict[str, IPBlock] = {
+    block.name: block
+    for block in (
+        IPBlock(
+            "NCU",
+            "Non-Cacheable Unit",
+            "Routes PIO accesses and interrupts between the CPU cores "
+            "and the I/O subsystem; owns the interrupt handling tables.",
+        ),
+        IPBlock(
+            "DMU",
+            "Data Management Unit",
+            "PCIe-side data path: PIO completion, DMA, and Mondo "
+            "interrupt generation.",
+        ),
+        IPBlock(
+            "SIU",
+            "System Interface Unit",
+            "Arbitrates and transports packets between DMU and the "
+            "on-chip fabric (NCU / L2); has ordered and bypass queues.",
+        ),
+        IPBlock(
+            "MCU",
+            "Memory Controller Unit",
+            "FBDIMM memory controller; services CPU and I/O reads.",
+        ),
+        IPBlock(
+            "CCX",
+            "Cache Crossbar",
+            "Crossbar connecting cores to L2 banks and the NCU "
+            "(PCX request / CPX response directions).",
+        ),
+    )
+}
+
+
+def ip(name: str) -> IPBlock:
+    """Look up a T2 IP block by name.
+
+    Raises
+    ------
+    KeyError
+        If *name* is not one of the modelled blocks.
+    """
+    try:
+        return T2_IPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown T2 IP {name!r}; known: {sorted(T2_IPS)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""Message catalog of the T2 flow model.
+
+Sixteen interface messages (matching the ``m1..m16`` pool of Table 5)
+plus the sub-message groups used by trace-buffer packing.  Names follow
+the paper where it names them (``reqtot``, ``grant``, ``mondoacknack``,
+``siincu``, ``piowcrd``, ``dmusiidata`` with its 6-bit ``cputhreadid``
+sub-group); the remainder use T2-style interface naming.  Two messages
+(``dmu_rd_data``, ``mcuncu_data``) are wider than the 32-bit trace
+buffer, mirroring the m9/m15 situation of Table 5: affected by bugs but
+untraceable in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.core.message import Message
+
+#: Table-5 alias -> catalog name.  The paper anonymizes the pool as
+#: m1..m16; this is our concrete assignment.
+TABLE5_ALIASES: Tuple[Tuple[str, str], ...] = (
+    ("m1", "ncudmu_pio_req"),
+    ("m2", "dmusii_req"),
+    ("m3", "siidmu_ack"),
+    ("m4", "siincu"),
+    ("m5", "piowcrd"),
+    ("m6", "ncudmu_pio_wr"),
+    ("m7", "reqtot"),
+    ("m8", "grant"),
+    ("m9", "dmu_rd_data"),
+    ("m10", "dmusiidata"),
+    ("m11", "mondoacknack"),
+    ("m12", "ncucpx_req"),
+    ("m13", "cpxgnt"),
+    ("m14", "pcxreq"),
+    ("m15", "mcuncu_data"),
+    ("m16", "ncumcu_req"),
+)
+
+
+@dataclass(frozen=True)
+class T2MessageCatalog:
+    """The full T2 message and sub-group catalog.
+
+    Attributes
+    ----------
+    messages:
+        Interface messages by name.
+    subgroups:
+        Sub-message groups by name (each has a ``parent`` in
+        ``messages``).
+    """
+
+    messages: Mapping[str, Message]
+    subgroups: Mapping[str, Message]
+
+    def __getitem__(self, name: str) -> Message:
+        if name in self.messages:
+            return self.messages[name]
+        if name in self.subgroups:
+            return self.subgroups[name]
+        raise KeyError(f"unknown T2 message {name!r}")
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self.messages.values())
+
+    def alias(self, table5_name: str) -> Message:
+        """Resolve a Table-5 alias (``"m1"`` ... ``"m16"``)."""
+        for alias, name in TABLE5_ALIASES:
+            if alias == table5_name:
+                return self.messages[name]
+        raise KeyError(f"unknown Table-5 alias {table5_name!r}")
+
+    @property
+    def subgroup_list(self) -> Tuple[Message, ...]:
+        return tuple(sorted(self.subgroups.values()))
+
+
+def t2_message_catalog() -> T2MessageCatalog:
+    """Build the T2 message catalog (16 messages + 5 sub-groups)."""
+    definitions = (
+        # name, width, source, destination
+        ("ncudmu_pio_req", 17, "NCU", "DMU"),   # PIO read request
+        ("dmusii_req", 12, "DMU", "SIU"),       # DMU forwards PIO to SIU
+        ("siidmu_ack", 7, "SIU", "DMU"),        # SIU accepts the request
+        ("dmu_rd_data", 37, "DMU", "SIU"),      # PIO read data + ECC (wide)
+        ("siincu", 7, "SIU", "NCU"),            # upstream packet / credit ID
+        ("ncudmu_pio_wr", 17, "NCU", "DMU"),    # PIO write request
+        ("piowcrd", 7, "DMU", "NCU"),           # PIO write credit return
+        ("reqtot", 7, "DMU", "SIU"),            # Mondo transfer request
+        ("grant", 7, "SIU", "DMU"),             # SIU grant to DMU
+        ("dmusiidata", 22, "DMU", "SIU"),       # Mondo payload
+        ("mondoacknack", 2, "NCU", "DMU"),      # NCU interrupt ack / nack
+        ("mcuncu_data", 42, "MCU", "NCU"),      # memory read data (wide)
+        ("ncucpx_req", 12, "NCU", "CCX"),       # NCU issues to crossbar
+        ("cpxgnt", 7, "CCX", "NCU"),            # crossbar grant
+        ("pcxreq", 12, "CCX", "NCU"),           # CPU request via crossbar
+        ("ncumcu_req", 12, "NCU", "MCU"),       # NCU request to memory
+    )
+    messages: Dict[str, Message] = {
+        name: Message(name, width, source=src, destination=dst)
+        for name, width, src, dst in definitions
+    }
+    subgroup_definitions = (
+        # name, width, parent
+        ("cputhreadid", 6, "dmusiidata"),     # CPU ID + thread ID slice
+        ("mondovector", 8, "dmusiidata"),     # interrupt vector slice
+        ("rddata_tag", 6, "dmu_rd_data"),     # read-return tag slice
+        ("mcudata_tag", 8, "mcuncu_data"),    # memory-return tag slice
+        ("pioaddr_lo", 8, "ncudmu_pio_req"),  # low PIO address slice
+        ("piowr_tag", 4, "ncudmu_pio_wr"),    # PIO write tag slice
+        ("dmamode", 3, "dmusii_req"),         # DMA mode bits slice
+        ("mondo_prio", 4, "dmusiidata"),      # interrupt priority slice
+        ("mondo_tag", 2, "dmusiidata"),       # interrupt tag slice
+    )
+    subgroups: Dict[str, Message] = {}
+    for name, width, parent in subgroup_definitions:
+        parent_msg = messages[parent]
+        subgroups[name] = Message(
+            name,
+            width,
+            source=parent_msg.source,
+            destination=parent_msg.destination,
+            parent=parent,
+        )
+        if width >= parent_msg.width:
+            raise ValueError(
+                f"sub-group {name!r} must be narrower than its parent"
+            )
+    return T2MessageCatalog(messages=messages, subgroups=subgroups)

@@ -1,0 +1,180 @@
+"""The three usage scenarios of Table 1.
+
+A usage scenario is a pattern of frequently used applications: a set of
+flows executing concurrently (Section 2).  Scenario composition follows
+Table 1:
+
+====== ==== ==== ==== ==== === ==================
+Scen.  PIOR PIOW NCUU NCUD Mon root causes
+====== ==== ==== ==== ==== === ==================
+1       x    x              x  9
+2                 x    x    x  8
+3       x    x    x    x       9
+====== ==== ==== ==== ==== === ==================
+
+Flow instances are indexed **globally uniquely** within a scenario
+(instance 1, 2, 3, ... across all flows).  Definition 4 only requires
+per-flow uniqueness, but global uniqueness keeps indexed messages
+unambiguous when flows share interface messages (``siincu`` appears in
+both PIOR and Mon) -- the formal counterpart of SoC transaction tags
+being globally unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.flow import Flow
+from repro.core.indexing import IndexedFlow
+from repro.core.interleave import InterleavedFlow, interleave
+from repro.core.message import Message, MessageCombination
+from repro.soc.t2.flows import t2_flows
+from repro.soc.t2.messages import T2MessageCatalog, t2_message_catalog
+
+
+@dataclass(frozen=True)
+class UsageScenario:
+    """One usage scenario: concurrently executing indexed flows.
+
+    Attributes
+    ----------
+    name:
+        ``"Scenario 1"`` etc.
+    flows:
+        The participating flows (deduplicated, in Table-1 order).
+    instance_counts:
+        How many concurrent instances of each flow run.
+    catalog:
+        The message catalog the flows draw from (provides sub-groups
+        for packing).
+    description:
+        What application pattern the scenario models.
+    """
+
+    name: str
+    flows: Tuple[Flow, ...]
+    instance_counts: Mapping[str, int]
+    catalog: T2MessageCatalog
+    description: str = ""
+
+    def instances(self) -> List[IndexedFlow]:
+        """Legally indexed instances with globally unique indices."""
+        result: List[IndexedFlow] = []
+        index = 0
+        for flow in self.flows:
+            for _ in range(self.instance_counts.get(flow.name, 1)):
+                index += 1
+                result.append(IndexedFlow(flow, index))
+        return result
+
+    def interleaved(self) -> InterleavedFlow:
+        """The interleaving of all instances (memoized per scenario).
+
+        Products with several two-instance flows run to tens of
+        thousands of states; every consumer (selector, simulator, debug
+        session) shares one construction.
+        """
+        cached = getattr(self, "_interleaved_cache", None)
+        if cached is None:
+            cached = interleave(self.instances())
+            object.__setattr__(self, "_interleaved_cache", cached)
+        return cached
+
+    @property
+    def message_pool(self) -> MessageCombination:
+        """All messages of the participating flows (Step-1 input)."""
+        return MessageCombination(
+            m for flow in self.flows for m in flow.messages
+        )
+
+    @property
+    def subgroup_pool(self) -> Tuple[Message, ...]:
+        """Catalog sub-groups whose parent is in the message pool."""
+        names = {m.name for m in self.message_pool}
+        return tuple(
+            sorted(
+                g
+                for g in self.catalog.subgroup_list
+                if g.parent in names
+            )
+        )
+
+    @property
+    def participating_ips(self) -> Tuple[str, ...]:
+        """IPs touched by any message of the scenario."""
+        ips = set()
+        for m in self.message_pool:
+            if m.source:
+                ips.add(m.source)
+            if m.destination:
+                ips.add(m.destination)
+        return tuple(sorted(ips))
+
+    @property
+    def flow_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.flows)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({', '.join(self.flow_names)})"
+
+
+#: Table-1 scenario composition and root-cause counts.
+SCENARIO_FLOWS: Dict[int, Tuple[str, ...]] = {
+    1: ("PIOR", "PIOW", "Mon"),
+    2: ("NCUU", "NCUD", "Mon"),
+    3: ("PIOR", "PIOW", "NCUU", "NCUD"),
+}
+
+SCENARIO_DESCRIPTIONS: Dict[int, str] = {
+    1: "I/O-heavy device driver activity with interrupt delivery: "
+       "programmed I/O reads and writes while the device raises Mondo "
+       "interrupts.",
+    2: "Memory-resident interrupt servicing: upstream data returns and "
+       "downstream CPU requests while a Mondo interrupt is in flight.",
+    3: "Mixed PIO and memory traffic without interrupts: simultaneous "
+       "PIO reads/writes and NCU upstream/downstream activity.",
+}
+
+
+def scenario(
+    number: int,
+    catalog: Optional[T2MessageCatalog] = None,
+    instances: int = 1,
+) -> UsageScenario:
+    """Build Table-1 usage scenario *number* (1, 2, or 3).
+
+    Parameters
+    ----------
+    number:
+        The scenario number from Table 1.
+    catalog:
+        Message catalog override (tests inject narrowed catalogs).
+    instances:
+        Concurrent instances per participating flow (1 keeps the
+        interleavings small; 2 exercises tagging).
+    """
+    if number not in SCENARIO_FLOWS:
+        raise KeyError(
+            f"unknown usage scenario {number!r}; choose 1, 2, or 3"
+        )
+    if instances < 1:
+        raise ValueError(f"instances must be >= 1, got {instances}")
+    cat = catalog or t2_message_catalog()
+    flows = t2_flows(cat)
+    names = SCENARIO_FLOWS[number]
+    return UsageScenario(
+        name=f"Scenario {number}",
+        flows=tuple(flows[n] for n in names),
+        instance_counts={n: instances for n in names},
+        catalog=cat,
+        description=SCENARIO_DESCRIPTIONS[number],
+    )
+
+
+def usage_scenarios(
+    catalog: Optional[T2MessageCatalog] = None, instances: int = 1
+) -> Dict[int, UsageScenario]:
+    """All three Table-1 scenarios."""
+    cat = catalog or t2_message_catalog()
+    return {n: scenario(n, cat, instances) for n in SCENARIO_FLOWS}

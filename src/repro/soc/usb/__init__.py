@@ -1,0 +1,26 @@
+"""Synthetic gate-level USB 2.0 controller (Section 5.4, Table 4).
+
+The paper compares its flow-level message selection against SRR-based
+(SigSeT) and PageRank-based (PRNet) gate-level selection on the
+opencores USB 2.0 design, since those methods cannot scale to the T2.
+This package provides a structurally representative synthetic netlist
+with the same module organization and the ten Table-4 interface
+signals, plus the two USB flows the comparison's usage scenario
+consists of.
+
+* :mod:`repro.soc.usb.netlist` -- the circuit (UTMI / line speed,
+  packet decoder, packet assembler, protocol engine) and its
+  interface :class:`~repro.baselines.common.SignalGroup` map.
+* :mod:`repro.soc.usb.flows` -- the token and data-transfer flows and
+  the signal-group composition of each flow message.
+"""
+
+from repro.soc.usb.netlist import UsbDesign, build_usb_design
+from repro.soc.usb.flows import usb_flows, usb_monitors
+
+__all__ = [
+    "UsbDesign",
+    "build_usb_design",
+    "usb_flows",
+    "usb_monitors",
+]

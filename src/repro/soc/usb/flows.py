@@ -1,0 +1,131 @@
+"""USB flows and the message <-> signal-group composition.
+
+The Section-5.4 usage scenario consists of two flows:
+
+* **TOKEN** -- a token packet is received, decoded, and answered:
+  ``RxToken -> TokenValid -> TokenPid -> SendToken -> TxToken``.
+* **DATA** -- a data stage completes and is acknowledged:
+  ``RxDataValid -> RxDone -> DataPid -> TxToken`` (the transmit
+  interface is shared with the token flow, like ``siincu`` on the T2).
+
+Every message is *composed of interface signals* (Table 4): a
+gate-level selection method observes a message only if it selected
+every bit of every composing signal group.  The helpers here provide
+that composition map, plus the Figure-4 monitors that convert netlist
+activity into these messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.baselines.common import SignalSelectionResult
+from repro.core.flow import Flow, linear_flow
+from repro.core.message import Message
+from repro.sim.monitors import SignalMonitor
+from repro.soc.usb.netlist import UsbDesign
+
+#: message name -> composing interface signal groups.  Messages bundle
+#: a strobe with the payload fields the consumer reads on that strobe
+#: (the decoded token address/endpoint ride with ``token_valid``, the
+#: data-stage CRC status with ``rx_data_done``), so reconstructing a
+#: message means reconstructing every composing bit.
+MESSAGE_COMPOSITION: Dict[str, Tuple[str, ...]] = {
+    "RxToken": ("rx_data", "rx_valid"),
+    "TokenValid": ("token_valid", "token_addr", "token_endp"),
+    "TokenPid": ("token_pid_sel",),
+    "SendToken": ("send_token",),
+    "TxToken": ("tx_data", "tx_valid"),
+    "RxDataValid": ("rx_data_valid",),
+    "RxDone": ("rx_data_done", "data_crc_ok"),
+    "DataPid": ("data_pid_sel",),
+}
+
+
+def usb_messages(design: UsbDesign) -> Dict[str, Message]:
+    """The flow messages, widths derived from their signal groups."""
+    module_of = {name: g.module for name, g in design.groups.items()}
+    messages: Dict[str, Message] = {}
+    for name, groups in MESSAGE_COMPOSITION.items():
+        width = sum(design.groups[g].width for g in groups)
+        source = module_of[groups[0]]
+        messages[name] = Message(
+            name, width, source=source, destination="host"
+        )
+    return messages
+
+
+def usb_flows(design: UsbDesign) -> Dict[str, Flow]:
+    """The TOKEN and DATA flows of the comparison scenario."""
+    m = usb_messages(design)
+    token = linear_flow(
+        "TOKEN",
+        ["Idle", "ByteRx", "TokenDecoded", "PidSelected", "RespQueued",
+         "Done"],
+        [m["RxToken"], m["TokenValid"], m["TokenPid"], m["SendToken"],
+         m["TxToken"]],
+    )
+    data = linear_flow(
+        "DATA",
+        ["Idle", "DataRx", "DataDone", "PidSelected", "Done"],
+        [m["RxDataValid"], m["RxDone"], m["DataPid"], m["TxToken"]],
+    )
+    return {"TOKEN": token, "DATA": data}
+
+
+def usb_monitors(design: UsbDesign) -> Tuple[SignalMonitor, ...]:
+    """Figure-4 monitors: strobe-triggered signal-to-message capture.
+
+    The pipeline latencies of the synthetic netlist stagger the strobes
+    so one PHY byte walks the whole token path; each monitor samples
+    its message's payload bits on the corresponding strobe.
+    """
+    m = usb_messages(design)
+    g = design.groups
+
+    def payload(*names: str) -> Tuple[str, ...]:
+        bits: List[str] = []
+        for name in names:
+            bits.extend(g[name].flops)
+        return tuple(bits)
+
+    return (
+        SignalMonitor(m["RxToken"], "rx_valid", payload("rx_data", "rx_valid")),
+        # token_addr / token_endp latch in the same cycle token_valid fires
+        SignalMonitor(
+            m["TokenValid"],
+            "token_valid",
+            payload("token_valid", "token_addr", "token_endp"),
+        ),
+        # token_pid_sel latches one cycle after token_valid
+        SignalMonitor(m["TokenPid"], "rx_data_done", payload("token_pid_sel")),
+        SignalMonitor(m["SendToken"], "send_token", payload("send_token")),
+        SignalMonitor(m["TxToken"], "tx_valid", payload("tx_data", "tx_valid")),
+        SignalMonitor(
+            m["RxDataValid"], "rx_data_valid", payload("rx_data_valid")
+        ),
+        # the delayed done strobe fires once data_crc_ok has settled
+        SignalMonitor(
+            m["RxDone"], "rx_done_d", payload("rx_data_done", "data_crc_ok")
+        ),
+        # data_pid_sel latches one cycle after rx_data_done
+        SignalMonitor(m["DataPid"], "send_token", payload("data_pid_sel")),
+    )
+
+
+def observable_messages(
+    design: UsbDesign, selection: SignalSelectionResult
+) -> Tuple[Message, ...]:
+    """Messages fully observable through a gate-level signal selection.
+
+    A message is observable only if every flip-flop of every composing
+    signal group was selected -- the criterion behind the Table-4
+    coverage comparison.
+    """
+    m = usb_messages(design)
+    observable: List[Message] = []
+    for name, groups in MESSAGE_COMPOSITION.items():
+        flops = [f for gname in groups for f in design.groups[gname].flops]
+        if all(f in selection.selected_set for f in flops):
+            observable.append(m[name])
+    return tuple(sorted(observable))

@@ -1,0 +1,106 @@
+"""Graphviz DOT export for flows and interleaved flows.
+
+Post-silicon teams live in waveform viewers and graph dumps; this
+module renders flows (Figure 1a style) and interleaved flows (Figure 2
+style) as DOT text so any graphviz toolchain can draw them.  No
+graphviz dependency: the output is plain text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.flow import Flow
+from repro.core.interleave import InterleavedFlow, ProductState
+from repro.core.message import Message
+
+
+def _quote(name: object) -> str:
+    return '"' + str(name).replace('"', '\\"') + '"'
+
+
+def flow_to_dot(flow: Flow, highlight: Iterable[Message] = ()) -> str:
+    """Render *flow* as a DOT digraph.
+
+    Initial states are drawn with a double circle, stop states with a
+    filled double circle, atomic states shaded; transitions labelled by
+    *highlight* messages are drawn bold.
+    """
+    wanted = {m.name for m in highlight}
+    lines: List[str] = [f"digraph {_quote(flow.name)} {{", "  rankdir=LR;"]
+    for state in sorted(flow.states, key=str):
+        attributes = ["shape=circle"]
+        if state in flow.initial:
+            attributes = ["shape=doublecircle"]
+        if state in flow.stop:
+            attributes = ["shape=doublecircle", "style=filled",
+                          'fillcolor="#d5e8d4"']
+        if state in flow.atomic:
+            attributes.append('color="#b85450"')
+            attributes.append("penwidth=2")
+        lines.append(f"  {_quote(state)} [{', '.join(attributes)}];")
+    for t in flow.transitions:
+        style = ' style=bold color="#1f77b4"' if t.message.name in wanted \
+            else ""
+        lines.append(
+            f"  {_quote(t.source)} -> {_quote(t.target)} "
+            f"[label={_quote(t.message.name)}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def interleaved_to_dot(
+    interleaved: InterleavedFlow,
+    highlight: Iterable[Message] = (),
+    max_states: Optional[int] = 500,
+) -> str:
+    """Render an interleaved flow as DOT (Figure-2 style).
+
+    Parameters
+    ----------
+    interleaved:
+        The product automaton.
+    highlight:
+        Messages whose edges are drawn bold (e.g. the traced set).
+    max_states:
+        Guard against accidentally dumping huge products; ``None``
+        disables the guard.
+
+    Raises
+    ------
+    ValueError
+        If the product exceeds *max_states*.
+    """
+    if max_states is not None and interleaved.num_states > max_states:
+        raise ValueError(
+            f"interleaved flow has {interleaved.num_states} states; "
+            f"refusing to render more than {max_states} "
+            "(pass max_states=None to override)"
+        )
+    wanted = {m.name for m in highlight}
+
+    def label(state: ProductState) -> str:
+        return "(" + ",".join(s.name for s in state) + ")"
+
+    lines: List[str] = ['digraph interleaved {', "  rankdir=LR;",
+                        "  node [shape=circle, fontsize=10];"]
+    for state in sorted(interleaved.states):
+        attributes: List[str] = []
+        if state in interleaved.initial:
+            attributes.append("shape=doublecircle")
+        if state in interleaved.stop:
+            attributes.append("shape=doublecircle")
+            attributes.append("style=filled")
+            attributes.append('fillcolor="#d5e8d4"')
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  {_quote(label(state))}{suffix};")
+    for t in interleaved.transitions:
+        style = ' style=bold color="#1f77b4"' \
+            if t.message.message.name in wanted else ""
+        lines.append(
+            f"  {_quote(label(t.source))} -> {_quote(label(t.target))} "
+            f"[label={_quote(t.message.name)}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

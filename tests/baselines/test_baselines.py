@@ -1,0 +1,169 @@
+"""Tests for the SigSeT and PRNet baseline selection methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.common import (
+    SignalGroup,
+    SignalSelectionResult,
+    classify_group_selection,
+    groups_fully_selected,
+)
+from repro.baselines.prnet import dependency_network, pagerank, prnet_select
+from repro.baselines.sigset import (
+    restorability_edges,
+    restoration_capacity,
+    sigset_select,
+)
+from repro.errors import SelectionError
+from repro.netlist.circuit import CircuitBuilder
+from repro.netlist.generators import (
+    add_counter,
+    add_one_hot_ring,
+    add_register,
+    add_shift_register,
+)
+
+
+@pytest.fixture
+def mixed_circuit():
+    """Deep internal structures plus shallow interface registers."""
+    b = CircuitBuilder("mixed")
+    b.module("internal")
+    din = b.input("din")
+    en = b.input("en")
+    add_shift_register(b, "sr", 8, din)
+    add_counter(b, "cnt", 4, en)
+    add_one_hot_ring(b, "fsm", 4, en)
+    b.module("interface")
+    d0, d1 = b.inputs("io0", "io1")
+    add_register(b, "iface", 2, [d0, d1], en)
+    return b.build()
+
+
+class TestSigset:
+    def test_respects_budget(self, mixed_circuit):
+        result = sigset_select(mixed_circuit, budget_bits=5)
+        assert len(result.selected) == 5
+        assert result.method == "sigset"
+
+    def test_prefers_deep_internal_state(self, mixed_circuit):
+        result = sigset_select(mixed_circuit, budget_bits=6)
+        internal = [
+            s
+            for s in result.selected
+            if mixed_circuit.module_of(s) == "internal"
+        ]
+        # SRR-style selection gravitates to the shift register / FSM,
+        # not the interface register -- the paper's core criticism
+        assert len(internal) >= 4
+
+    def test_greedy_avoids_redundancy(self, mixed_circuit):
+        # adjacent shift-register stages are mutually restorable: the
+        # greedy should not spend its whole budget inside one chain
+        result = sigset_select(mixed_circuit, budget_bits=4)
+        sr_picks = [s for s in result.selected if s.startswith("sr_")]
+        assert len(sr_picks) < 4
+
+    def test_candidate_restriction(self, mixed_circuit):
+        result = sigset_select(
+            mixed_circuit, budget_bits=2, candidates=["iface0", "iface1"]
+        )
+        assert set(result.selected) == {"iface0", "iface1"}
+
+    def test_unknown_candidate_rejected(self, mixed_circuit):
+        with pytest.raises(SelectionError, match="not flip-flops"):
+            sigset_select(mixed_circuit, budget_bits=2, candidates=["zz"])
+
+    def test_bad_budget(self, mixed_circuit):
+        with pytest.raises(SelectionError, match="positive"):
+            sigset_select(mixed_circuit, budget_bits=0)
+
+    def test_capacity_positive_for_connected_flops(self, mixed_circuit):
+        capacity = restoration_capacity(mixed_circuit)
+        assert capacity["sr_s3"] > 0
+        # every flop has itself-only worth when isolated; edges exist here
+        edges = restorability_edges(mixed_circuit)
+        assert edges["sr_s0"].get("sr_s1", 0) > 0
+
+
+class TestPagerank:
+    def test_uniform_on_symmetric_ring(self):
+        adjacency = {"a": ("b",), "b": ("c",), "c": ("a",)}
+        scores = pagerank(adjacency)
+        assert scores["a"] == pytest.approx(1 / 3, abs=1e-6)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_hub_ranks_higher(self):
+        adjacency = {
+            "hub": (),
+            "a": ("hub",),
+            "b": ("hub",),
+            "c": ("hub",),
+        }
+        scores = pagerank(adjacency)
+        assert scores["hub"] > scores["a"]
+
+    def test_empty_graph(self):
+        assert pagerank({}) == {}
+
+    def test_bad_damping(self):
+        with pytest.raises(SelectionError, match="damping"):
+            pagerank({"a": ()}, damping=1.5)
+
+
+class TestPrnet:
+    def test_respects_budget(self, mixed_circuit):
+        result = prnet_select(mixed_circuit, budget_bits=4)
+        assert len(result.selected) == 4
+        assert result.method == "prnet"
+
+    def test_scores_recorded(self, mixed_circuit):
+        result = prnet_select(mixed_circuit, budget_bits=3)
+        assert set(result.scores) == set(result.selected)
+
+    def test_dependency_network_no_self_loops(self, mixed_circuit):
+        network = dependency_network(mixed_circuit)
+        for node, targets in network.items():
+            assert node not in targets
+
+    def test_prefers_influential_state(self, mixed_circuit):
+        result = prnet_select(mixed_circuit, budget_bits=6)
+        interface = [
+            s
+            for s in result.selected
+            if mixed_circuit.module_of(s) == "interface"
+        ]
+        # interface registers influence nothing downstream: low rank
+        assert len(interface) <= 1
+
+    def test_unknown_candidate_rejected(self, mixed_circuit):
+        with pytest.raises(SelectionError, match="not flip-flops"):
+            prnet_select(mixed_circuit, budget_bits=2, candidates=["zz"])
+
+    def test_bad_budget(self, mixed_circuit):
+        with pytest.raises(SelectionError, match="positive"):
+            prnet_select(mixed_circuit, budget_bits=-1)
+
+
+class TestSignalGroups:
+    def test_classification(self):
+        result = SignalSelectionResult(
+            method="x", selected=("a0", "a1", "b0"), budget_bits=8
+        )
+        full = SignalGroup("a", ("a0", "a1"))
+        partial = SignalGroup("b", ("b0", "b1"))
+        none = SignalGroup("c", ("c0",))
+        assert classify_group_selection(result, full) == "full"
+        assert classify_group_selection(result, partial) == "partial"
+        assert classify_group_selection(result, none) == "none"
+        assert groups_fully_selected(result, [full, partial, none]) == (full,)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SelectionError, match="no bits"):
+            SignalGroup("g", ())
+
+    def test_result_budget_guard(self):
+        with pytest.raises(SelectionError, match="exceeds"):
+            SignalSelectionResult(method="x", selected=("a", "b"), budget_bits=1)

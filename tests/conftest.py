@@ -1,0 +1,47 @@
+"""Shared fixtures: the paper's running example and small helper flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import Flow, Transition
+from repro.core.indexing import index_flows
+from repro.core.interleave import interleave, interleave_flows
+from repro.core.message import Message
+from repro.examples_builtin import toy_cache_coherence_flow
+
+
+@pytest.fixture
+def cc_flow() -> Flow:
+    """The cache-coherence flow of Figure 1a."""
+    return toy_cache_coherence_flow()
+
+
+@pytest.fixture
+def cc_interleaved(cc_flow):
+    """Two legally indexed instances of the flow, interleaved (Figure 2)."""
+    return interleave_flows([cc_flow], copies=2)
+
+
+@pytest.fixture
+def branching_flow() -> Flow:
+    """A small flow with a branch, for non-linear-path tests.
+
+    ``s0 --a--> s1 --b--> s3`` and ``s0 --c--> s2 --d--> s3``.
+    """
+    a = Message("a", 2, source="P", destination="Q")
+    b = Message("b", 3, source="Q", destination="P")
+    c = Message("c", 1, source="P", destination="R")
+    d = Message("d", 4, source="R", destination="P")
+    return Flow(
+        name="Branch",
+        states=["s0", "s1", "s2", "s3"],
+        initial=["s0"],
+        stop=["s3"],
+        transitions=[
+            Transition("s0", a, "s1"),
+            Transition("s1", b, "s3"),
+            Transition("s0", c, "s2"),
+            Transition("s2", d, "s3"),
+        ],
+    )

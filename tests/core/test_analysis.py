@@ -1,0 +1,121 @@
+"""Tests for the closed-form interleaving analysis, cross-checked
+against the product construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    chain_length,
+    effective_length,
+    interleaving_count_linear,
+    interleaving_upper_bound,
+    is_linear,
+    shuffle_count,
+)
+from repro.core.flow import linear_flow
+from repro.core.indexing import index_flows
+from repro.core.interleave import interleave, interleave_flows
+from repro.core.message import Message
+from repro.errors import FlowValidationError
+from repro.soc.t2.flows import t2_flows
+from repro.soc.t2.scenarios import scenario
+
+
+def chain(name: str, length: int, atomic_at=()):
+    states = [f"{name}{i}" for i in range(length + 1)]
+    msgs = [Message(f"{name}_m{i}", 1) for i in range(length)]
+    return linear_flow(
+        name, states, msgs,
+        atomic=[states[i] for i in atomic_at],
+    )
+
+
+class TestBasics:
+    def test_is_linear(self, cc_flow, branching_flow):
+        assert is_linear(cc_flow)
+        assert not is_linear(branching_flow)
+
+    def test_chain_length(self, cc_flow):
+        assert chain_length(cc_flow) == 3
+        with pytest.raises(FlowValidationError, match="linear"):
+            chain_length_branch()
+
+    def test_shuffle_count(self):
+        assert shuffle_count([3, 3]) == 20
+        assert shuffle_count([2, 2, 2]) == 90
+        assert shuffle_count([5]) == 1
+        assert shuffle_count([]) == 1
+
+    def test_effective_length_fuses_atomics(self, cc_flow):
+        # c is atomic and interior: GntE;Ack fuse
+        assert effective_length(cc_flow) == 2
+
+
+def chain_length_branch():
+    from repro.core.flow import Flow, Transition
+
+    a, b = Message("a", 1), Message("b", 1)
+    return chain_length(
+        Flow(
+            "Y",
+            ["s", "t", "u"],
+            ["s"],
+            ["u"],
+            [Transition("s", a, "t"), Transition("s", b, "u"),
+             Transition("t", b, "u")],
+        )
+    )
+
+
+class TestCrossChecks:
+    def test_toy_example_exact(self, cc_flow):
+        u = interleave_flows([cc_flow], copies=2)
+        assert u.count_paths() == interleaving_count_linear(
+            [cc_flow, cc_flow]
+        ) == 6
+        assert interleaving_upper_bound([cc_flow, cc_flow]) == 20
+
+    def test_no_atomics_multinomial_exact(self):
+        flows = [chain("A", 3), chain("B", 2), chain("C", 2)]
+        u = interleave(index_flows(flows))
+        assert u.count_paths() == shuffle_count([3, 2, 2])
+        assert interleaving_count_linear(flows) == u.count_paths()
+
+    def test_single_atomic_exact(self):
+        flows = [chain("A", 3, atomic_at=[2]), chain("B", 2)]
+        u = interleave(index_flows(flows))
+        assert u.count_paths() == interleaving_count_linear(flows)
+
+    def test_t2_scenarios_exact(self):
+        for number in (1, 2, 3):
+            sc = scenario(number)
+            expected = interleaving_count_linear(list(sc.flows))
+            assert sc.interleaved().count_paths() == expected, number
+
+    def test_upper_bound_holds_for_t2(self):
+        flows = list(t2_flows().values())
+        assert interleaving_count_linear(flows) <= \
+            interleaving_upper_bound(flows)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=4),   # length
+            st.booleans(),                            # interior atomic?
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_closed_form_matches_product(spec):
+    flows = []
+    for i, (length, has_atomic) in enumerate(spec):
+        atomic_at = [1] if (has_atomic and length >= 2) else []
+        flows.append(chain(f"F{i}", length, atomic_at=atomic_at))
+    u = interleave(index_flows(flows))
+    assert u.count_paths() == interleaving_count_linear(flows)
+    assert u.count_paths() <= interleaving_upper_bound(flows)

@@ -1,0 +1,68 @@
+"""Tests for visible states and flow specification coverage (Definition 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coverage import flow_specification_coverage, visible_states
+from repro.core.message import Message, MessageCombination
+
+
+class TestPaperExample:
+    def test_coverage_req_gnt_is_0_7333(self, cc_flow, cc_interleaved):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        coverage = flow_specification_coverage(cc_interleaved, [req, gnt])
+        assert coverage == pytest.approx(11 / 15)
+        assert round(coverage, 4) == 0.7333
+
+    def test_visible_states_count(self, cc_flow, cc_interleaved):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        assert len(visible_states(cc_interleaved, [req, gnt])) == 11
+
+    def test_all_messages_cover_all_but_initial(self, cc_flow, cc_interleaved):
+        # every non-initial state is the target of some edge
+        coverage = flow_specification_coverage(
+            cc_interleaved, list(cc_flow.messages)
+        )
+        assert coverage == pytest.approx(14 / 15)
+
+
+class TestPlainFlowCoverage:
+    def test_coverage_over_flow(self, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        # ReqE's only visible state in the plain flow is w: 1/4
+        assert flow_specification_coverage(cc_flow, [req]) == pytest.approx(0.25)
+
+    def test_empty_combination_zero(self, cc_flow):
+        assert flow_specification_coverage(cc_flow, []) == 0.0
+
+    def test_unknown_message_invisible(self, cc_flow):
+        assert visible_states(cc_flow, [Message("zz", 1)]) == set()
+
+
+class TestSubgroupVisibility:
+    def test_subgroup_covers_parent_transitions(self, branching_flow):
+        sub = Message("a_lo", 1, parent="a")
+        full = visible_states(branching_flow, [branching_flow.message_by_name("a")])
+        via_sub = visible_states(branching_flow, [sub])
+        assert via_sub == full == {"s1"}
+
+    def test_subgroup_of_unknown_parent_invisible(self, branching_flow):
+        sub = Message("zz_lo", 1, parent="zz")
+        assert visible_states(branching_flow, [sub]) == set()
+
+
+class TestErrors:
+    def test_zero_state_flow_rejected(self):
+        class Empty:
+            transitions = ()
+            num_states = 0
+
+        with pytest.raises(ValueError, match="no states"):
+            flow_specification_coverage(Empty(), [])
+
+    def test_non_message_rejected(self, cc_flow):
+        with pytest.raises(TypeError, match="not a message"):
+            visible_states(cc_flow, ["ReqE"])  # type: ignore[list-item]

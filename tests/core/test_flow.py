@@ -1,0 +1,187 @@
+"""Unit tests for the Flow DAG (Definition 1) and executions (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import Execution, Flow, Transition, linear_flow
+from repro.core.message import Message, MessageCombination
+from repro.errors import FlowValidationError
+
+
+def msg(name: str, w: int = 1) -> Message:
+    return Message(name, w)
+
+
+class TestFlowValidation:
+    def test_valid_flow_constructs(self, cc_flow):
+        assert cc_flow.num_states == 4
+        assert cc_flow.num_messages == 3
+        assert cc_flow.atomic == frozenset({"c"})
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(FlowValidationError, match="no states"):
+            Flow("f", [], [], [], [])
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(FlowValidationError, match="no initial"):
+            Flow("f", ["a"], [], ["a"], [])
+
+    def test_initial_outside_states_rejected(self):
+        with pytest.raises(FlowValidationError, match="not in S"):
+            Flow("f", ["a"], ["b"], ["a"], [])
+
+    def test_missing_stop_rejected(self):
+        with pytest.raises(FlowValidationError, match="no stop"):
+            Flow("f", ["a"], ["a"], [], [])
+
+    def test_stop_outside_states_rejected(self):
+        with pytest.raises(FlowValidationError, match="not in S"):
+            Flow("f", ["a"], ["a"], ["z"], [])
+
+    def test_stop_intersecting_atom_rejected(self):
+        # Definition 1 requires Sp and Atom disjoint
+        with pytest.raises(FlowValidationError, match="disjoint"):
+            Flow(
+                "f",
+                ["a", "b"],
+                ["a"],
+                ["b"],
+                [Transition("a", msg("m"), "b")],
+                atomic=["b"],
+            )
+
+    def test_atom_must_be_proper_subset(self):
+        with pytest.raises(FlowValidationError, match="proper subset"):
+            Flow(
+                "f",
+                ["a", "b", "c"],
+                ["a"],
+                ["c"],
+                [],
+                atomic=["a", "b", "z"],
+            )
+
+    def test_transition_to_unknown_state_rejected(self):
+        with pytest.raises(FlowValidationError, match="target"):
+            Flow(
+                "f",
+                ["a", "b"],
+                ["a"],
+                ["b"],
+                [Transition("a", msg("m"), "zz")],
+            )
+
+    def test_transition_from_unknown_state_rejected(self):
+        with pytest.raises(FlowValidationError, match="source"):
+            Flow(
+                "f",
+                ["a", "b"],
+                ["a"],
+                ["b"],
+                [Transition("zz", msg("m"), "b")],
+            )
+
+    def test_non_message_label_rejected(self):
+        with pytest.raises(FlowValidationError, match="not a Message"):
+            Flow(
+                "f",
+                ["a", "b"],
+                ["a"],
+                ["b"],
+                [Transition("a", "m", "b")],  # type: ignore[arg-type]
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(FlowValidationError, match="not a DAG"):
+            Flow(
+                "f",
+                ["a", "b"],
+                ["a"],
+                ["b"],
+                [
+                    Transition("a", msg("m"), "b"),
+                    Transition("b", msg("n"), "a"),
+                ],
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(FlowValidationError, match="not a DAG"):
+            Flow(
+                "f",
+                ["a", "b"],
+                ["a"],
+                ["b"],
+                [Transition("a", msg("m"), "a")],
+            )
+
+
+class TestFlowAccessors:
+    def test_messages_set(self, cc_flow):
+        assert cc_flow.messages == MessageCombination(
+            [msg("ReqE"), msg("GntE"), msg("Ack")]
+        )
+
+    def test_message_by_name(self, cc_flow):
+        assert cc_flow.message_by_name("ReqE").name == "ReqE"
+        with pytest.raises(KeyError):
+            cc_flow.message_by_name("nope")
+
+    def test_outgoing(self, cc_flow):
+        out = cc_flow.outgoing("n")
+        assert len(out) == 1
+        assert out[0].message.name == "ReqE"
+        assert cc_flow.outgoing("d") == ()
+
+    def test_topological_order(self, cc_flow):
+        order = cc_flow.topological_order()
+        assert order.index("n") < order.index("w") < order.index("c")
+        assert order.index("c") < order.index("d")
+
+
+class TestExecutions:
+    def test_execution_shape_validated(self):
+        with pytest.raises(ValueError, match="alternates"):
+            Execution(("a",), (msg("m"),))
+
+    def test_trace(self, cc_flow):
+        (execution,) = list(cc_flow.executions())
+        assert [m.name for m in execution.trace] == ["ReqE", "GntE", "Ack"]
+        assert execution.states == ("n", "w", "c", "d")
+        assert len(execution) == 3
+
+    def test_count_matches_enumeration(self, branching_flow):
+        runs = list(branching_flow.executions())
+        assert len(runs) == branching_flow.count_executions() == 2
+
+    def test_is_execution(self, cc_flow):
+        (execution,) = list(cc_flow.executions())
+        assert cc_flow.is_execution(execution)
+
+    def test_is_execution_rejects_wrong_start(self, cc_flow):
+        bad = Execution(("w", "c", "d"), (msg("GntE"), msg("Ack")))
+        assert not cc_flow.is_execution(bad)
+
+    def test_is_execution_rejects_wrong_end(self, cc_flow):
+        bad = Execution(("n", "w"), (msg("ReqE"),))
+        assert not cc_flow.is_execution(bad)
+
+    def test_is_execution_rejects_bad_step(self, cc_flow):
+        bad = Execution(("n", "c", "d"), (msg("ReqE"), msg("Ack")))
+        assert not cc_flow.is_execution(bad)
+
+
+class TestLinearFlow:
+    def test_builds_chain(self):
+        f = linear_flow("L", ["a", "b", "c"], [msg("x"), msg("y")])
+        assert f.count_executions() == 1
+        assert f.initial == frozenset({"a"})
+        assert f.stop == frozenset({"c"})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(FlowValidationError, match="one more state"):
+            linear_flow("L", ["a", "b"], [msg("x"), msg("y")])
+
+    def test_atomic_passthrough(self):
+        f = linear_flow("L", ["a", "b", "c"], [msg("x"), msg("y")], atomic=["b"])
+        assert f.atomic == frozenset({"b"})

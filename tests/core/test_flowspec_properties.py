@@ -1,0 +1,79 @@
+"""Property-based round-trip tests for the flowspec format."""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flow import Flow, Transition
+from repro.core.flowspec import format_flowspec, parse_flowspec
+from repro.core.message import Message
+
+_NAME = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+
+
+@st.composite
+def random_flows(draw):
+    """Random DAG flows built over a layered state order."""
+    count = draw(st.integers(min_value=2, max_value=6))
+    states = [f"s{i}" for i in range(count)]
+    message_count = draw(st.integers(min_value=1, max_value=5))
+    messages = []
+    for j in range(message_count):
+        endpoints = draw(
+            st.one_of(
+                st.none(),
+                st.tuples(_NAME, _NAME),
+            )
+        )
+        messages.append(
+            Message(
+                f"m{j}",
+                draw(st.integers(min_value=1, max_value=64)),
+                source=endpoints[0] if endpoints else None,
+                destination=endpoints[1] if endpoints else None,
+            )
+        )
+    transitions = []
+    reachable = {states[0]}
+    for i in range(1, count):
+        # connect each state from an earlier reachable one (keeps the
+        # flow a connected DAG)
+        source = draw(st.sampled_from(sorted(reachable)))
+        message = draw(st.sampled_from(messages))
+        transitions.append(Transition(source, message, states[i]))
+        reachable.add(states[i])
+    atomic = [
+        s
+        for s in states[1:-1]
+        if draw(st.booleans())
+    ]
+    name = draw(_NAME)
+    return Flow(
+        name=name,
+        states=states,
+        initial=[states[0]],
+        stop=[states[-1]],
+        transitions=transitions,
+        atomic=atomic,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_flows())
+def test_flowspec_round_trip(flow):
+    text = format_flowspec([flow])
+    parsed = parse_flowspec(io.StringIO(text))
+    back = parsed.flow(flow.name)
+    assert back.states == flow.states
+    assert back.initial == flow.initial
+    assert back.stop == flow.stop
+    assert back.atomic == flow.atomic
+    assert sorted(back.transitions) == sorted(flow.transitions)
+    for message in flow.messages:
+        again = back.message_by_name(message.name)
+        assert again.width == message.width
+        if message.source and message.destination:
+            assert again.source == message.source
+            assert again.destination == message.destination

@@ -1,0 +1,115 @@
+"""Tests for the mutual-information-gain metric (Section 3.2).
+
+The worked example of the paper is the oracle: over the two-instance
+interleaving of the cache-coherence flow, ``I(X; {ReqE, GntE}) =
+(2/3) ln 5 = 1.073``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.information import InformationModel, mutual_information_gain
+from repro.core.message import IndexedMessage, Message, MessageCombination
+
+
+@pytest.fixture
+def model(cc_interleaved) -> InformationModel:
+    return InformationModel(cc_interleaved)
+
+
+class TestPaperExample:
+    def test_marginals(self, cc_flow, model):
+        # p(y) = 3/18 for every indexed message of the example
+        req = cc_flow.message_by_name("ReqE")
+        assert model.marginal(IndexedMessage(req, 1)) == pytest.approx(3 / 18)
+        assert model.occurrences(IndexedMessage(req, 2)) == 3
+
+    def test_gain_req_gnt_is_1_073(self, cc_flow, model):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        gain = model.gain(MessageCombination([req, gnt]))
+        assert gain == pytest.approx((2 / 3) * math.log(5), rel=1e-12)
+        assert round(gain, 3) == 1.073
+
+    def test_gain_is_argmax_over_two_message_combos(self, cc_flow, model):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        ack = cc_flow.message_by_name("Ack")
+        best = max(
+            model.gain(MessageCombination(pair))
+            for pair in ([req, gnt], [req, ack], [gnt, ack])
+        )
+        assert model.gain(MessageCombination([req, gnt])) == pytest.approx(best)
+
+    def test_all_contributions_equal_by_symmetry(self, cc_flow, model):
+        # every indexed message has 3 occurrences, each reaching a
+        # distinct state, so all six contributions are identical
+        contributions = {
+            model.contribution(IndexedMessage(m, i))
+            for m in cc_flow.messages
+            for i in (1, 2)
+        }
+        assert len(contributions) == 1
+        (value,) = contributions
+        assert value == pytest.approx(math.log(5) / 6)
+
+
+class TestAdditivity:
+    """The decomposition that makes the knapsack formulation exact."""
+
+    def test_gain_is_sum_of_message_contributions(self, cc_flow, model):
+        msgs = list(cc_flow.messages)
+        combo = MessageCombination(msgs)
+        assert model.gain(combo) == pytest.approx(
+            sum(model.message_contribution(m) for m in msgs)
+        )
+
+    def test_message_contribution_sums_indexed(self, cc_flow, model):
+        req = cc_flow.message_by_name("ReqE")
+        assert model.message_contribution(req) == pytest.approx(
+            model.contribution(IndexedMessage(req, 1))
+            + model.contribution(IndexedMessage(req, 2))
+        )
+
+    def test_duplicates_do_not_double_count(self, cc_flow, model):
+        req = cc_flow.message_by_name("ReqE")
+        assert model.gain([req, req]) == pytest.approx(model.gain([req]))
+
+
+class TestEdgeCases:
+    def test_unknown_message_contributes_zero(self, model):
+        foreign = Message("not-in-flow", 4)
+        assert model.message_contribution(foreign) == 0.0
+        assert model.gain([foreign]) == 0.0
+
+    def test_empty_combination_zero_gain(self, model):
+        assert model.gain(MessageCombination()) == 0.0
+
+    def test_gain_monotone_under_superset(self, cc_flow, model):
+        # contributions are non-negative, so gain grows with the set
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        assert model.gain([req, gnt]) >= model.gain([req])
+
+    def test_ranked_messages_sorted(self, model):
+        ranked = model.ranked_messages()
+        gains = [g for _, g in ranked]
+        assert gains == sorted(gains, reverse=True)
+        assert len(ranked) == 3
+
+    def test_convenience_wrapper(self, cc_flow, cc_interleaved):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        assert mutual_information_gain(
+            cc_interleaved, [req, gnt]
+        ) == pytest.approx((2 / 3) * math.log(5))
+
+    def test_contributions_nonnegative(self, cc_flow, model):
+        # ln(|S| * n(x,y) / n(y)) >= 0 whenever n(x,y) <= n(y) <= |S|;
+        # holds for every DAG-shaped interleaving we build
+        for m in cc_flow.messages:
+            for i in (1, 2):
+                assert model.contribution(IndexedMessage(m, i)) >= 0.0

@@ -1,0 +1,190 @@
+"""Tests for indexing (Defs. 3-4) and the interleaving product (Def. 5).
+
+The two-instance interleaving of the cache-coherence flow is Figure 2
+of the paper: 15 reachable product states (16 minus the illegal
+``(c1, c2)``) and 18 transitions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.execution import validate_execution
+from repro.core.flow import Flow, Transition
+from repro.core.indexing import (
+    IndexedFlow,
+    IndexedState,
+    check_legally_indexed,
+    index_flows,
+    legally_indexed,
+)
+from repro.core.interleave import interleave, interleave_flows
+from repro.core.message import Message
+from repro.errors import IndexingError, InterleavingError
+
+
+class TestIndexing:
+    def test_indexed_state_name(self):
+        assert IndexedState("w", 1).name == "w1"
+
+    def test_indexed_flow_components(self, cc_flow):
+        inst = IndexedFlow(cc_flow, 1)
+        assert inst.name == "CacheCoherence#1"
+        assert {s.name for s in inst.states} == {"n1", "w1", "c1", "d1"}
+        assert {s.name for s in inst.atomic} == {"c1"}
+        assert {m.name for m in inst.messages} == {"1:ReqE", "1:GntE", "1:Ack"}
+
+    def test_negative_index_rejected(self, cc_flow):
+        with pytest.raises(IndexingError, match="non-negative"):
+            IndexedFlow(cc_flow, -1)
+
+    def test_legally_indexed_same_flow(self, cc_flow):
+        a, b = IndexedFlow(cc_flow, 1), IndexedFlow(cc_flow, 2)
+        assert legally_indexed(a, b)
+        assert not legally_indexed(a, IndexedFlow(cc_flow, 1))
+
+    def test_legally_indexed_different_flows(self, cc_flow, branching_flow):
+        # different flows may share an index (Definition 4)
+        assert legally_indexed(
+            IndexedFlow(cc_flow, 1), IndexedFlow(branching_flow, 1)
+        )
+
+    def test_check_legally_indexed_raises(self, cc_flow):
+        with pytest.raises(IndexingError, match="not.*legally indexed"):
+            check_legally_indexed([IndexedFlow(cc_flow, 1), IndexedFlow(cc_flow, 1)])
+
+    def test_index_flows_assigns_consecutive(self, cc_flow, branching_flow):
+        instances = index_flows([cc_flow, cc_flow, branching_flow])
+        assert [(i.flow.name, i.index) for i in instances] == [
+            ("CacheCoherence", 1),
+            ("CacheCoherence", 2),
+            ("Branch", 1),
+        ]
+        check_legally_indexed(instances)
+
+    def test_outgoing_rejects_foreign_state(self, cc_flow):
+        inst = IndexedFlow(cc_flow, 1)
+        with pytest.raises(IndexingError, match="does not belong"):
+            inst.outgoing(IndexedState("n", 2))
+
+
+class TestInterleaveFigure2:
+    """Pin the exact shape of the paper's Figure 2."""
+
+    def test_state_count(self, cc_interleaved):
+        assert cc_interleaved.num_states == 15
+
+    def test_transition_count(self, cc_interleaved):
+        assert cc_interleaved.num_transitions == 18
+
+    def test_illegal_state_absent(self, cc_interleaved):
+        names = {
+            tuple(s.name for s in state) for state in cc_interleaved.states
+        }
+        assert ("c1", "c2") not in names
+
+    def test_initial_and_stop(self, cc_interleaved):
+        (init,) = cc_interleaved.initial
+        assert tuple(s.name for s in init) == ("n1", "n2")
+        (stop,) = cc_interleaved.stop
+        assert tuple(s.name for s in stop) == ("d1", "d2")
+
+    def test_path_count(self, cc_interleaved):
+        # atomic states force GntE;Ack to be contiguous per instance, so
+        # executions are the interleavings of (R1,[G1 A1]) and
+        # (R2,[G2 A2]): C(4, 2) = 6
+        assert cc_interleaved.count_paths() == 6
+
+    def test_atomic_freeze_blocks_other_flow(self, cc_interleaved):
+        # from any state with component 1 in c1, instance 2 cannot move
+        for state in cc_interleaved.states:
+            if state[0].name != "c1":
+                continue
+            for t in cc_interleaved.outgoing(state):
+                assert t.message.index == 1, (
+                    "instance 2 moved while instance 1 was atomic: "
+                    f"{t}"
+                )
+
+    def test_message_occurrences_match_paper(self, cc_interleaved):
+        # p(y) = 3/18 for every indexed message in the example
+        occurrences = cc_interleaved.message_occurrences
+        assert len(occurrences) == 6
+        assert all(count == 3 for count in occurrences.values())
+
+    def test_indices_of(self, cc_flow, cc_interleaved):
+        req = cc_flow.message_by_name("ReqE")
+        assert cc_interleaved.indices_of(req) == (1, 2)
+
+
+class TestInterleaveGeneral:
+    def test_zero_instances_rejected(self):
+        with pytest.raises(InterleavingError, match="zero"):
+            interleave([])
+
+    def test_illegal_indexing_rejected(self, cc_flow):
+        with pytest.raises(IndexingError):
+            interleave([IndexedFlow(cc_flow, 1), IndexedFlow(cc_flow, 1)])
+
+    def test_copies_must_be_positive(self, cc_flow):
+        with pytest.raises(InterleavingError, match=">= 1"):
+            interleave_flows([cc_flow], copies=0)
+
+    def test_single_instance_is_isomorphic_to_flow(self, cc_flow):
+        u = interleave_flows([cc_flow], copies=1)
+        assert u.num_states == cc_flow.num_states
+        assert u.num_transitions == len(cc_flow.transitions)
+        assert u.count_paths() == cc_flow.count_executions()
+
+    def test_no_reachable_state_with_two_atoms(self, cc_flow):
+        u = interleave_flows([cc_flow], copies=3)
+        atoms = {"c1", "c2", "c3"}
+        for state in u.states:
+            atomic_here = sum(1 for s in state if s.name in atoms)
+            assert atomic_here <= 1
+
+    def test_heterogeneous_interleaving(self, cc_flow, branching_flow):
+        u = interleave_flows([cc_flow, branching_flow])
+        # branching flow has no atomic states: full product reachable
+        # minus nothing for states where cc is atomic (they exist; only
+        # *moves* of the other flow are blocked there)
+        assert u.num_states == 16
+        # paths: interleave the cc 3-chain with each 2-message branch
+        # execution; the branch may not move while cc sits in atomic
+        # ``c`` (between GntE and Ack), leaving 3 legal gaps for the 2
+        # branch messages: multichoose(3, 2) = 6 orderings per branch
+        assert u.count_paths() == 2 * 6
+
+    def test_random_execution_is_valid(self, cc_interleaved):
+        rng = random.Random(7)
+        for _ in range(20):
+            execution = cc_interleaved.random_execution(rng)
+            assert validate_execution(cc_interleaved, execution)
+
+    def test_random_execution_uniform(self, cc_interleaved):
+        # with 6 paths and 1200 samples, each path should appear ~200x
+        rng = random.Random(11)
+        counts = {}
+        for _ in range(1200):
+            execution = cc_interleaved.random_execution(rng)
+            key = tuple(m.name for m in execution.messages)
+            counts[key] = counts.get(key, 0) + 1
+        assert len(counts) == 6
+        assert min(counts.values()) > 120
+
+    def test_projection_is_component_execution(self, cc_flow):
+        u = interleave_flows([cc_flow], copies=2)
+        rng = random.Random(3)
+        execution = u.random_execution(rng)
+        for component in u.components:
+            local = u.project(execution, component)
+            assert component.flow.is_execution(local)
+
+
+def _interleavings(n: int, m: int) -> int:
+    """Binomial(n + m, n) without importing math.comb at call sites."""
+    from math import comb
+
+    return comb(n + m, n)

@@ -1,0 +1,141 @@
+"""Unit tests for messages, indexed messages, and message combinations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import (
+    IndexedMessage,
+    Message,
+    MessageCombination,
+    indexed_instances,
+    width,
+)
+
+
+class TestMessage:
+    def test_basic_fields(self):
+        m = Message("ReqE", 1, source="1", destination="Dir")
+        assert m.name == "ReqE"
+        assert m.width == 1
+        assert width(m) == 1
+        assert m.ip_pair == ("1", "Dir")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Message("", 4)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="positive bit width"):
+            Message("m", 0)
+        with pytest.raises(ValueError, match="positive bit width"):
+            Message("m", -3)
+
+    def test_equality_ignores_endpoints(self):
+        # identity is (name, width): the same interface message observed
+        # from either side is the same message
+        a = Message("m", 8, source="A", destination="B")
+        b = Message("m", 8, source="X", destination="Y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ip_pair_none_when_endpoint_missing(self):
+        assert Message("m", 1).ip_pair is None
+        assert Message("m", 1, source="A").ip_pair is None
+
+    def test_subgroup(self):
+        parent = Message("dmusiidata", 20)
+        sub = Message("cputhreadid", 6, parent="dmusiidata")
+        assert sub.is_subgroup
+        assert not parent.is_subgroup
+        assert sub.parent == parent.name
+
+    def test_str(self):
+        assert str(Message("Ack", 1)) == "<Ack, 1>"
+
+    def test_ordering_is_deterministic(self):
+        msgs = [Message("b", 2), Message("a", 9), Message("a", 1)]
+        assert sorted(msgs) == [Message("a", 1), Message("a", 9), Message("b", 2)]
+
+
+class TestIndexedMessage:
+    def test_name_matches_paper_notation(self):
+        m = Message("ReqE", 1)
+        assert IndexedMessage(m, 1).name == "1:ReqE"
+        assert str(IndexedMessage(m, 2)) == "2:ReqE"
+
+    def test_width_passthrough(self):
+        assert IndexedMessage(Message("m", 7), 1).width == 7
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            IndexedMessage(Message("m", 1), -1)
+
+    def test_indexed_factory(self):
+        m = Message("m", 1)
+        assert m.indexed(3) == IndexedMessage(m, 3)
+
+    def test_distinct_indices_are_distinct(self):
+        m = Message("m", 1)
+        assert IndexedMessage(m, 1) != IndexedMessage(m, 2)
+
+
+class TestMessageCombination:
+    def test_total_width(self):
+        combo = MessageCombination([Message("a", 3), Message("b", 5)])
+        assert combo.total_width == 8
+
+    def test_width_definition_6_no_double_count(self):
+        # duplicates collapse: a combination is a set
+        a = Message("a", 3)
+        combo = MessageCombination([a, a])
+        assert len(combo) == 1
+        assert combo.total_width == 3
+
+    def test_fits(self):
+        combo = MessageCombination([Message("a", 3), Message("b", 5)])
+        assert combo.fits(8)
+        assert not combo.fits(7)
+
+    def test_rejects_indexed_messages(self):
+        with pytest.raises(TypeError, match="strip"):
+            MessageCombination([IndexedMessage(Message("a", 1), 1)])
+
+    def test_rejects_non_messages(self):
+        with pytest.raises(TypeError, match="not a Message"):
+            MessageCombination(["a"])  # type: ignore[list-item]
+
+    def test_names_sorted(self):
+        combo = MessageCombination([Message("b", 1), Message("a", 1)])
+        assert combo.names() == ("a", "b")
+
+    def test_with_message(self):
+        a, b = Message("a", 1), Message("b", 2)
+        combo = MessageCombination([a]).with_message(b)
+        assert combo == MessageCombination([a, b])
+        assert isinstance(combo, MessageCombination)
+
+    def test_set_algebra_preserved(self):
+        a, b = Message("a", 1), Message("b", 2)
+        combo = MessageCombination([a, b])
+        assert a in combo
+        assert combo & MessageCombination([a]) == frozenset([a])
+
+    def test_hashable(self):
+        a = Message("a", 1)
+        assert {MessageCombination([a]): 1}[MessageCombination([a])] == 1
+
+
+class TestIndexedInstances:
+    def test_cartesian_expansion(self):
+        a, b = Message("a", 1), Message("b", 1)
+        got = set(indexed_instances([a, b], [1, 2]))
+        assert got == {
+            IndexedMessage(a, 1),
+            IndexedMessage(a, 2),
+            IndexedMessage(b, 1),
+            IndexedMessage(b, 2),
+        }
+
+    def test_empty_indices(self):
+        assert list(indexed_instances([Message("a", 1)], [])) == []

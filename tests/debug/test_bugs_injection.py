@@ -1,0 +1,146 @@
+"""Tests for the bug catalog, injection, and affected-message metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.debug.bugs import BUG_CATALOG, BugCategory, BugEffect, EffectKind, bug
+from repro.debug.casestudies import CASE_STUDIES, TABLE5_BUG_IDS, case_studies
+from repro.debug.injection import HANG_TIMEOUT, inject
+from repro.debug.metrics import affected_messages
+from repro.errors import DebugSessionError
+from repro.sim.engine import TransactionSimulator
+from repro.soc.t2.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def golden1():
+    sc = scenario(1)
+    return TransactionSimulator(sc.interleaved(), sc.name).run(seed=42)
+
+
+class TestCatalog:
+    def test_thirty_six_bugs(self):
+        assert len(BUG_CATALOG) == 36
+        assert set(BUG_CATALOG) == set(range(1, 37))
+
+    def test_both_categories_present(self):
+        categories = {b.category for b in BUG_CATALOG.values()}
+        assert categories == {BugCategory.CONTROL, BugCategory.DATA}
+
+    def test_all_five_ips_buggy(self):
+        ips = {b.ip for b in BUG_CATALOG.values()}
+        assert ips == {"NCU", "DMU", "SIU", "MCU", "CCX"}
+
+    def test_corrupt_bugs_have_masks(self):
+        for b in BUG_CATALOG.values():
+            if b.effect.kind is EffectKind.CORRUPT:
+                assert b.effect.mask != 0
+
+    def test_effect_mask_guard(self):
+        with pytest.raises(DebugSessionError, match="mask"):
+            BugEffect(kind=EffectKind.CORRUPT, message="m", mask=0)
+
+    def test_unknown_bug_id(self):
+        with pytest.raises(DebugSessionError, match="unknown bug id"):
+            bug(99)
+
+    def test_depths_match_table2_range(self):
+        assert all(3 <= b.depth <= 5 for b in BUG_CATALOG.values())
+
+
+class TestInjection:
+    def test_drop_removes_message_and_downstream(self, golden1):
+        buggy = inject(golden1, bug(14))  # drop reqtot
+        names = {r.message.message.name for r in buggy.records}
+        for gone in ("reqtot", "grant", "dmusiidata", "mondoacknack"):
+            assert gone not in names
+        assert buggy.symptom.kind == "hang"
+        assert buggy.symptom.cycle >= HANG_TIMEOUT
+
+    def test_stall_after_keeps_message(self, golden1):
+        buggy = inject(golden1, bug(33))  # reqtot to bypass queue
+        names = [r.message.message.name for r in buggy.records]
+        assert "reqtot" in names
+        assert "grant" not in names
+        assert buggy.symptom.kind == "hang"
+
+    def test_corrupt_changes_value_only(self, golden1):
+        buggy = inject(golden1, bug(21))  # corrupt mondoacknack
+        golden_vals = [
+            r.value for r in golden1.records
+            if r.message.message.name == "mondoacknack"
+        ]
+        buggy_vals = [
+            r.value for r in buggy.records
+            if r.message.message.name == "mondoacknack"
+        ]
+        assert len(golden_vals) == len(buggy_vals)
+        assert golden_vals != buggy_vals
+        assert buggy.symptom.kind == "bad_trap"
+
+    def test_bad_trap_truncates_run(self, golden1):
+        buggy = inject(golden1, bug(18))  # corrupt dmusiidata mid-flow
+        assert all(
+            r.cycle <= buggy.symptom.cycle for r in buggy.records
+        )
+
+    def test_dormant_bug_is_noop(self, golden1):
+        # bug 22 targets mcuncu_data, absent from scenario 1
+        buggy = inject(golden1, bug(22))
+        assert buggy is golden1
+
+    def test_double_injection_rejected(self, golden1):
+        buggy = inject(golden1, bug(14))
+        with pytest.raises(DebugSessionError, match="golden"):
+            inject(buggy, bug(21))
+
+
+class TestAffectedMessages:
+    def test_drop_affects_downstream(self, golden1):
+        affected = affected_messages(golden1, bug(14))
+        assert {"reqtot", "grant", "dmusiidata", "siincu",
+                "mondoacknack"} <= affected
+
+    def test_corrupt_affects_only_target(self, golden1):
+        affected = affected_messages(golden1, bug(21))
+        assert affected == frozenset({"mondoacknack"})
+
+    def test_dormant_bug_affects_nothing(self, golden1):
+        assert affected_messages(golden1, bug(22)) == frozenset()
+
+    def test_subtle_bugs_affect_few_messages(self, golden1):
+        # Table 5: post-silicon bugs tend to affect <= 4-5 messages
+        for bug_id in TABLE5_BUG_IDS:
+            affected = affected_messages(golden1, bug(bug_id))
+            assert len(affected) <= 5, bug_id
+
+
+class TestCaseStudies:
+    def test_five_case_studies(self):
+        assert len(CASE_STUDIES) == 5
+        assert set(case_studies()) == {1, 2, 3, 4, 5}
+
+    def test_scenario_mapping_matches_table3(self):
+        mapping = {cs.number: cs.scenario_number for cs in CASE_STUDIES}
+        assert mapping == {1: 1, 2: 1, 3: 2, 4: 2, 5: 3}
+
+    def test_fourteen_bugs_each(self):
+        for cs in CASE_STUDIES:
+            assert len(cs.injected_bug_ids) == 14
+            assert cs.active_bug_id in cs.injected_bug_ids
+
+    def test_active_bug_lookup(self):
+        cs = case_studies()[1]
+        assert cs.active_bug.effect.message == "reqtot"
+        assert len(cs.injected_bugs) == 14
+
+    def test_guards(self):
+        from repro.debug.casestudies import CaseStudy
+
+        with pytest.raises(DebugSessionError, match="14"):
+            CaseStudy(9, 1, (1, 2, 3), 1, 0)
+        with pytest.raises(DebugSessionError, match="not among"):
+            CaseStudy(9, 1, tuple(range(1, 15)), 30, 0)
+        with pytest.raises(DebugSessionError, match="unknown bug ids"):
+            CaseStudy(9, 1, tuple(range(30, 44)), 30, 0)

@@ -1,0 +1,74 @@
+"""Tests for multi-run validation campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.debug.bugs import bug
+from repro.debug.campaign import ValidationCampaign
+from repro.debug.casestudies import case_studies
+from repro.debug.rootcause import root_cause_catalog
+from repro.debug.session import DebugSession
+from repro.errors import DebugSessionError
+from repro.selection.selector import MessageSelector
+from repro.soc.t2.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def session1():
+    sc = scenario(1)
+    selection = MessageSelector(
+        sc.interleaved(), 32, subgroups=sc.subgroup_pool
+    ).select(method="exhaustive", packing=True)
+    return DebugSession(sc, selection.traced, root_cause_catalog(1))
+
+
+class TestValidationCampaign:
+    def test_aggregates_over_runs(self, session1):
+        cs = case_studies()[1]
+        campaign = ValidationCampaign(session1)
+        result = campaign.run(cs.active_bug, seeds=range(10))
+        assert result.runs == 10
+        assert result.total_messages_investigated == sum(
+            r.messages_investigated for r in result.reports
+        )
+        assert result.total_messages_investigated > \
+            result.reports[0].messages_investigated
+
+    def test_intersection_never_grows(self, session1):
+        cs = case_studies()[1]
+        campaign = ValidationCampaign(session1)
+        one = campaign.run(cs.active_bug, seeds=[101])
+        many = campaign.run(cs.active_bug, seeds=[101, 102, 103, 104])
+        assert set(c.cause_id for c in many.plausible_causes) <= set(
+            c.cause_id for c in one.plausible_causes
+        )
+        assert many.pruned_fraction >= one.reports[0].pruned_fraction
+
+    def test_true_cause_survives_all_runs(self, session1):
+        cs = case_studies()[1]
+        campaign = ValidationCampaign(session1)
+        result = campaign.run(cs.active_bug, seeds=range(8))
+        assert result.buggy_ip_is_plausible
+        assert any(
+            "Non-generation of Mondo" in c.description
+            for c in result.plausible_causes
+        )
+
+    def test_best_localization_is_minimum(self, session1):
+        cs = case_studies()[1]
+        campaign = ValidationCampaign(session1)
+        result = campaign.run(cs.active_bug, seeds=range(5))
+        assert result.best_localization == min(
+            r.localization.fraction for r in result.reports
+        )
+
+    def test_empty_seeds_rejected(self, session1):
+        cs = case_studies()[1]
+        with pytest.raises(DebugSessionError, match="at least one seed"):
+            ValidationCampaign(session1).run(cs.active_bug, seeds=[])
+
+    def test_fully_dormant_bug_rejected(self, session1):
+        # bug 22 targets mcuncu_data: never occurs in scenario 1
+        with pytest.raises(DebugSessionError, match="dormant in every"):
+            ValidationCampaign(session1).run(bug(22), seeds=range(3))

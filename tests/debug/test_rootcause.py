@@ -1,0 +1,155 @@
+"""Tests for observation, root-cause catalogs, and pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.debug.observation import MessageStatus, Observation
+from repro.debug.rootcause import (
+    Evidence,
+    Expectation,
+    PruningResult,
+    RootCause,
+    prune_causes,
+    root_cause_catalog,
+)
+from repro.errors import RootCauseError
+
+
+def make_cause(evidence, symptom=None, ip="NCU"):
+    return RootCause(
+        cause_id=1,
+        description="test cause",
+        implication="test implication",
+        ip=ip,
+        evidence=tuple(evidence),
+        symptom=symptom,
+    )
+
+
+def obs(statuses, symptom=None):
+    return Observation(statuses=statuses, symptom_kind=symptom)
+
+
+class TestContradiction:
+    def test_absent_vs_observed(self):
+        cause = make_cause([Evidence("F", "m", Expectation.ABSENT)])
+        assert cause.contradiction(
+            obs({("F", "m"): MessageStatus.OK})
+        ) is not None
+
+    def test_absent_vs_absent_consistent(self):
+        cause = make_cause([Evidence("F", "m", Expectation.ABSENT)])
+        assert cause.contradiction(
+            obs({("F", "m"): MessageStatus.ABSENT})
+        ) is None
+
+    def test_present_vs_absent(self):
+        cause = make_cause([Evidence("F", "m", Expectation.PRESENT)])
+        assert cause.contradiction(
+            obs({("F", "m"): MessageStatus.ABSENT})
+        ) is not None
+
+    def test_present_accepts_corrupt(self):
+        cause = make_cause([Evidence("F", "m", Expectation.PRESENT)])
+        assert cause.contradiction(
+            obs({("F", "m"): MessageStatus.CORRUPT})
+        ) is None
+
+    def test_ok_vs_corrupt(self):
+        cause = make_cause([Evidence("F", "m", Expectation.OK)])
+        assert cause.contradiction(
+            obs({("F", "m"): MessageStatus.CORRUPT})
+        ) is not None
+
+    def test_corrupt_vs_ok(self):
+        cause = make_cause([Evidence("F", "m", Expectation.CORRUPT)])
+        assert cause.contradiction(
+            obs({("F", "m"): MessageStatus.OK})
+        ) is not None
+
+    def test_unknown_never_contradicts(self):
+        cause = make_cause([Evidence("F", "m", Expectation.CORRUPT)])
+        assert cause.contradiction(obs({})) is None
+        assert cause.contradiction(
+            obs({("F", "m"): MessageStatus.UNKNOWN})
+        ) is None
+
+    def test_symptom_mismatch_contradicts(self):
+        cause = make_cause([], symptom="hang")
+        assert cause.contradiction(obs({}, symptom="bad_trap")) is not None
+        assert cause.contradiction(obs({}, symptom="hang")) is None
+        assert cause.contradiction(obs({})) is None
+
+
+class TestPruning:
+    def test_prune_splits(self):
+        keep = make_cause([Evidence("F", "m", Expectation.ABSENT)])
+        kill = make_cause([Evidence("F", "m", Expectation.PRESENT)])
+        result = prune_causes(
+            [keep, kill], obs({("F", "m"): MessageStatus.ABSENT})
+        )
+        assert result.plausible == (keep,)
+        assert len(result.pruned) == 1
+        assert result.pruned_fraction == pytest.approx(0.5)
+
+    def test_empty_catalog(self):
+        result = prune_causes([], obs({}))
+        assert result.pruned_fraction == 0.0
+        assert result.total == 0
+
+
+class TestCatalogs:
+    @pytest.mark.parametrize("number,count", [(1, 9), (2, 8), (3, 9)])
+    def test_table1_cause_counts(self, number, count):
+        assert len(root_cause_catalog(number)) == count
+
+    def test_unknown_scenario(self):
+        with pytest.raises(RootCauseError, match="unknown usage scenario"):
+            root_cause_catalog(7)
+
+    def test_cause_ids_unique(self):
+        for number in (1, 2, 3):
+            ids = [c.cause_id for c in root_cause_catalog(number)]
+            assert len(ids) == len(set(ids))
+
+    def test_evidence_references_scenario_messages(self):
+        from repro.soc.t2.scenarios import scenario
+
+        for number in (1, 2, 3):
+            sc = scenario(number)
+            flows = {f.name: {m.name for m in f.messages} for f in sc.flows}
+            for cause in root_cause_catalog(number):
+                for item in cause.evidence:
+                    assert item.flow in flows, (number, cause.cause_id)
+                    assert item.message in flows[item.flow], (
+                        number, cause.cause_id, item
+                    )
+
+    def test_table7_causes_present_in_scenario1(self):
+        descriptions = [c.description for c in root_cause_catalog(1)]
+        assert any("bypass queue" in d for d in descriptions)
+        assert any("Invalid Mondo payload" in d for d in descriptions)
+        assert any("Non-generation of Mondo" in d for d in descriptions)
+
+    def test_section_5_7_pruning_story(self):
+        """The paper's debugging case study: Mondo never generated.
+
+        Traced absences of the interrupt-path messages rule out all
+        Scenario-1 causes except cause 3, pruning 8 of 9 (88.89%).
+        """
+        causes = root_cause_catalog(1)
+        statuses = {
+            ("Mon", "reqtot"): MessageStatus.ABSENT,
+            ("Mon", "grant"): MessageStatus.ABSENT,
+            ("Mon", "dmusiidata"): MessageStatus.ABSENT,
+            ("Mon", "siincu"): MessageStatus.ABSENT,
+            ("Mon", "mondoacknack"): MessageStatus.ABSENT,
+            ("PIOR", "siincu"): MessageStatus.OK,
+            ("PIOW", "piowcrd"): MessageStatus.OK,
+            ("PIOR", "siidmu_ack"): MessageStatus.OK,
+        }
+        result = prune_causes(causes, obs(statuses, symptom="hang"))
+        assert [c.cause_id for c in result.plausible] == [3]
+        assert result.pruned_fraction == pytest.approx(8 / 9)
+        assert result.plausible[0].ip == "DMU"

@@ -1,0 +1,142 @@
+"""Tests for the triage engine (discriminating next observations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.debug.observation import MessageStatus, Observation
+from repro.debug.rootcause import (
+    Evidence,
+    Expectation,
+    RootCause,
+    prune_causes,
+    root_cause_catalog,
+)
+from repro.debug.triage import (
+    Discriminator,
+    expectations_conflict,
+    suggest_discriminators,
+    triage_note,
+)
+
+
+def cause(cause_id, ip, *evidence, symptom=None):
+    return RootCause(
+        cause_id=cause_id,
+        description=f"cause {cause_id}",
+        implication="impl",
+        ip=ip,
+        evidence=tuple(evidence),
+        symptom=symptom,
+    )
+
+
+A, P, OK, C = (
+    Expectation.ABSENT,
+    Expectation.PRESENT,
+    Expectation.OK,
+    Expectation.CORRUPT,
+)
+
+
+class TestConflicts:
+    @pytest.mark.parametrize(
+        "a,b,conflict",
+        [
+            (A, P, True),
+            (A, OK, True),
+            (A, C, True),
+            (OK, C, True),
+            (P, OK, False),   # OK implies PRESENT
+            (P, C, False),    # CORRUPT implies PRESENT
+            (OK, OK, False),
+            (A, A, False),
+        ],
+    )
+    def test_matrix(self, a, b, conflict):
+        assert expectations_conflict(a, b) is conflict
+        assert expectations_conflict(b, a) is conflict
+
+
+class TestSuggest:
+    def test_simple_split(self):
+        one = cause(1, "X", Evidence("F", "m", A))
+        two = cause(2, "Y", Evidence("F", "m", P))
+        found = suggest_discriminators([one, two], Observation({}))
+        assert len(found) == 1
+        assert found[0].flow == "F" and found[0].message == "m"
+        assert found[0].splits == ((1, 2),)
+        assert found[0].power == 1
+
+    def test_observed_pairs_excluded(self):
+        one = cause(1, "X", Evidence("F", "m", A))
+        two = cause(2, "Y", Evidence("F", "m", P))
+        observation = Observation({("F", "m"): MessageStatus.OK})
+        assert suggest_discriminators([one, two], observation) == ()
+
+    def test_compatible_expectations_do_not_split(self):
+        one = cause(1, "X", Evidence("F", "m", P))
+        two = cause(2, "Y", Evidence("F", "m", C))
+        assert suggest_discriminators([one, two], Observation({})) == ()
+
+    def test_ranking_by_power(self):
+        one = cause(1, "X", Evidence("F", "m", A), Evidence("F", "k", A))
+        two = cause(2, "Y", Evidence("F", "m", P), Evidence("F", "k", A))
+        three = cause(3, "Z", Evidence("F", "m", P), Evidence("F", "k", P))
+        found = suggest_discriminators([one, two, three], Observation({}))
+        # m splits (1,2) and (1,3); k splits (1,3) and (2,3)
+        assert found[0].power == 2
+        assert {d.message for d in found} == {"m", "k"}
+
+    def test_fewer_than_two_causes(self):
+        only = cause(1, "X", Evidence("F", "m", A))
+        assert suggest_discriminators([only], Observation({})) == ()
+        assert suggest_discriminators([], Observation({})) == ()
+
+
+class TestTriageNote:
+    def test_isolated(self):
+        note = triage_note([cause(1, "DMU", Evidence("F", "m", A))],
+                           Observation({}))
+        assert "Root cause isolated" in note
+        assert "DMU" in note
+
+    def test_catalog_gap(self):
+        note = triage_note([], Observation({}))
+        assert "extend the root-cause catalog" in note
+
+    def test_suggests_reconfiguration(self):
+        one = cause(1, "X", Evidence("F", "m", A))
+        two = cause(2, "Y", Evidence("F", "m", P))
+        note = triage_note([one, two], Observation({}))
+        assert "F.m" in note
+        assert "#1 vs #2" in note
+
+    def test_no_discriminator_escalates(self):
+        one = cause(1, "X", Evidence("F", "m", P))
+        two = cause(2, "Y", Evidence("F", "m", C))
+        note = triage_note([one, two], Observation({}))
+        assert "escalate" in note.lower()
+
+
+class TestOnCaseStudies:
+    def test_case_study_1_ambiguity_is_resolvable(self):
+        """CS1 keeps causes 3 and 4; observing Mon.reqtot separates
+        them (cause 3 expects it ABSENT, cause 4 PRESENT) -- exactly
+        the message the paper's Table-7 trace set includes."""
+        causes = root_cause_catalog(1)
+        statuses = {
+            ("Mon", "grant"): MessageStatus.ABSENT,
+            ("Mon", "dmusiidata"): MessageStatus.ABSENT,
+            ("Mon", "siincu"): MessageStatus.ABSENT,
+            ("Mon", "mondoacknack"): MessageStatus.ABSENT,
+            ("PIOR", "siincu"): MessageStatus.OK,
+            ("PIOW", "piowcrd"): MessageStatus.OK,
+            ("PIOR", "siidmu_ack"): MessageStatus.OK,
+        }
+        observation = Observation(statuses, symptom_kind="hang")
+        pruning = prune_causes(causes, observation)
+        assert {c.cause_id for c in pruning.plausible} == {3, 4}
+        found = suggest_discriminators(pruning.plausible, observation)
+        assert found
+        assert (found[0].flow, found[0].message) == ("Mon", "reqtot")

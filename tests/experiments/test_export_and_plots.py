@@ -1,0 +1,82 @@
+"""Tests for the JSON export and ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.asciiplot import scatter, stacked_bars, step_series
+from repro.experiments.export import export_results, write_results
+
+
+class TestAsciiPlots:
+    def test_scatter_renders_all_points(self):
+        text = scatter([(0.0, 0.0), (1.0, 1.0), (0.5, 0.5)],
+                       width=20, height=5)
+        assert text.count("*") == 3
+        assert "1.000" in text and "0.000" in text
+
+    def test_scatter_empty(self):
+        assert scatter([]) == "(no points)"
+
+    def test_scatter_degenerate_axis(self):
+        # all points identical: spans collapse, still renders
+        text = scatter([(1.0, 2.0), (1.0, 2.0)], width=10, height=3)
+        assert "*" in text
+
+    def test_step_series(self):
+        text = step_series([("curve", [1, 2, 3])], width=10)
+        assert "step  1" in text and "step  3" in text
+        assert text.count("#") > 0
+
+    def test_step_series_empty_values(self):
+        assert step_series([("empty", [])]) == "empty"
+
+    def test_stacked_bars(self):
+        text = stacked_bars([("cs1", 2, 7)], width=9)
+        assert "OO" in text
+        assert "x" in text
+        assert "(2 plausible, 7 pruned)" in text
+
+    def test_stacked_bars_zero(self):
+        text = stacked_bars([("cs", 0, 0)])
+        assert "(0 plausible, 0 pruned)" in text
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return export_results()
+
+    def test_top_level_keys(self, payload):
+        assert {
+            "library_version", "table1", "table3", "table4", "table5",
+            "table6", "fig5", "fig6", "fig7", "headline",
+        } <= set(payload)
+
+    def test_json_serializable(self, payload):
+        text = json.dumps(payload)
+        assert json.loads(text) == payload
+
+    def test_table3_structure(self, payload):
+        assert len(payload["table3"]) == 5
+        row = payload["table3"][0]
+        assert row["utilization"]["with_packing"] == pytest.approx(1.0)
+
+    def test_fig7_consistency(self, payload):
+        bars = payload["fig7"]["bars"]
+        assert len(bars) == 5
+        fractions = [
+            b["pruned"] / (b["pruned"] + b["plausible"]) for b in bars
+        ]
+        assert payload["fig7"]["average_pruned"] == pytest.approx(
+            sum(fractions) / len(fractions)
+        )
+
+    def test_write_results(self):
+        buffer = io.StringIO()
+        write_results(buffer)
+        buffer.seek(0)
+        assert json.load(buffer)["library_version"]

@@ -1,0 +1,100 @@
+"""Unit tests for the reconstruction experiment and the bug sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.bugsweep import (
+    SweepEntry,
+    SweepResult,
+    bug_sweep,
+    format_bug_sweep,
+)
+from repro.experiments.reconstruction import (
+    format_reconstruction,
+    usb_reconstruction,
+)
+from repro.soc.usb.flows import MESSAGE_COMPOSITION
+
+
+@pytest.fixture(scope="module")
+def reconstruction():
+    return usb_reconstruction(cycles=32, seed=3)
+
+
+class TestReconstruction:
+    def test_methods_present(self, reconstruction):
+        assert set(reconstruction.reconstructed) == {
+            "sigset", "prnet", "infogain"
+        }
+        assert set(reconstruction.fraction) == {
+            "sigset", "prnet", "infogain"
+        }
+
+    def test_counts_consistent(self, reconstruction):
+        for method, per in reconstruction.reconstructed.items():
+            for name, (good, total) in per.items():
+                assert 0 <= good <= total, (method, name)
+                assert total == reconstruction.occurrences.get(name, 0)
+
+    def test_infogain_reconstructs_all(self, reconstruction):
+        assert reconstruction.fraction["infogain"] == 1.0
+
+    def test_baselines_lose_data_messages(self, reconstruction):
+        for method in ("sigset", "prnet"):
+            good, total = reconstruction.reconstructed[method]["RxToken"]
+            assert good < total
+
+    def test_format(self, reconstruction):
+        text = format_reconstruction(reconstruction)
+        assert "infogain" in text
+        assert "%" in text
+
+    def test_deterministic(self):
+        a = usb_reconstruction(cycles=24, seed=5)
+        b = usb_reconstruction(cycles=24, seed=5)
+        assert a.fraction == b.fraction
+
+
+class TestSweepResult:
+    def _entry(self, plausible, implicated=True, pruned=0.8):
+        return SweepEntry(
+            bug_id=1,
+            scenario_number=1,
+            symptom="hang",
+            pruned_fraction=pruned,
+            ip_implicated=implicated,
+            localization=0.01,
+            plausible_count=plausible,
+        )
+
+    def test_catalog_gap_detection(self):
+        assert self._entry(0).is_catalog_gap
+        assert not self._entry(2).is_catalog_gap
+
+    def test_fractions(self):
+        result = SweepResult(
+            entries=(
+                self._entry(2, implicated=True),
+                self._entry(1, implicated=False),
+                self._entry(0, implicated=False, pruned=1.0),
+            ),
+            dormant=(),
+        )
+        assert len(result.covered) == 2
+        assert len(result.catalog_gaps) == 1
+        assert result.implicated_fraction == pytest.approx(0.5)
+        assert result.mean_pruned == pytest.approx((0.8 + 0.8 + 1.0) / 3)
+
+    def test_empty(self):
+        result = SweepResult(entries=(), dormant=())
+        assert result.implicated_fraction == 0.0
+        assert result.mean_pruned == 0.0
+
+    def test_format_smoke(self):
+        result = SweepResult(
+            entries=(self._entry(1),), dormant=((2, 1),)
+        )
+        text = format_bug_sweep(result)
+        assert "Bug sweep" in text
+        assert "dormant pairs: 1" in text

@@ -1,0 +1,217 @@
+"""Tests for gate primitives, circuit validation, and builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.circuit import Circuit, CircuitBuilder, FlipFlop
+from repro.netlist.gates import Gate, GateKind
+from repro.netlist.signals import ONE, UNKNOWN, ZERO
+
+
+class TestGateConstruction:
+    def test_arity_minimum(self):
+        with pytest.raises(NetlistError, match="at least"):
+            Gate(GateKind.AND, ("a",), "o")
+
+    def test_arity_maximum(self):
+        with pytest.raises(NetlistError, match="at most"):
+            Gate(GateKind.NOT, ("a", "b"), "o")
+
+    def test_mux_needs_three(self):
+        with pytest.raises(NetlistError, match="at least"):
+            Gate(GateKind.MUX, ("s", "a"), "o")
+
+    def test_self_feedback_rejected(self):
+        with pytest.raises(NetlistError, match="feeds back"):
+            Gate(GateKind.AND, ("a", "o"), "o")
+
+
+class TestGateEvaluate:
+    @pytest.mark.parametrize(
+        "kind,inputs,expected",
+        [
+            (GateKind.AND, (1, 1), 1),
+            (GateKind.AND, (1, 0), 0),
+            (GateKind.NAND, (1, 1), 0),
+            (GateKind.OR, (0, 0), 0),
+            (GateKind.NOR, (0, 0), 1),
+            (GateKind.XOR, (1, 1), 0),
+            (GateKind.XNOR, (1, 1), 1),
+            (GateKind.NOT, (1,), 0),
+            (GateKind.BUF, (1,), 1),
+            (GateKind.MUX, (0, 1, 0), 1),
+            (GateKind.MUX, (1, 1, 0), 0),
+        ],
+    )
+    def test_truth_table(self, kind, inputs, expected):
+        names = tuple(f"i{k}" for k in range(len(inputs)))
+        gate = Gate(kind, names, "o")
+        assert gate.evaluate(list(inputs)) == expected
+
+
+class TestGateJustify:
+    def test_and_output_one_forces_all(self):
+        gate = Gate(GateKind.AND, ("a", "b"), "o")
+        assert gate.justify(ONE, [UNKNOWN, UNKNOWN]) == [ONE, ONE]
+
+    def test_and_output_zero_single_unknown(self):
+        gate = Gate(GateKind.AND, ("a", "b"), "o")
+        assert gate.justify(ZERO, [ONE, UNKNOWN]) == [ONE, ZERO]
+
+    def test_and_output_zero_two_unknowns_unresolved(self):
+        gate = Gate(GateKind.AND, ("a", "b"), "o")
+        assert gate.justify(ZERO, [UNKNOWN, UNKNOWN]) == [UNKNOWN, UNKNOWN]
+
+    def test_or_output_zero_forces_all(self):
+        gate = Gate(GateKind.OR, ("a", "b"), "o")
+        assert gate.justify(ZERO, [UNKNOWN, UNKNOWN]) == [ZERO, ZERO]
+
+    def test_or_output_one_single_unknown(self):
+        gate = Gate(GateKind.OR, ("a", "b"), "o")
+        assert gate.justify(ONE, [ZERO, UNKNOWN]) == [ZERO, ONE]
+
+    def test_not_inverts(self):
+        gate = Gate(GateKind.NOT, ("a",), "o")
+        assert gate.justify(ONE, [UNKNOWN]) == [ZERO]
+
+    def test_xor_solves_single_unknown(self):
+        gate = Gate(GateKind.XOR, ("a", "b", "c"), "o")
+        assert gate.justify(ONE, [ONE, UNKNOWN, ZERO]) == [ONE, ZERO, ZERO]
+
+    def test_mux_known_select(self):
+        gate = Gate(GateKind.MUX, ("s", "a", "b"), "o")
+        assert gate.justify(ONE, [ZERO, UNKNOWN, UNKNOWN]) == [ZERO, ONE, UNKNOWN]
+
+    def test_mux_unknown_select_contradiction(self):
+        gate = Gate(GateKind.MUX, ("s", "a", "b"), "o")
+        # if_zero branch contradicts the output: select must be 1
+        assert gate.justify(ONE, [UNKNOWN, ZERO, UNKNOWN]) == [ONE, ZERO, ONE]
+
+    def test_unknown_output_is_noop(self):
+        gate = Gate(GateKind.AND, ("a", "b"), "o")
+        assert gate.justify(UNKNOWN, [UNKNOWN, ONE]) == [UNKNOWN, ONE]
+
+
+class TestCircuitValidation:
+    def test_double_driver_rejected(self):
+        with pytest.raises(NetlistError, match="driven twice"):
+            Circuit(
+                "c",
+                inputs=["a", "a"],
+                flops=[],
+                gates=[],
+            )
+
+    def test_undriven_gate_input_rejected(self):
+        with pytest.raises(NetlistError, match="undriven"):
+            Circuit(
+                "c",
+                inputs=["a"],
+                flops=[],
+                gates=[Gate(GateKind.NOT, ("zz",), "o")],
+            )
+
+    def test_undriven_flop_data_rejected(self):
+        with pytest.raises(NetlistError, match="undriven"):
+            Circuit("c", inputs=[], flops=[FlipFlop("q", "zz")], gates=[])
+
+    def test_combinational_cycle_rejected(self):
+        with pytest.raises(NetlistError, match="cycle"):
+            Circuit(
+                "c",
+                inputs=["a"],
+                flops=[],
+                gates=[
+                    Gate(GateKind.AND, ("a", "y"), "x"),
+                    Gate(GateKind.AND, ("a", "x"), "y"),
+                ],
+            )
+
+    def test_sequential_loop_allowed(self):
+        # feedback through a flip-flop is fine
+        circuit = Circuit(
+            "c",
+            inputs=["a"],
+            flops=[FlipFlop("q", "d")],
+            gates=[Gate(GateKind.XOR, ("a", "q"), "d")],
+        )
+        assert circuit.num_flops == 1
+
+    def test_bad_flop_init_rejected(self):
+        with pytest.raises(NetlistError, match="init"):
+            FlipFlop("q", "d", init=2)
+
+    def test_bad_constant_rejected(self):
+        with pytest.raises(NetlistError, match="constant"):
+            Circuit("c", inputs=[], flops=[], gates=[], constants={"k": 5})
+
+    def test_module_map_unknown_signal_rejected(self):
+        with pytest.raises(NetlistError, match="unknown signal"):
+            Circuit(
+                "c", inputs=["a"], flops=[], gates=[], modules={"zz": "m"}
+            )
+
+    def test_flop_lookup(self):
+        circuit = Circuit(
+            "c", inputs=["a"], flops=[FlipFlop("q", "a")], gates=[]
+        )
+        assert circuit.flop("q").data == "a"
+        with pytest.raises(KeyError):
+            circuit.flop("zz")
+
+
+class TestCircuitBuilder:
+    def test_module_attribution(self):
+        b = CircuitBuilder("c")
+        b.module("m1")
+        a = b.input("a")
+        b.module("m2")
+        b.not_("na", a)
+        circuit = b.build()
+        assert circuit.module_of("a") == "m1"
+        assert circuit.module_of("na") == "m2"
+        assert circuit.module_of("unknown") == "top"
+
+    def test_convenience_gates(self):
+        b = CircuitBuilder("c")
+        a, c = b.inputs("a", "c")
+        b.and_("x", a, c)
+        b.or_("y", a, c)
+        b.xor_("z", a, c)
+        b.buf("w", a)
+        b.mux("m", a, c, "x")
+        b.constant("k1", 1)
+        circuit = b.build()
+        assert len(circuit.gates) == 5
+        assert circuit.constants == {"k1": 1}
+
+    def test_fanin_fanout(self):
+        b = CircuitBuilder("c")
+        a, c = b.inputs("a", "c")
+        x = b.and_("x", a, c)
+        b.flop("q", x)
+        circuit = b.build()
+        assert circuit.fanin("x") == frozenset({"a", "c"})
+        assert "x" in circuit.fanout("a")
+        assert "q" in circuit.fanout("x")
+
+    def test_dependency_graph(self):
+        b = CircuitBuilder("c")
+        a = b.input("a")
+        x = b.and_("x", a, "q2")
+        b.flop("q1", x)
+        b.flop("q2", "q1")
+        circuit = b.build()
+        graph = circuit.flop_dependency_graph()
+        assert graph["q1"] == frozenset({"a", "q2"})
+        assert graph["q2"] == frozenset({"q1"})
+
+    def test_signals_property(self):
+        b = CircuitBuilder("c")
+        a = b.input("a")
+        b.flop("q", a)
+        b.not_("na", a)
+        circuit = b.build()
+        assert circuit.signals == frozenset({"a", "q", "na"})

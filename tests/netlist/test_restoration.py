@@ -1,0 +1,122 @@
+"""Tests for state restoration and SRR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.netlist.circuit import CircuitBuilder
+from repro.netlist.generators import add_counter, add_shift_register
+from repro.netlist.restoration import (
+    RestorationEngine,
+    state_restoration_ratio,
+)
+from repro.netlist.signals import is_known
+from repro.netlist.simulator import Simulator
+
+
+@pytest.fixture
+def shift_circuit():
+    b = CircuitBuilder("sr")
+    din = b.input("din")
+    add_shift_register(b, "sr", 6, din)
+    return b.build()
+
+
+class TestShiftRegisterRestoration:
+    def test_head_restores_downstream(self, shift_circuit):
+        sim = Simulator(shift_circuit)
+        golden = sim.run_random(32, seed=3)
+        engine = RestorationEngine(shift_circuit, check_golden=True)
+        report = engine.restore(golden, ["sr_s0"])
+        # knowing s0 at every cycle determines s1..s5 after warm-up:
+        # ideal SRR -> 6; warm-up/tail losses keep it slightly below
+        assert report.srr > 4.5
+        assert report.traced_count == 32
+
+    def test_tail_restores_upstream(self, shift_circuit):
+        # backward restoration: s5 known => s4 at previous cycle known
+        sim = Simulator(shift_circuit)
+        golden = sim.run_random(32, seed=3)
+        engine = RestorationEngine(shift_circuit, check_golden=True)
+        report = engine.restore(golden, ["sr_s5"])
+        assert report.srr > 4.5
+
+    def test_restored_values_match_golden(self, shift_circuit):
+        sim = Simulator(shift_circuit)
+        golden = sim.run_random(24, seed=9)
+        engine = RestorationEngine(shift_circuit)
+        report = engine.restore(golden, ["sr_s2"])
+        for t, frame in enumerate(report.restored_values):
+            for name, value in frame.items():
+                if is_known(value):
+                    assert value == golden[t][name], (name, t)
+
+
+class TestCounterRestoration:
+    def test_counter_with_enable_restores_fully(self):
+        b = CircuitBuilder("cnt")
+        en = b.input("en")
+        add_counter(b, "cnt", 4, en)
+        circuit = b.build()
+        sim = Simulator(circuit)
+        golden = sim.run_random(32, seed=1)
+        engine = RestorationEngine(circuit, check_golden=True)
+        # q0 recovers the enable (q0 XOR en = next q0); q3 justifies the
+        # carry chain backwards; together they restore the whole counter
+        report = engine.restore(golden, ["cnt_q0", "cnt_q3"])
+        assert report.srr == pytest.approx(2.0)
+        assert report.restoration_fraction(circuit) == pytest.approx(1.0)
+        # the low bit alone recovers nothing beyond itself
+        alone = engine.restore(golden, ["cnt_q0"])
+        assert alone.srr == pytest.approx(1.0)
+
+    def test_all_traced_is_identity(self):
+        b = CircuitBuilder("cnt")
+        en = b.input("en")
+        bits = add_counter(b, "cnt", 3, en)
+        circuit = b.build()
+        sim = Simulator(circuit)
+        golden = sim.run_random(16, seed=2)
+        engine = RestorationEngine(circuit, check_golden=True)
+        report = engine.restore(golden, bits)
+        assert report.srr == pytest.approx(1.0)
+        assert report.restoration_fraction(circuit) == pytest.approx(1.0)
+
+
+class TestGuards:
+    def test_non_flop_traced_rejected(self, shift_circuit):
+        sim = Simulator(shift_circuit)
+        golden = sim.run_random(8, seed=0)
+        engine = RestorationEngine(shift_circuit)
+        with pytest.raises(SimulationError, match="not flip-flops"):
+            engine.restore(golden, ["din"])
+
+    def test_empty_trace_srr_zero(self, shift_circuit):
+        sim = Simulator(shift_circuit)
+        golden = sim.run_random(8, seed=0)
+        engine = RestorationEngine(shift_circuit)
+        report = engine.restore(golden, [])
+        assert report.srr == 0.0
+
+    def test_inputs_known_helps(self, shift_circuit):
+        sim = Simulator(shift_circuit)
+        golden = sim.run_random(16, seed=4)
+        engine = RestorationEngine(shift_circuit, check_golden=True)
+        blind = engine.restore(golden, ["sr_s3"])
+        informed = engine.restore(golden, ["sr_s3"], inputs_known=True)
+        assert informed.restored_count >= blind.restored_count
+
+
+class TestSrrHelper:
+    def test_srr_function(self, shift_circuit):
+        srr = state_restoration_ratio(shift_circuit, ["sr_s0"], cycles=32, seed=3)
+        assert srr > 4.5
+
+    def test_more_trace_lowers_ratio_but_raises_coverage(self, shift_circuit):
+        one = state_restoration_ratio(shift_circuit, ["sr_s0"], cycles=32)
+        both = state_restoration_ratio(
+            shift_circuit, ["sr_s0", "sr_s5"], cycles=32
+        )
+        # SRR is per-traced-bit: adding redundant signals dilutes it
+        assert both < one

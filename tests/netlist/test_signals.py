@@ -1,0 +1,83 @@
+"""Tests for ternary logic primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.signals import (
+    ONE,
+    UNKNOWN,
+    ZERO,
+    and3,
+    from_bits,
+    is_known,
+    mux3,
+    not3,
+    or3,
+    to_bits,
+    validate_value,
+    xor3,
+)
+
+
+class TestTernaryOps:
+    def test_not(self):
+        assert not3(ZERO) == ONE
+        assert not3(ONE) == ZERO
+        assert not3(UNKNOWN) == UNKNOWN
+
+    def test_and_controlling_zero(self):
+        assert and3([ZERO, UNKNOWN]) == ZERO
+        assert and3([UNKNOWN, ZERO, ONE]) == ZERO
+
+    def test_and_poisoned(self):
+        assert and3([ONE, UNKNOWN]) == UNKNOWN
+
+    def test_and_all_ones(self):
+        assert and3([ONE, ONE, ONE]) == ONE
+
+    def test_or_controlling_one(self):
+        assert or3([ONE, UNKNOWN]) == ONE
+
+    def test_or_poisoned(self):
+        assert or3([ZERO, UNKNOWN]) == UNKNOWN
+
+    def test_or_all_zero(self):
+        assert or3([ZERO, ZERO]) == ZERO
+
+    def test_xor(self):
+        assert xor3([ONE, ZERO, ONE]) == ZERO
+        assert xor3([ONE, ZERO]) == ONE
+        assert xor3([ONE, UNKNOWN]) == UNKNOWN
+
+    def test_mux_known_select(self):
+        assert mux3(ZERO, ONE, ZERO) == ONE
+        assert mux3(ONE, ONE, ZERO) == ZERO
+
+    def test_mux_unknown_select_agreeing_branches(self):
+        assert mux3(UNKNOWN, ONE, ONE) == ONE
+        assert mux3(UNKNOWN, ONE, ZERO) == UNKNOWN
+        assert mux3(UNKNOWN, UNKNOWN, UNKNOWN) == UNKNOWN
+
+    def test_is_known(self):
+        assert is_known(ZERO) and is_known(ONE)
+        assert not is_known(UNKNOWN)
+
+    def test_validate(self):
+        assert validate_value(ONE) == ONE
+        with pytest.raises(ValueError, match="ternary"):
+            validate_value(2)
+
+
+class TestBitHelpers:
+    def test_roundtrip(self):
+        assert from_bits(to_bits(13, 6)) == 13
+
+    def test_to_bits_range_check(self):
+        with pytest.raises(ValueError, match="fit"):
+            to_bits(16, 4)
+        with pytest.raises(ValueError, match="fit"):
+            to_bits(-1, 4)
+
+    def test_from_bits_unknown(self):
+        assert from_bits([ONE, UNKNOWN]) == UNKNOWN

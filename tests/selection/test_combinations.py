@@ -1,0 +1,81 @@
+"""Tests for Step 1: width-feasible message combination enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import Message, MessageCombination
+from repro.errors import SelectionError
+from repro.selection.combinations import (
+    MAX_EXHAUSTIVE_MESSAGES,
+    count_feasible_combinations,
+    feasible_combinations,
+    widest_feasible,
+)
+
+
+def msgs(*widths: int):
+    return [Message(f"m{i}", w) for i, w in enumerate(widths)]
+
+
+class TestPaperExample:
+    def test_six_of_seven_combinations_kept(self, cc_flow):
+        # 3 one-bit messages, 2-bit buffer: only the full set is dropped
+        combos = list(feasible_combinations(cc_flow.messages, 2))
+        assert len(combos) == 6
+        assert all(c.total_width <= 2 for c in combos)
+        names = {c.names() for c in combos}
+        assert ("Ack", "GntE", "ReqE") not in names
+
+
+class TestEnumeration:
+    def test_all_fit(self):
+        pool = msgs(1, 1)
+        assert count_feasible_combinations(pool, 10) == 3
+
+    def test_width_pruning(self):
+        pool = msgs(5, 6, 20)
+        combos = {c.names() for c in feasible_combinations(pool, 11)}
+        assert combos == {("m0",), ("m1",), ("m0", "m1")}
+
+    def test_include_empty(self):
+        pool = msgs(1)
+        combos = list(feasible_combinations(pool, 1, include_empty=True))
+        assert MessageCombination() in combos
+
+    def test_no_message_fits(self):
+        assert count_feasible_combinations(msgs(50), 10) == 0
+
+    def test_duplicates_collapse(self):
+        m = Message("m", 1)
+        assert count_feasible_combinations([m, m], 4) == 1
+
+    def test_lazy_generator(self):
+        gen = feasible_combinations(msgs(1, 1, 1, 1), 4)
+        first = next(gen)
+        assert isinstance(first, MessageCombination)
+
+    def test_counts_scale_as_subsets(self):
+        # wide buffer: every non-empty subset is feasible
+        assert count_feasible_combinations(msgs(1, 1, 1, 1), 100) == 15
+
+
+class TestGuards:
+    def test_nonpositive_buffer_rejected(self):
+        with pytest.raises(SelectionError, match="positive"):
+            list(feasible_combinations(msgs(1), 0))
+
+    def test_pool_size_guard(self):
+        pool = msgs(*([1] * (MAX_EXHAUSTIVE_MESSAGES + 1)))
+        with pytest.raises(SelectionError, match="knapsack"):
+            list(feasible_combinations(pool, 4))
+
+
+class TestWidestFeasible:
+    def test_prefers_fuller_buffer(self):
+        pool = msgs(3, 4, 5)
+        best = widest_feasible(pool, 8)
+        assert best.total_width == 8
+
+    def test_empty_when_nothing_fits(self):
+        assert widest_feasible(msgs(9), 5) == MessageCombination()

@@ -1,0 +1,55 @@
+"""Tests for the coverage-greedy selector (ablation baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coverage import flow_specification_coverage
+from repro.core.interleave import interleave_flows
+from repro.errors import SelectionError
+from repro.selection.greedy import select_by_coverage
+from repro.soc.t2.scenarios import scenario
+
+
+class TestSelectByCoverage:
+    def test_respects_budget(self, cc_interleaved):
+        combo = select_by_coverage(cc_interleaved, 2)
+        assert combo.total_width <= 2
+        assert len(combo) == 2  # two 1-bit messages fit
+
+    def test_reaches_best_two_message_coverage(self, cc_interleaved):
+        combo = select_by_coverage(cc_interleaved, 2)
+        # best 2-bit coverage on the toy example is 11/15
+        assert flow_specification_coverage(
+            cc_interleaved, combo
+        ) == pytest.approx(11 / 15)
+
+    def test_absolute_rule(self, cc_interleaved):
+        combo = select_by_coverage(cc_interleaved, 2, rule="absolute")
+        assert combo.total_width <= 2
+        assert flow_specification_coverage(cc_interleaved, combo) > 0
+
+    def test_guards(self, cc_interleaved):
+        with pytest.raises(SelectionError, match="positive"):
+            select_by_coverage(cc_interleaved, 0)
+        with pytest.raises(SelectionError, match="rule"):
+            select_by_coverage(cc_interleaved, 2, rule="magic")
+
+    def test_wide_messages_skipped(self):
+        sc = scenario(1)
+        u = sc.interleaved()
+        combo = select_by_coverage(u, 32)
+        assert all(m.width <= 32 for m in combo)
+        assert combo.total_width <= 32
+
+    def test_greedy_coverage_close_to_gain_driven(self):
+        from repro.selection.selector import MessageSelector
+
+        sc = scenario(2)
+        u = sc.interleaved()
+        greedy = select_by_coverage(u, 32)
+        gain_driven = MessageSelector(u, 32).select(
+            method="exhaustive", packing=False
+        )
+        greedy_cov = flow_specification_coverage(u, greedy)
+        assert gain_driven.coverage >= greedy_cov - 0.10

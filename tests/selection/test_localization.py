@@ -1,0 +1,146 @@
+"""Tests for path localization from observed traces (Section 5.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.execution import project_trace
+from repro.core.interleave import interleave_flows
+from repro.core.message import IndexedMessage, Message, MessageCombination
+from repro.errors import SelectionError
+from repro.selection.localization import (
+    LocalizationResult,
+    PathLocalizer,
+    localize_trace,
+)
+
+
+@pytest.fixture
+def traced(cc_flow) -> MessageCombination:
+    return MessageCombination(
+        [cc_flow.message_by_name("ReqE"), cc_flow.message_by_name("GntE")]
+    )
+
+
+@pytest.fixture
+def localizer(cc_interleaved, traced) -> PathLocalizer:
+    return PathLocalizer(cc_interleaved, traced)
+
+
+class TestToyExample:
+    def test_total_paths(self, localizer):
+        assert localizer.total_paths == 6
+
+    def test_paper_observation_localizes(self, cc_flow, localizer):
+        # observed {1:ReqE, 1:GntE, 2:ReqE}: under strict Def.-5 atomic
+        # semantics only one execution can have produced this snapshot
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        obs = [IndexedMessage(req, 1), IndexedMessage(gnt, 1), IndexedMessage(req, 2)]
+        result = localizer.localize(obs)
+        assert result.consistent_paths == 1
+        assert result.fraction == pytest.approx(1 / 6)
+
+    def test_empty_observation_matches_everything(self, localizer):
+        result = localizer.localize([])
+        assert result.consistent_paths == result.total_paths == 6
+        assert result.fraction == 1.0
+
+    def test_single_message_prefix(self, cc_flow, localizer):
+        req = cc_flow.message_by_name("ReqE")
+        # first visible event 1:ReqE: instance 1 requested first
+        result = localizer.localize([IndexedMessage(req, 1)])
+        assert 0 < result.consistent_paths < 6
+
+    def test_symmetry_of_instances(self, cc_flow, localizer):
+        req = cc_flow.message_by_name("ReqE")
+        one = localizer.localize([IndexedMessage(req, 1)])
+        two = localizer.localize([IndexedMessage(req, 2)])
+        assert one.consistent_paths == two.consistent_paths
+
+    def test_plain_message_matches_any_instance(self, cc_flow, localizer):
+        req = cc_flow.message_by_name("ReqE")
+        plain = localizer.localize([req])
+        indexed = localizer.localize([IndexedMessage(req, 1)])
+        assert plain.consistent_paths > indexed.consistent_paths
+
+    def test_exact_mode_requires_complete_projection(self, cc_flow, localizer):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        # a full visible projection of one path
+        obs = [
+            IndexedMessage(req, 1),
+            IndexedMessage(gnt, 1),
+            IndexedMessage(req, 2),
+            IndexedMessage(gnt, 2),
+        ]
+        assert localizer.localize(obs, mode="exact").consistent_paths == 1
+        # prefixes match nothing in exact mode
+        assert localizer.localize(obs[:3], mode="exact").consistent_paths == 0
+
+
+class TestConsistencyWithSampling:
+    def test_every_sampled_projection_is_consistent(self, cc_interleaved, traced):
+        localizer = PathLocalizer(cc_interleaved, traced)
+        rng = random.Random(42)
+        for _ in range(25):
+            execution = cc_interleaved.random_execution(rng)
+            observed = project_trace(execution.messages, traced)
+            exact = localizer.localize(observed, mode="exact")
+            assert exact.consistent_paths >= 1
+            prefix = localizer.localize(observed[:2], mode="prefix")
+            assert prefix.consistent_paths >= exact.consistent_paths
+
+    def test_longer_prefix_never_widens(self, cc_interleaved, traced):
+        localizer = PathLocalizer(cc_interleaved, traced)
+        rng = random.Random(9)
+        execution = cc_interleaved.random_execution(rng)
+        observed = project_trace(execution.messages, traced)
+        counts = [
+            localizer.localize(observed[:k]).consistent_paths
+            for k in range(len(observed) + 1)
+        ]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+
+class TestGuards:
+    def test_untraced_observation_rejected(self, cc_flow, localizer):
+        ack = cc_flow.message_by_name("Ack")
+        with pytest.raises(SelectionError, match="not in the traced set"):
+            localizer.localize([ack])
+
+    def test_unknown_mode_rejected(self, cc_flow, localizer):
+        req = cc_flow.message_by_name("ReqE")
+        with pytest.raises(SelectionError, match="unknown localization mode"):
+            localizer.localize([req], mode="fuzzy")
+
+    def test_impossible_observation_counts_zero(self, cc_flow, localizer):
+        gnt = cc_flow.message_by_name("GntE")
+        req = cc_flow.message_by_name("ReqE")
+        # GntE before any ReqE of the same instance is impossible
+        result = localizer.localize(
+            [IndexedMessage(gnt, 1), IndexedMessage(gnt, 2),
+             IndexedMessage(req, 1)]
+        )
+        assert result.consistent_paths == 0
+
+
+class TestLocalizationResult:
+    def test_fraction_zero_denominator(self):
+        assert LocalizationResult(0, 0).fraction == 0.0
+
+    def test_wrapper(self, cc_interleaved, cc_flow, traced):
+        req = cc_flow.message_by_name("ReqE")
+        result = localize_trace(cc_interleaved, traced, [req])
+        assert isinstance(result, LocalizationResult)
+
+
+class TestSubgroupLocalization:
+    def test_subgroup_observation_visible(self, cc_interleaved, cc_flow):
+        sub = Message("ReqE_lo", 1, parent="ReqE")
+        localizer = PathLocalizer(cc_interleaved, [sub])
+        req = cc_flow.message_by_name("ReqE")
+        result = localizer.localize([IndexedMessage(req, 1)])
+        assert result.consistent_paths > 0

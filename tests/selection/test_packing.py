@@ -1,0 +1,168 @@
+"""Tests for Step 3: trace-buffer packing with sub-message groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import Flow, Transition
+from repro.core.information import InformationModel
+from repro.core.interleave import interleave_flows
+from repro.core.message import Message, MessageCombination
+from repro.errors import SelectionError
+from repro.selection.packing import (
+    expand_subgroups,
+    pack_trace_buffer,
+    subgroup_gain,
+)
+from repro.selection.selector import MessageSelector
+
+
+@pytest.fixture
+def wide_flow() -> Flow:
+    """A flow with one message too wide to trace plus narrow ones.
+
+    ``data`` (20 bits, like dmusiidata) cannot fit a small buffer;
+    its 6-bit slice ``threadid`` can be packed instead.
+    """
+    req = Message("req", 4, source="A", destination="B")
+    data = Message("data", 20, source="B", destination="C")
+    ack = Message("ack", 2, source="C", destination="A")
+    return Flow(
+        name="Wide",
+        states=["s0", "s1", "s2", "s3"],
+        initial=["s0"],
+        stop=["s3"],
+        transitions=[
+            Transition("s0", req, "s1"),
+            Transition("s1", data, "s2"),
+            Transition("s2", ack, "s3"),
+        ],
+    )
+
+
+@pytest.fixture
+def threadid() -> Message:
+    return Message("threadid", 6, parent="data")
+
+
+class TestPacking:
+    def test_packs_subgroup_into_leftover(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        base = MessageCombination([wide_flow.message_by_name("req"),
+                                   wide_flow.message_by_name("ack")])
+        result = pack_trace_buffer(model, base, 12, [threadid])
+        assert result.packed == (threadid,)
+        assert result.leftover == 0
+        assert result.gain > model.gain(base)
+
+    def test_skips_subgroup_that_does_not_fit(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        base = MessageCombination([wide_flow.message_by_name("req"),
+                                   wide_flow.message_by_name("ack")])
+        result = pack_trace_buffer(model, base, 8, [threadid])
+        assert result.packed == ()
+        assert result.leftover == 2
+
+    def test_skips_subgroup_when_parent_selected(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        base = MessageCombination(list(wide_flow.messages))
+        result = pack_trace_buffer(model, base, 40, [threadid])
+        assert result.packed == ()
+
+    def test_base_too_wide_rejected(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        base = MessageCombination(list(wide_flow.messages))
+        with pytest.raises(SelectionError, match="exceeds"):
+            pack_trace_buffer(model, base, 8, [threadid])
+
+    def test_greedy_prefers_higher_gain_slice(self, wide_flow):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        base = MessageCombination([wide_flow.message_by_name("req")])
+        wide_slice = Message("data_hi", 8, parent="data")
+        narrow_slice = Message("data_lo", 4, parent="data")
+        # only room for one: the proportional policy favors the wider slice
+        result = pack_trace_buffer(model, base, 12, [wide_slice, narrow_slice])
+        assert result.packed[0] == wide_slice
+
+    def test_packs_multiple_until_full(self, wide_flow):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        base = MessageCombination([wide_flow.message_by_name("req")])
+        slices = [
+            Message("d0", 4, parent="data"),
+            Message("d1", 4, parent="data"),
+            Message("d2", 4, parent="data"),
+        ]
+        result = pack_trace_buffer(model, base, 14, slices)
+        assert len(result.packed) == 2
+        assert result.leftover == 2
+
+
+class TestSubgroupGain:
+    def test_proportional_scaling(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        parents = {m.name: m for m in u.messages}
+        data = wide_flow.message_by_name("data")
+        expected = model.message_contribution(data) * 6 / 20
+        assert subgroup_gain(model, threadid, parents) == pytest.approx(expected)
+
+    def test_full_policy(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        parents = {m.name: m for m in u.messages}
+        data = wide_flow.message_by_name("data")
+        assert subgroup_gain(
+            model, threadid, parents, policy="full"
+        ) == pytest.approx(model.message_contribution(data))
+
+    def test_unknown_policy_rejected(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        with pytest.raises(SelectionError, match="policy"):
+            subgroup_gain(model, threadid, {}, policy="zzz")
+
+    def test_orphan_subgroup_zero(self, wide_flow):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        orphan = Message("slice", 2, parent="not-a-message")
+        assert subgroup_gain(model, orphan, {}) == 0.0
+
+    def test_plain_message_full_contribution(self, wide_flow):
+        u = interleave_flows([wide_flow])
+        model = InformationModel(u)
+        req = wide_flow.message_by_name("req")
+        parents = {m.name: m for m in u.messages}
+        assert subgroup_gain(model, req, parents) == pytest.approx(
+            model.message_contribution(req)
+        )
+
+
+class TestExpandSubgroups:
+    def test_expansion(self, wide_flow, threadid):
+        expanded = expand_subgroups([threadid], wide_flow.messages)
+        assert expanded == MessageCombination(
+            [wide_flow.message_by_name("data")]
+        )
+
+    def test_plain_messages_pass_through(self, wide_flow):
+        req = wide_flow.message_by_name("req")
+        assert expand_subgroups([req], wide_flow.messages) == \
+            MessageCombination([req])
+
+
+class TestEndToEndPacking:
+    def test_selector_with_packing_beats_without(self, wide_flow, threadid):
+        u = interleave_flows([wide_flow])
+        selector = MessageSelector(u, buffer_width=12, subgroups=[threadid])
+        wop = selector.select(packing=False)
+        wp = selector.select(packing=True)
+        assert wp.utilization >= wop.utilization
+        assert wp.gain >= wop.gain
+        assert wp.coverage >= wop.coverage
+        assert threadid in wp.traced

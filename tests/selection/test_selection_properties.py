@@ -1,0 +1,91 @@
+"""Property-based tests for selection and packing invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flow import linear_flow
+from repro.core.indexing import index_flows
+from repro.core.interleave import interleave
+from repro.core.message import Message
+from repro.selection.selector import MessageSelector
+
+
+@st.composite
+def selection_problems(draw):
+    """A random scenario plus sub-groups and a buffer width."""
+    flow_count = draw(st.integers(min_value=1, max_value=3))
+    flows = []
+    subgroups = []
+    for i in range(flow_count):
+        length = draw(st.integers(min_value=1, max_value=4))
+        widths = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=12),
+                min_size=length,
+                max_size=length,
+            )
+        )
+        messages = [
+            Message(f"f{i}_m{j}", w) for j, w in enumerate(widths)
+        ]
+        states = [f"f{i}_s{j}" for j in range(length + 1)]
+        flows.append(linear_flow(f"f{i}", states, messages))
+        # a sub-group for each message wider than 2 bits
+        for message in messages:
+            if message.width > 2:
+                sub_width = draw(
+                    st.integers(min_value=1, max_value=message.width - 1)
+                )
+                subgroups.append(
+                    Message(
+                        f"{message.name}_lo",
+                        sub_width,
+                        parent=message.name,
+                    )
+                )
+    interleaved = interleave(index_flows(flows))
+    buffer_width = draw(st.integers(min_value=2, max_value=24))
+    return interleaved, subgroups, buffer_width
+
+
+@settings(max_examples=30, deadline=None)
+@given(selection_problems())
+def test_selection_invariants(problem):
+    interleaved, subgroups, buffer_width = problem
+    if not any(m.width <= buffer_width for m in interleaved.messages):
+        return  # nothing traceable at this width
+    selector = MessageSelector(
+        interleaved, buffer_width, subgroups=subgroups
+    )
+    wop = selector.select(method="knapsack", packing=False)
+    wp = selector.select(method="knapsack", packing=True)
+
+    # the traced set always fits the buffer
+    assert wop.total_width <= buffer_width
+    assert wp.total_width <= buffer_width
+    # packing is monotone on every reported objective
+    assert wp.utilization >= wop.utilization
+    assert wp.gain >= wop.gain - 1e-12
+    assert wp.coverage >= wop.coverage - 1e-12
+    # a packed sub-group's parent is never itself selected
+    selected_names = {m.name for m in wp.combination}
+    for group in wp.packed:
+        assert group.parent not in selected_names
+    # coverage and utilization are valid fractions
+    for result in (wop, wp):
+        assert 0.0 <= result.coverage <= 1.0
+        assert 0.0 < result.utilization <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(selection_problems())
+def test_exhaustive_matches_knapsack_gain(problem):
+    interleaved, _, buffer_width = problem
+    pool = [m for m in interleaved.messages if m.width <= buffer_width]
+    if not pool or len(interleaved.messages) > 12:
+        return
+    selector = MessageSelector(interleaved, buffer_width)
+    exhaustive = selector.select(method="exhaustive", packing=False)
+    knapsack = selector.select(method="knapsack", packing=False)
+    assert abs(exhaustive.gain - knapsack.gain) < 1e-9

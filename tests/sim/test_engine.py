@@ -1,0 +1,177 @@
+"""Tests for the transaction simulator, trace buffer, and trace files."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.execution import validate_execution
+from repro.core.message import IndexedMessage, Message
+from repro.errors import SimulationError, TraceBufferError
+from repro.sim.engine import SimulationTrace, TraceRecord, TransactionSimulator
+from repro.sim.tracebuffer import TraceBuffer
+from repro.sim.tracefile import read_trace_file, round_trip, write_trace_file
+from repro.sim.testbench import REGRESSION_TESTS, regression_suite
+from repro.soc.t2.messages import t2_message_catalog
+from repro.soc.t2.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def scenario1():
+    return scenario(1)
+
+
+@pytest.fixture(scope="module")
+def simulator(scenario1):
+    return TransactionSimulator(scenario1.interleaved(), scenario1.name)
+
+
+class TestTransactionSimulator:
+    def test_run_is_valid_execution(self, scenario1, simulator):
+        trace = simulator.run(seed=5)
+        assert validate_execution(scenario1.interleaved(), trace.execution)
+        assert trace.symptom is None
+
+    def test_records_match_execution(self, simulator):
+        trace = simulator.run(seed=5)
+        assert tuple(r.message for r in trace.records) == \
+            trace.execution.messages
+
+    def test_cycles_strictly_increase(self, simulator):
+        trace = simulator.run(seed=7)
+        cycles = [r.cycle for r in trace.records]
+        assert all(b > a for a, b in zip(cycles, cycles[1:]))
+        assert trace.total_cycles == cycles[-1]
+
+    def test_deterministic_per_seed(self, simulator):
+        assert simulator.run(seed=3).records == simulator.run(seed=3).records
+        assert simulator.run(seed=3).records != simulator.run(seed=4).records
+
+    def test_payloads_fit_widths(self, simulator):
+        trace = simulator.run(seed=9)
+        for record in trace.records:
+            assert 0 <= record.value < (1 << record.message.width)
+
+    def test_delay_bounds_validated(self, scenario1):
+        with pytest.raises(SimulationError, match="delay"):
+            TransactionSimulator(scenario1.interleaved(), min_delay=0)
+        with pytest.raises(SimulationError, match="delay"):
+            TransactionSimulator(
+                scenario1.interleaved(), min_delay=8, max_delay=2
+            )
+
+    def test_project(self, scenario1, simulator):
+        trace = simulator.run(seed=5)
+        siincu = scenario1.catalog["siincu"]
+        visible = trace.project([siincu])
+        assert visible
+        assert all(r.message.message.name == "siincu" for r in visible)
+
+    def test_project_subgroup_sees_parent(self, scenario1, simulator):
+        trace = simulator.run(seed=5)
+        sub = scenario1.catalog["cputhreadid"]
+        visible = trace.project([sub])
+        assert all(
+            r.message.message.name == "dmusiidata" for r in visible
+        )
+
+
+class TestTraceBuffer:
+    def test_capture_filters(self, scenario1, simulator):
+        trace = simulator.run(seed=2)
+        traced = [scenario1.catalog["siincu"], scenario1.catalog["grant"]]
+        buffer = TraceBuffer(32, 64, traced)
+        captured = buffer.capture(trace.records)
+        names = {c.message.message.name for c in captured}
+        assert names <= {"siincu", "grant"}
+        assert not any(c.is_partial for c in captured)
+
+    def test_subgroup_capture_masks_value(self, scenario1, simulator):
+        trace = simulator.run(seed=2)
+        sub = scenario1.catalog["cputhreadid"]
+        buffer = TraceBuffer(32, 64, [sub])
+        captured = buffer.capture(trace.records)
+        assert captured
+        for entry in captured:
+            assert entry.is_partial
+            assert entry.captured_as == sub
+            assert 0 <= entry.value < (1 << sub.width)
+
+    def test_depth_keeps_newest(self, scenario1, simulator):
+        trace = simulator.run(seed=2)
+        traced = [scenario1.catalog["siincu"], scenario1.catalog["grant"]]
+        deep = TraceBuffer(32, 1024, traced).capture(trace.records)
+        shallow = TraceBuffer(32, 2, traced).capture(trace.records)
+        assert len(shallow) == min(2, len(deep))
+        assert shallow == deep[-len(shallow):]
+
+    def test_width_guard(self, scenario1):
+        wide = [scenario1.catalog["ncudmu_pio_req"],
+                scenario1.catalog["ncudmu_pio_wr"]]
+        with pytest.raises(TraceBufferError, match="bits"):
+            TraceBuffer(32, 64, wide)
+
+    def test_geometry_guards(self):
+        with pytest.raises(TraceBufferError, match="width"):
+            TraceBuffer(0, 4, [])
+        with pytest.raises(TraceBufferError, match="depth"):
+            TraceBuffer(32, 0, [])
+
+    def test_utilization(self, scenario1):
+        buffer = TraceBuffer(32, 4, [scenario1.catalog["siincu"]])
+        assert buffer.utilization == pytest.approx(7 / 32)
+
+
+class TestTraceFile:
+    def test_round_trip(self, scenario1, simulator):
+        trace = simulator.run(seed=11)
+        catalog = dict(scenario1.catalog.messages)
+        assert round_trip(trace.records, catalog) == trace.records
+
+    def test_header_parsed(self, scenario1, simulator):
+        trace = simulator.run(seed=11)
+        buffer = io.StringIO()
+        write_trace_file(buffer, trace.records, scenario="Scenario 1", seed=11)
+        buffer.seek(0)
+        _, name, seed = read_trace_file(
+            buffer, dict(scenario1.catalog.messages)
+        )
+        assert name == "Scenario 1"
+        assert seed == 11
+
+    def test_bad_header_rejected(self, scenario1):
+        stream = io.StringIO("not a trace\n")
+        with pytest.raises(SimulationError, match="header"):
+            read_trace_file(stream, dict(scenario1.catalog.messages))
+
+    def test_bad_line_rejected(self, scenario1):
+        stream = io.StringIO(
+            '# repro-trace v1 scenario="x" seed=0\nbroken line\n'
+        )
+        with pytest.raises(SimulationError, match="bad trace line"):
+            read_trace_file(stream, dict(scenario1.catalog.messages))
+
+    def test_unknown_message_rejected(self, scenario1):
+        stream = io.StringIO(
+            '# repro-trace v1 scenario="x" seed=0\n5 1:nope 0x1\n'
+        )
+        with pytest.raises(SimulationError, match="unknown message"):
+            read_trace_file(stream, dict(scenario1.catalog.messages))
+
+
+class TestRegressionSuite:
+    def test_five_tests(self):
+        assert len(REGRESSION_TESTS) == 5
+        assert len(regression_suite()) == 5
+
+    def test_each_scenario_covered(self):
+        numbers = {t.scenario_number for t in REGRESSION_TESTS}
+        assert numbers == {1, 2, 3}
+
+    def test_regression_run_produces_long_trace(self):
+        test = regression_suite()["fc1_pio_mondo_basic"]
+        trace = test.run()
+        # large delays model symptoms taking many thousands of cycles
+        assert trace.total_cycles > 10_000
+        assert trace.scenario_name == "Scenario 1"

@@ -1,0 +1,107 @@
+"""Tests for multi-cycle (multi-beat) messages -- footnote 2.
+
+For a multi-cycle message, ``width`` is the number of bits traced in a
+single cycle; the full content spans ``width * beats`` bits and the
+trace buffer stores one entry per beat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import linear_flow
+from repro.core.interleave import interleave_flows
+from repro.core.message import Message
+from repro.debug.observation import MessageStatus, observe
+from repro.selection.selector import MessageSelector
+from repro.sim.engine import TransactionSimulator
+from repro.sim.tracebuffer import TraceBuffer
+from repro.soc.t2.scenarios import UsageScenario
+from repro.soc.t2.messages import t2_message_catalog
+
+
+@pytest.fixture
+def burst_flow():
+    """A flow whose data message bursts over 4 beats of 8 bits."""
+    req = Message("b_req", 6, source="A", destination="B")
+    data = Message("b_data", 8, source="B", destination="A", beats=4)
+    return linear_flow("Burst", ["Idle", "Req", "Done"], [req, data])
+
+
+class TestMessageBeats:
+    def test_content_width(self):
+        m = Message("m", 8, beats=4)
+        assert m.content_width == 32
+        assert m.width == 8
+
+    def test_default_single_beat(self):
+        assert Message("m", 8).content_width == 8
+
+    def test_beats_guard(self):
+        with pytest.raises(ValueError, match="beat"):
+            Message("m", 8, beats=0)
+
+    def test_beats_do_not_affect_identity(self):
+        assert Message("m", 8, beats=4) == Message("m", 8)
+
+
+class TestSelectionUsesPerCycleWidth(object):
+    def test_burst_message_fits_buffer(self, burst_flow):
+        # 8 bits/cycle fits a 16-bit buffer even though the content is
+        # 32 bits (footnote 2)
+        u = interleave_flows([burst_flow])
+        result = MessageSelector(u, 16).select(
+            method="exhaustive", packing=False
+        )
+        names = result.combination.names()
+        assert "b_data" in names
+        assert result.total_width <= 16
+
+
+class TestBufferBeats:
+    def test_one_entry_per_beat(self, burst_flow):
+        u = interleave_flows([burst_flow])
+        simulator = TransactionSimulator(u, "burst")
+        trace = simulator.run(seed=3)
+        data = burst_flow.message_by_name("b_data")
+        buffer = TraceBuffer(16, 64, [data])
+        captured = buffer.capture(trace.records)
+        assert len(captured) == 4
+        # slices recompose to the full content, little-endian
+        full = 0
+        for beat, entry in enumerate(captured):
+            assert 0 <= entry.value < (1 << data.width)
+            full |= entry.value << (beat * data.width)
+        record = next(
+            r for r in trace.records
+            if r.message.message.name == "b_data"
+        )
+        assert full == record.value
+        # beats occupy consecutive cycles
+        cycles = [entry.cycle for entry in captured]
+        assert cycles == list(range(cycles[0], cycles[0] + 4))
+
+    def test_payload_spans_content_width(self, burst_flow):
+        u = interleave_flows([burst_flow])
+        trace = TransactionSimulator(u, "burst").run(seed=9)
+        record = next(
+            r for r in trace.records
+            if r.message.message.name == "b_data"
+        )
+        assert record.value < (1 << 32)
+
+    def test_observation_handles_beats(self, burst_flow):
+        scenario = UsageScenario(
+            name="Burst scenario",
+            flows=(burst_flow,),
+            instance_counts={"Burst": 1},
+            catalog=t2_message_catalog(),
+        )
+        u = scenario.interleaved()
+        simulator = TransactionSimulator(u, scenario.name)
+        golden = simulator.run(seed=5)
+        data = burst_flow.message_by_name("b_data")
+        buffer = TraceBuffer(16, 64, [data])
+        captured = buffer.capture(golden.records)
+        observation = observe(scenario, captured, golden, [data])
+        assert observation.status("Burst", "b_data") is MessageStatus.OK

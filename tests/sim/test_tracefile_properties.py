@@ -1,0 +1,60 @@
+"""Property-based tests for the trace-file format."""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.message import IndexedMessage, Message
+from repro.sim.engine import TraceRecord
+from repro.sim.tracefile import read_trace_file, write_trace_file
+
+_MESSAGES = {
+    "alpha": Message("alpha", 8),
+    "beta": Message("beta", 3),
+    "gamma_1x": Message("gamma_1x", 16),
+}
+
+
+@st.composite
+def record_streams(draw):
+    count = draw(st.integers(min_value=0, max_value=30))
+    cycle = 0
+    records = []
+    for _ in range(count):
+        cycle += draw(st.integers(min_value=1, max_value=1000))
+        message = _MESSAGES[draw(st.sampled_from(sorted(_MESSAGES)))]
+        records.append(
+            TraceRecord(
+                cycle=cycle,
+                message=IndexedMessage(
+                    message, draw(st.integers(min_value=0, max_value=9))
+                ),
+                value=draw(
+                    st.integers(min_value=0, max_value=(1 << message.width) - 1)
+                ),
+            )
+        )
+    return records
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    record_streams(),
+    st.text(
+        alphabet=st.characters(
+            blacklist_characters='"\n\r', min_codepoint=32, max_codepoint=126
+        ),
+        max_size=20,
+    ),
+    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+)
+def test_round_trip_preserves_everything(records, scenario, seed):
+    buffer = io.StringIO()
+    write_trace_file(buffer, records, scenario=scenario, seed=seed)
+    buffer.seek(0)
+    parsed, got_scenario, got_seed = read_trace_file(buffer, _MESSAGES)
+    assert list(parsed) == records
+    assert got_scenario == scenario
+    assert got_seed == seed

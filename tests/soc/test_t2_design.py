@@ -1,0 +1,110 @@
+"""Tests for SoC design-rule checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import Flow, Transition
+from repro.core.message import Message
+from repro.soc.t2.design import SoCDesign, t2_design
+from repro.soc.t2.messages import t2_message_catalog
+
+
+class TestT2DesignClean:
+    def test_shipping_model_is_clean(self):
+        assert t2_design().validate() == []
+
+    def test_components_present(self):
+        design = t2_design()
+        assert set(design.flows) == {"PIOR", "PIOW", "NCUU", "NCUD", "Mon"}
+        assert set(design.scenarios) == {1, 2, 3}
+
+
+class TestDesignRules:
+    def _mutated(self, **overrides):
+        base = t2_design()
+        fields = dict(
+            ips=base.ips,
+            catalog=base.catalog,
+            flows=base.flows,
+            scenarios=base.scenarios,
+        )
+        fields.update(overrides)
+        return SoCDesign(**fields)
+
+    def test_unknown_endpoint_flagged(self):
+        base = t2_design()
+        from repro.soc.t2.messages import T2MessageCatalog
+
+        bad = dict(base.catalog.messages)
+        bad["rogue"] = Message("rogue", 4, source="GPU", destination="NCU")
+        design = self._mutated(
+            catalog=T2MessageCatalog(
+                messages=bad, subgroups=base.catalog.subgroups
+            )
+        )
+        problems = design.validate()
+        assert any("unknown IP 'GPU'" in p for p in problems)
+
+    def test_uncatalogued_flow_message_flagged(self):
+        base = t2_design()
+        stray = Message("stray", 4, source="NCU", destination="DMU")
+        flows = dict(base.flows)
+        flows["Extra"] = Flow(
+            "Extra",
+            ["a", "b"],
+            ["a"],
+            ["b"],
+            [Transition("a", stray, "b")],
+        )
+        problems = self._mutated(flows=flows).validate()
+        assert any("not in the catalog" in p for p in problems)
+
+    def test_fat_subgroup_flagged(self):
+        base = t2_design()
+        from repro.soc.t2.messages import T2MessageCatalog
+
+        groups = dict(base.catalog.subgroups)
+        groups["fat"] = Message("fat", 30, parent="dmusiidata")
+        design = self._mutated(
+            catalog=T2MessageCatalog(
+                messages=base.catalog.messages, subgroups=groups
+            )
+        )
+        problems = design.validate()
+        assert any("not narrower" in p for p in problems)
+
+    def test_orphan_subgroup_flagged(self):
+        base = t2_design()
+        from repro.soc.t2.messages import T2MessageCatalog
+
+        groups = dict(base.catalog.subgroups)
+        groups["orphan"] = Message("orphan", 3, parent="nothing")
+        design = self._mutated(
+            catalog=T2MessageCatalog(
+                messages=base.catalog.messages, subgroups=groups
+            )
+        )
+        problems = design.validate()
+        assert any("unknown parent" in p for p in problems)
+
+    def test_disconnected_flow_flagged(self):
+        base = t2_design()
+        catalog = t2_message_catalog()
+        m = catalog["grant"]
+        flows = dict(base.flows)
+        flows["Orphaned"] = Flow(
+            "Orphaned",
+            ["a", "b", "floating"],
+            ["a"],
+            ["b"],
+            [Transition("a", m, "b")],
+        )
+        problems = self._mutated(flows=flows).validate()
+        assert any(
+            "unreachable" in p and "Orphaned" in p for p in problems
+        )
+        assert any(
+            "cannot reach a stop state" in p and "Orphaned" in p
+            for p in problems
+        )

@@ -1,0 +1,151 @@
+"""Tests for the OpenSPARC T2 model: IPs, messages, flows, scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import Message
+from repro.soc.t2.flows import TABLE1_SHAPES, t2_flows
+from repro.soc.t2.ips import T2_IPS, ip
+from repro.soc.t2.messages import TABLE5_ALIASES, t2_message_catalog
+from repro.soc.t2.scenarios import (
+    SCENARIO_FLOWS,
+    UsageScenario,
+    scenario,
+    usage_scenarios,
+)
+
+
+class TestIps:
+    def test_five_blocks(self):
+        assert set(T2_IPS) == {"NCU", "DMU", "SIU", "MCU", "CCX"}
+
+    def test_lookup(self):
+        assert ip("NCU").full_name == "Non-Cacheable Unit"
+        with pytest.raises(KeyError, match="unknown T2 IP"):
+            ip("GPU")
+
+
+class TestMessageCatalog:
+    def test_sixteen_messages(self):
+        catalog = t2_message_catalog()
+        assert len(catalog.messages) == 16
+
+    def test_table5_aliases_cover_all(self):
+        catalog = t2_message_catalog()
+        aliased = {name for _, name in TABLE5_ALIASES}
+        assert aliased == set(catalog.messages)
+        assert catalog.alias("m10").name == "dmusiidata"
+        with pytest.raises(KeyError):
+            catalog.alias("m99")
+
+    def test_two_messages_exceed_buffer(self):
+        # Table 5: m9 and m15 are wider than the 32-bit trace buffer
+        catalog = t2_message_catalog()
+        wide = [m.name for m in catalog if m.width > 32]
+        assert sorted(wide) == ["dmu_rd_data", "mcuncu_data"]
+
+    def test_cputhreadid_is_dmusiidata_subgroup(self):
+        catalog = t2_message_catalog()
+        sub = catalog["cputhreadid"]
+        assert sub.parent == "dmusiidata"
+        assert sub.width == 6
+        assert catalog["dmusiidata"].width > sub.width
+
+    def test_subgroups_narrower_than_parents(self):
+        catalog = t2_message_catalog()
+        for sub in catalog.subgroup_list:
+            assert sub.width < catalog[sub.parent].width
+
+    def test_endpoints_are_known_ips(self):
+        catalog = t2_message_catalog()
+        for m in catalog:
+            assert m.source in T2_IPS
+            assert m.destination in T2_IPS
+
+    def test_getitem_unknown(self):
+        with pytest.raises(KeyError, match="unknown T2 message"):
+            t2_message_catalog()["zz"]
+
+
+class TestFlows:
+    @pytest.mark.parametrize("name,states,messages", TABLE1_SHAPES)
+    def test_table1_shapes(self, name, states, messages):
+        flow = t2_flows()[name]
+        assert flow.num_states == states, name
+        assert flow.num_messages == messages, name
+
+    def test_flows_are_single_path(self):
+        for flow in t2_flows().values():
+            assert flow.count_executions() == 1
+
+    def test_mondo_sequencing_matches_section_5_7(self):
+        mon = t2_flows()["Mon"]
+        (execution,) = list(mon.executions())
+        assert [m.name for m in execution.trace] == [
+            "reqtot", "grant", "dmusiidata", "siincu", "mondoacknack",
+        ]
+
+    def test_siincu_shared_between_pior_and_mon(self):
+        flows = t2_flows()
+        assert flows["PIOR"].message_by_name("siincu") == \
+            flows["Mon"].message_by_name("siincu")
+
+    def test_arbitration_states_are_atomic(self):
+        flows = t2_flows()
+        assert "Granted" in flows["Mon"].atomic
+        assert "SiuAcked" in flows["PIOR"].atomic
+
+
+class TestScenarios:
+    def test_table1_composition(self):
+        assert SCENARIO_FLOWS == {
+            1: ("PIOR", "PIOW", "Mon"),
+            2: ("NCUU", "NCUD", "Mon"),
+            3: ("PIOR", "PIOW", "NCUU", "NCUD"),
+        }
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown usage scenario"):
+            scenario(4)
+
+    def test_bad_instances(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            scenario(1, instances=0)
+
+    def test_globally_unique_indices(self):
+        sc = scenario(1, instances=2)
+        indices = [inst.index for inst in sc.instances()]
+        assert len(indices) == len(set(indices)) == 6
+
+    def test_scenario1_participants(self):
+        sc = scenario(1)
+        assert sc.participating_ips == ("DMU", "NCU", "SIU")
+
+    def test_message_pool_deduplicates_shared(self):
+        sc = scenario(1)
+        names = [m.name for m in sc.message_pool]
+        assert len(names) == len(set(names))
+        # PIOR (5) + PIOW (2) + Mon (5) share one message (siincu)
+        assert len(names) == 11
+
+    def test_subgroup_pool_only_scenario_parents(self):
+        sc = scenario(2)
+        for sub in sc.subgroup_pool:
+            assert sub.parent in {m.name for m in sc.message_pool}
+
+    def test_interleaved_memoized(self):
+        sc = scenario(1)
+        assert sc.interleaved() is sc.interleaved()
+
+    def test_all_scenarios_build(self):
+        scenarios = usage_scenarios()
+        assert set(scenarios) == {1, 2, 3}
+        for sc in scenarios.values():
+            u = sc.interleaved()
+            assert u.count_paths() > 0
+
+    def test_interleaved_state_count_scenario1(self):
+        # 6 x 3 x 6 product minus states excluded by atomic mutex
+        u = scenario(1).interleaved()
+        assert u.num_states == 105

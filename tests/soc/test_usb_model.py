@@ -1,0 +1,151 @@
+"""Tests for the synthetic USB controller and its flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.common import SignalSelectionResult
+from repro.core.interleave import interleave_flows
+from repro.netlist.simulator import Simulator
+from repro.sim.monitors import run_monitors
+from repro.soc.usb import build_usb_design, usb_flows, usb_monitors
+from repro.soc.usb.flows import (
+    MESSAGE_COMPOSITION,
+    observable_messages,
+    usb_messages,
+)
+
+#: Table 4's ten signals.
+TABLE4_SIGNALS = (
+    "rx_data", "rx_valid", "rx_data_valid", "token_valid", "rx_data_done",
+    "tx_data", "tx_valid", "send_token", "token_pid_sel", "data_pid_sel",
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_usb_design()
+
+
+class TestNetlist:
+    def test_table4_signal_groups_present(self, design):
+        assert set(TABLE4_SIGNALS) <= set(design.groups)
+        # plus the decoded fields that ride inside messages
+        assert {"token_addr", "token_endp", "data_crc_ok"} <= \
+            set(design.groups)
+
+    def test_groups_are_interface(self, design):
+        assert all(g.interface for g in design.groups.values())
+
+    def test_internal_state_dominates(self, design):
+        # SRR methods have plenty of internal state to chase
+        assert len(design.internal_flops) > 2 * len(design.interface_flops)
+
+    def test_modules_match_table4(self, design):
+        circuit = design.circuit
+        assert design.groups["rx_data"].module == "utmi"
+        assert design.groups["token_valid"].module == "packet_decoder"
+        assert design.groups["tx_data"].module == "packet_assembler"
+        assert design.groups["token_pid_sel"].module == "protocol_engine"
+        for group in design.groups.values():
+            for flop in group.flops:
+                assert circuit.module_of(flop) == group.module
+
+    def test_simulates_without_x(self, design):
+        waves = Simulator(design.circuit).run_random(16, seed=1)
+        assert len(waves) == 16
+
+
+class TestFlows:
+    def test_two_flows(self, design):
+        flows = usb_flows(design)
+        assert set(flows) == {"TOKEN", "DATA"}
+        assert flows["TOKEN"].num_states == 6
+        assert flows["DATA"].num_states == 5
+
+    def test_message_widths_match_composition(self, design):
+        messages = usb_messages(design)
+        for name, groups in MESSAGE_COMPOSITION.items():
+            expected = sum(design.groups[g].width for g in groups)
+            assert messages[name].width == expected
+
+    def test_all_messages_fit_32_bits_together(self, design):
+        flows = usb_flows(design)
+        u = interleave_flows(list(flows.values()))
+        assert u.messages.total_width <= 32
+
+    def test_txtoken_shared(self, design):
+        flows = usb_flows(design)
+        assert flows["TOKEN"].message_by_name("TxToken") == \
+            flows["DATA"].message_by_name("TxToken")
+
+
+class TestMonitors:
+    def test_pipeline_walks_token_path(self, design):
+        sim = Simulator(design.circuit)
+        stimulus = []
+        for t in range(12):
+            frame = {f"phy_rx{i}": (0xA5 >> i) & 1 for i in range(8)}
+            frame["phy_rx_valid"] = 1 if t == 1 else 0
+            stimulus.append(frame)
+        waves = sim.run(stimulus)
+        records = run_monitors(usb_monitors(design), waves, design.circuit)
+        names = [r.message.message.name for r in records]
+        # token-flow messages appear in flow order
+        token_order = ["RxToken", "TokenValid", "TokenPid", "SendToken",
+                       "TxToken"]
+        positions = [names.index(n) for n in token_order]
+        assert positions == sorted(positions)
+        # data-flow strobes fire too (shared pipeline)
+        assert "RxDataValid" in names and "RxDone" in names
+
+    def test_rxtoken_payload_carries_phy_byte(self, design):
+        sim = Simulator(design.circuit)
+        stimulus = []
+        for t in range(6):
+            frame = {f"phy_rx{i}": (0x3C >> i) & 1 for i in range(8)}
+            frame["phy_rx_valid"] = 1 if t == 0 else 0
+            stimulus.append(frame)
+        waves = sim.run(stimulus)
+        records = run_monitors(usb_monitors(design), waves, design.circuit)
+        rx = next(r for r in records
+                  if r.message.message.name == "RxToken")
+        # payload = rx_data bits (0x3C) plus rx_valid as bit 8
+        assert rx.value == 0x3C | (1 << 8)
+
+
+class TestObservableMessages:
+    def test_full_selection_sees_everything(self, design):
+        everything = SignalSelectionResult(
+            method="all",
+            selected=tuple(design.interface_flops),
+            budget_bits=64,
+        )
+        assert len(observable_messages(design, everything)) == \
+            len(MESSAGE_COMPOSITION)
+
+    def test_partial_group_blocks_message(self, design):
+        almost = [f for f in design.groups["rx_data"].flops][:-1]
+        selection = SignalSelectionResult(
+            method="x",
+            selected=tuple(almost) + ("rx_valid",),
+            budget_bits=32,
+        )
+        names = [m.name for m in observable_messages(design, selection)]
+        assert "RxToken" not in names
+
+    def test_strobe_only_selection(self, design):
+        selection = SignalSelectionResult(
+            method="x", selected=("rx_data_valid",), budget_bits=32
+        )
+        names = [m.name for m in observable_messages(design, selection)]
+        assert names == ["RxDataValid"]
+
+    def test_bundled_message_needs_payload_fields(self, design):
+        # TokenValid bundles the decoded address/endpoint: the strobe
+        # alone is not enough
+        selection = SignalSelectionResult(
+            method="x", selected=("token_valid",), budget_bits=32
+        )
+        names = [m.name for m in observable_messages(design, selection)]
+        assert "TokenValid" not in names

@@ -1,0 +1,159 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestTables:
+    def test_single_artifact(self, capsys):
+        assert main(["tables", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Scenario 1" in out
+
+    def test_multiple_artifacts(self, capsys):
+        assert main(["tables", "table2", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 7" in out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["tables", "table99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestSelect:
+    def test_scenario1(self, capsys):
+        assert main(["select", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 1" in out
+        assert "utilization" in out
+
+    def test_no_packing_knapsack(self, capsys):
+        assert main(["select", "2", "--method", "knapsack",
+                     "--no-packing"]) == 0
+        out = capsys.readouterr().out
+        assert "packed" not in out
+
+    def test_custom_buffer(self, capsys):
+        assert main(["select", "1", "--buffer", "16"]) == 0
+        assert "/16 bits" in capsys.readouterr().out
+
+
+class TestDebug:
+    def test_case_study(self, capsys):
+        assert main(["debug", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "symptom: hang" in out
+        assert "Non-generation of Mondo" in out
+
+    def test_unknown_case_study(self, capsys):
+        assert main(["debug", "9"]) == 2
+        assert "unknown case study" in capsys.readouterr().err
+
+
+class TestUsbAndDot:
+    def test_usb(self, capsys):
+        assert main(["usb"]) == 0
+        out = capsys.readouterr().out
+        assert "token_pid_sel" in out
+        assert "InfoGain" in out
+
+    def test_dot_flow(self, capsys):
+        assert main(["dot", "Mon"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "Mon"')
+        assert "reqtot" in out
+
+    def test_dot_scenario(self, capsys):
+        assert main(["dot", "scenario1"]) == 0
+        assert "digraph interleaved" in capsys.readouterr().out
+
+    def test_dot_unknown(self, capsys):
+        assert main(["dot", "nope"]) == 2
+        assert "unknown flow" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_with_target(self, capsys):
+        assert main(["plan", "1", "--widths", "16", "32", "48",
+                     "--target", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "width sweep" in out
+        assert "<- knee" in out
+        assert "minimal width for 50% coverage" in out
+
+    def test_plan_unreachable_target(self, capsys):
+        assert main(["plan", "2", "--widths", "8",
+                     "--target", "0.99"]) == 0
+        assert "no swept width" in capsys.readouterr().out
+
+
+class TestReportAndExport:
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(["report", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "## Table 3" in text
+        assert "## Figure 7" in text
+
+    def test_export_to_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "results.json"
+        assert main(["export", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["library_version"]
+        assert len(payload["table3"]) == 5
+
+
+class TestSpecCommands:
+    def test_spec_round_trips(self, capsys, tmp_path):
+        assert main(["spec"]) == 0
+        text = capsys.readouterr().out
+        assert text.startswith("# repro-flowspec v1")
+        path = tmp_path / "t2.flowspec"
+        path.write_text(text)
+        assert main(["analyze", str(path), "--buffer", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "interleaved flow has" in out
+        assert "utilization" in out
+
+    def test_analyze_empty_spec(self, capsys, tmp_path):
+        path = tmp_path / "empty.flowspec"
+        path.write_text("# repro-flowspec v1\n")
+        assert main(["analyze", str(path)]) == 2
+        assert "no flows" in capsys.readouterr().err
+
+    def test_dot_from_spec(self, capsys, tmp_path):
+        path = tmp_path / "one.flowspec"
+        path.write_text(
+            "flow F\n  state a initial\n  state b stop\n"
+            "  message m 4\n  transition a -> b on m\nend\n"
+        )
+        assert main(["dot", "F", "--spec", str(path)]) == 0
+        assert 'digraph "F"' in capsys.readouterr().out
+
+    def test_dot_from_spec_unknown_flow(self, capsys, tmp_path):
+        path = tmp_path / "one.flowspec"
+        path.write_text(
+            "flow F\n  state a initial\n  state b stop\n"
+            "  message m 4\n  transition a -> b on m\nend\n"
+        )
+        assert main(["dot", "G", "--spec", str(path)]) == 2
+        assert "defines" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and package metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    DebugSessionError,
+    FlowValidationError,
+    IndexingError,
+    InterleavingError,
+    NetlistError,
+    ReproError,
+    RootCauseError,
+    SelectionError,
+    SimulationError,
+    TraceBufferError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            FlowValidationError,
+            IndexingError,
+            InterleavingError,
+            SelectionError,
+            TraceBufferError,
+            NetlistError,
+            SimulationError,
+            DebugSessionError,
+            RootCauseError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_single_except_clause_catches_library_errors(self):
+        from repro.core.message import MessageCombination
+        from repro.selection.combinations import feasible_combinations
+
+        caught = []
+        for trigger in (
+            lambda: list(feasible_combinations([], 0)),
+            lambda: repro.interleave_flows([], copies=1),
+        ):
+            try:
+                trigger()
+            except ReproError as error:
+                caught.append(error)
+        assert len(caught) == 2
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_example(self):
+        # keep the README/docstring example true
+        u = repro.interleave_flows(
+            [repro.toy_cache_coherence_flow()], copies=2
+        )
+        selector = repro.MessageSelector(u, buffer_width=2)
+        result = selector.select(method="exhaustive", packing=False)
+        assert round(result.gain, 3) == 1.073

@@ -1,0 +1,58 @@
+"""Tests for the Graphviz DOT export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interleave import interleave_flows
+from repro.viz import flow_to_dot, interleaved_to_dot
+
+
+class TestFlowToDot:
+    def test_structure(self, cc_flow):
+        dot = flow_to_dot(cc_flow)
+        assert dot.startswith('digraph "CacheCoherence" {')
+        assert dot.rstrip().endswith("}")
+        # all states and all transitions appear
+        for state in ("n", "w", "c", "d"):
+            assert f'"{state}"' in dot
+        for message in ("ReqE", "GntE", "Ack"):
+            assert f"label=\"{message}\"" in dot
+
+    def test_initial_and_stop_shapes(self, cc_flow):
+        dot = flow_to_dot(cc_flow)
+        assert '"n" [shape=doublecircle];' in dot
+        assert '"d" [shape=doublecircle, style=filled' in dot
+
+    def test_atomic_marked(self, cc_flow):
+        dot = flow_to_dot(cc_flow)
+        assert '"c" [shape=circle, color="#b85450", penwidth=2];' in dot
+
+    def test_highlight(self, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        dot = flow_to_dot(cc_flow, highlight=[req])
+        assert 'label="ReqE" style=bold' in dot
+        assert 'label="Ack" style=bold' not in dot
+
+
+class TestInterleavedToDot:
+    def test_structure(self, cc_interleaved):
+        dot = interleaved_to_dot(cc_interleaved)
+        assert dot.startswith("digraph interleaved {")
+        assert '"(n1,n2)"' in dot
+        assert '"(d1,d2)"' in dot
+        assert '"(c1,c2)"' not in dot  # the illegal state never renders
+        assert dot.count("->") == cc_interleaved.num_transitions
+
+    def test_size_guard(self, cc_flow):
+        u = interleave_flows([cc_flow], copies=2)
+        with pytest.raises(ValueError, match="refusing"):
+            interleaved_to_dot(u, max_states=3)
+        # override renders anyway
+        assert interleaved_to_dot(u, max_states=None)
+
+    def test_highlight(self, cc_flow, cc_interleaved):
+        gnt = cc_flow.message_by_name("GntE")
+        dot = interleaved_to_dot(cc_interleaved, highlight=[gnt])
+        assert 'label="1:GntE" style=bold' in dot
+        assert 'label="1:ReqE" style=bold' not in dot
