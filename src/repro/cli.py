@@ -7,54 +7,42 @@ Commands
 ``select``
     Run message selection for a T2 usage scenario and print the result.
 ``debug``
-    Replay one of the five debugging case studies.
+    Replay one of the five debugging case studies (``--runs N`` turns
+    it into a multi-seed validation campaign).
 ``usb``
     Run the USB baseline comparison.
 ``dot``
     Dump a flow (or a scenario's interleaving) as Graphviz DOT.
+``cache``
+    Inspect, clear, or warm the content-addressed artifact cache.
+
+``tables``/``report``/``plan``/``debug`` accept ``--jobs N`` to fan
+independent work units out over a process pool (results are identical
+to a serial run); the artifact cache (``REPRO_CACHE_DIR``) makes warm
+re-runs skip the expensive interleaving/selection work entirely.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import __version__
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
-    from repro.experiments import fig5, fig6, fig7, headline
-    from repro.experiments import table1, table2, table3, table4
-    from repro.experiments import table5, table6, table7
-    from repro.experiments.reconstruction import (
-        format_reconstruction,
-        usb_reconstruction,
-    )
+    from repro.experiments.report import ARTIFACT_TITLES, render_artifacts
 
-    renderers: Dict[str, Callable[[], str]] = {
-        "table1": table1.format_table1,
-        "table2": table2.format_table2,
-        "table3": lambda: table3.format_table3(args.instances),
-        "table4": table4.format_table4,
-        "table5": table5.format_table5,
-        "table6": table6.format_table6,
-        "table7": table7.format_table7,
-        "fig5": fig5.format_fig5,
-        "fig6": fig6.format_fig6,
-        "fig7": fig7.format_fig7,
-        "reconstruction": lambda: format_reconstruction(
-            usb_reconstruction()
-        ),
-        "headline": headline.format_headline,
-    }
-    names = args.which or list(renderers)
-    unknown = [n for n in names if n not in renderers]
+    names = args.which or list(ARTIFACT_TITLES)
+    unknown = [n for n in names if n not in ARTIFACT_TITLES]
     if unknown:
         print(f"unknown artifact(s): {', '.join(unknown)}; "
-              f"choose from {', '.join(renderers)}", file=sys.stderr)
+              f"choose from {', '.join(ARTIFACT_TITLES)}", file=sys.stderr)
         return 2
-    sections = [renderers[name]() for name in names]
+    sections = render_artifacts(
+        names, instances=args.instances, jobs=args.jobs, plot=True
+    )
     print(("\n\n" + "=" * 72 + "\n\n").join(sections))
     return 0
 
@@ -98,6 +86,27 @@ def _cmd_debug(args: argparse.Namespace) -> int:
     session = DebugSession(
         sc, selection.traced, root_cause_catalog(cs.scenario_number)
     )
+    if args.runs > 1:
+        from repro.debug.campaign import ValidationCampaign
+
+        seeds = range(cs.seed, cs.seed + args.runs)
+        result = ValidationCampaign(session).run(
+            cs.active_bug, seeds=seeds, jobs=args.jobs
+        )
+        print(f"case study {cs.number} on {sc.name} "
+              f"({result.runs} failing runs, jobs={args.jobs})")
+        print(f"  bug: {cs.active_bug}")
+        print(f"  messages investigated: "
+              f"{result.total_messages_investigated}")
+        print(f"  IP pairs investigated: "
+              f"{len(result.pairs_investigated)}")
+        print(f"  best localization: {result.best_localization:.2%}")
+        print(f"  pruned after all runs: {result.pruned_fraction:.1%}")
+        causes = " / ".join(
+            c.description for c in result.plausible_causes
+        )
+        print(f"  plausible: {causes}")
+        return 0
     report = session.run(cs.active_bug, seed=cs.seed)
     print(f"case study {cs.number} on {sc.name}")
     print(f"  bug: {cs.active_bug}")
@@ -122,6 +131,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         sc.interleaved(),
         widths=tuple(args.widths),
         subgroups=sc.subgroup_pool,
+        jobs=args.jobs,
     )
     print(f"{sc.name}: trace buffer width sweep")
     print(format_plan(plan))
@@ -144,7 +154,7 @@ def _cmd_usb(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
-    text = build_report(instances=args.instances)
+    text = build_report(instances=args.instances, jobs=args.jobs)
     if args.output == "-":
         print(text)
     else:
@@ -206,6 +216,56 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.runtime.cache import default_cache
+    from repro.runtime.telemetry import recent_runs
+
+    cache = default_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached artifact(s) from "
+              f"{cache.directory}")
+        return 0
+    if args.action == "warm":
+        from repro.experiments.common import warm_cache
+
+        start = time.perf_counter()
+        bundles = warm_cache(instances=args.instances)
+        elapsed = time.perf_counter() - start
+        stats = cache.stats
+        print(f"warmed {len(bundles)} scenario selection(s) in "
+              f"{elapsed:.2f}s "
+              f"(cache hits={stats.hits}, misses={stats.misses})")
+        print(f"cache directory: {cache.directory}")
+        return 0
+    # stats
+    snapshot = cache.snapshot()
+    runs = recent_runs()
+    if args.json:
+        payload = snapshot.as_dict()
+        payload["runs"] = [r.as_dict() for r in runs]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"cache directory: {snapshot.directory}")
+    print(f"  memory entries: {snapshot.memory_entries}")
+    print(f"  disk entries:   {snapshot.disk_entries} "
+          f"({snapshot.disk_bytes} bytes)")
+    for name, value in snapshot.stats.items():
+        print(f"  {name}: {value}")
+    if runs:
+        print("recent orchestrated runs:")
+        for record in runs:
+            print(f"  {record.name}: jobs={record.jobs} "
+                  f"tasks={record.tasks_dispatched} "
+                  f"failed={record.tasks_failed} "
+                  f"wall={record.wall_time_s:.2f}s "
+                  f"cache {record.cache_hits}h/{record.cache_misses}m")
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.soc.t2.flows import t2_flows
     from repro.viz import flow_to_dot, interleaved_to_dot
@@ -257,6 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("which", nargs="*", help="artifact names "
                         "(default: all)")
     tables.add_argument("--instances", type=int, default=1)
+    tables.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = all CPUs)")
     tables.set_defaults(func=_cmd_tables)
 
     select = sub.add_parser("select", help="run message selection")
@@ -272,6 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
     debug = sub.add_parser("debug", help="replay a debugging case study")
     debug.add_argument("case_study", type=int)
     debug.add_argument("--instances", type=int, default=1)
+    debug.add_argument("--runs", type=int, default=1,
+                       help="failing runs to replay (a >1 value "
+                       "aggregates a validation campaign)")
+    debug.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --runs (0 = all CPUs)")
     debug.set_defaults(func=_cmd_debug)
 
     usb = sub.add_parser("usb", help="USB baseline comparison")
@@ -288,6 +355,8 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--target", type=float, default=None,
                       help="coverage target, e.g. 0.9")
     plan.add_argument("--instances", type=int, default=1)
+    plan.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (0 = all CPUs)")
     plan.set_defaults(func=_cmd_plan)
 
     spec = sub.add_parser(
@@ -309,6 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("output", nargs="?", default="-",
                         help="output path ('-' for stdout)")
     report.add_argument("--instances", type=int, default=1)
+    report.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = all CPUs)")
     report.set_defaults(func=_cmd_report)
 
     analyze = sub.add_parser(
@@ -322,6 +393,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--no-packing", action="store_true")
     analyze.set_defaults(func=_cmd_analyze)
+
+    cache = sub.add_parser(
+        "cache", help="inspect/clear/warm the artifact cache"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "clear", "warm"),
+        help="stats: counters + telemetry; clear: drop all entries; "
+        "warm: precompute the scenario selections",
+    )
+    cache.add_argument("--instances", type=int, default=1)
+    cache.add_argument("--json", action="store_true",
+                       help="emit stats as JSON (stats action only)")
+    cache.set_defaults(func=_cmd_cache)
 
     dot = sub.add_parser("dot", help="dump a flow as Graphviz DOT")
     dot.add_argument(

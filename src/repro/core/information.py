@@ -117,7 +117,11 @@ class InformationModel:
         The random variable ``Y`` ranges over every indexed instance of
         every message of the combination, per Section 3.2.
         """
-        unique = set(combination)
+        # sorted so the float sum has one canonical order: set iteration
+        # follows randomized string hashes, and a reordered sum can
+        # differ in the last ulp between processes -- enough to flip
+        # rank ties downstream and break cross-process reproducibility
+        unique = sorted(set(combination))
         return sum(self.message_contribution(m) for m in unique)
 
     def ranked_messages(self) -> Tuple[Tuple[Message, float], ...]:

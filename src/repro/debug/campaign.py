@@ -12,13 +12,14 @@ validation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.debug.bugs import Bug
 from repro.debug.ippairs import IPPair
 from repro.debug.rootcause import RootCause
 from repro.debug.session import DebugReport, DebugSession
 from repro.errors import DebugSessionError
+from repro.runtime.orchestrator import orchestrate
 
 
 @dataclass(frozen=True)
@@ -80,12 +81,20 @@ class ValidationCampaign:
     def __init__(self, session: DebugSession) -> None:
         self.session = session
 
-    def run(self, bug: Bug, seeds: Sequence[int]) -> CampaignResult:
+    def run(
+        self,
+        bug: Bug,
+        seeds: Sequence[int],
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+    ) -> CampaignResult:
         """Run the failing test once per seed and aggregate.
 
         Seeds whose run leaves the bug dormant (its message never
         occurred in that interleaving) are skipped -- real labs also
-        see passing re-runs.
+        see passing re-runs.  ``jobs>1`` replays the seeds across a
+        process pool; reports stay in seed order, so the aggregate is
+        identical to a serial campaign.
 
         Raises
         ------
@@ -94,12 +103,14 @@ class ValidationCampaign:
         """
         if not seeds:
             raise DebugSessionError("campaign needs at least one seed")
-        reports: List[DebugReport] = []
-        for seed in seeds:
-            try:
-                reports.append(self.session.run(bug, seed=seed))
-            except DebugSessionError:
-                continue  # dormant in this interleaving
+        outcomes, _ = orchestrate(
+            _campaign_task,
+            [(self.session, bug, seed) for seed in seeds],
+            jobs=jobs,
+            timeout=timeout,
+            name="campaign",
+        )
+        reports: List[DebugReport] = [r for r in outcomes if r is not None]
         if not reports:
             raise DebugSessionError(
                 f"bug#{bug.bug_id} was dormant in every one of the "
@@ -131,3 +142,14 @@ class ValidationCampaign:
                 r.localization.fraction for r in reports
             ),
         )
+
+
+def _campaign_task(
+    args: Tuple[DebugSession, Bug, int]
+) -> Optional[DebugReport]:
+    """One failing run; ``None`` when the bug stays dormant."""
+    session, bug, seed = args
+    try:
+        return session.run(bug, seed=seed)
+    except DebugSessionError:
+        return None

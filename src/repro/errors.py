@@ -52,3 +52,11 @@ class DebugSessionError(ReproError):
 
 class RootCauseError(ReproError):
     """Root-cause catalog inconsistency (unknown message, cause, ...)."""
+
+
+class ArtifactKeyError(ReproError):
+    """A value cannot be canonicalized into a content-addressed key."""
+
+
+class OrchestrationError(ReproError):
+    """Parallel task execution failed (timeout, worker crash, ...)."""

@@ -14,13 +14,15 @@ root-cause knowledge accumulating.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.debug.bugs import BUG_CATALOG, Bug
 from repro.debug.rootcause import root_cause_catalog
 from repro.debug.session import DebugSession
 from repro.errors import DebugSessionError
 from repro.experiments.common import render_table, scenario_selection
+from repro.runtime.orchestrator import orchestrate
+from repro.soc.t2.scenarios import usage_scenarios
 
 
 @dataclass(frozen=True)
@@ -75,39 +77,76 @@ class SweepResult:
         )
 
 
-def bug_sweep(seed: int = 1234, instances: int = 1) -> SweepResult:
-    """Inject and debug every catalog bug in every applicable scenario."""
-    entries: List[SweepEntry] = []
-    dormant: List[Tuple[int, int]] = []
-    sessions: Dict[int, DebugSession] = {}
-    for number in (1, 2, 3):
+#: (number, instances) -> DebugSession, memoized per worker process so
+#: a pool worker builds each scenario's session at most once.
+_SESSIONS: Dict[Tuple[int, int], DebugSession] = {}
+
+
+def _sweep_session(number: int, instances: int) -> DebugSession:
+    key = (number, instances)
+    if key not in _SESSIONS:
         bundle = scenario_selection(number, instances)
-        sessions[number] = DebugSession(
+        _SESSIONS[key] = DebugSession(
             bundle.scenario,
             bundle.with_packing.traced,
             root_cause_catalog(number),
         )
-    for bug in BUG_CATALOG.values():
-        for number, session in sessions.items():
-            pool = {m.name for m in session.scenario.message_pool}
-            if bug.effect.message not in pool:
-                continue
-            try:
-                report = session.run(bug, seed=seed + bug.bug_id)
-            except DebugSessionError:
-                dormant.append((bug.bug_id, number))
-                continue
-            entries.append(
-                SweepEntry(
-                    bug_id=bug.bug_id,
-                    scenario_number=number,
-                    symptom=report.symptom_kind,
-                    pruned_fraction=report.pruned_fraction,
-                    ip_implicated=report.buggy_ip_is_plausible,
-                    localization=report.localization.fraction,
-                    plausible_count=len(report.plausible_causes),
-                )
-            )
+    return _SESSIONS[key]
+
+
+def _sweep_task(
+    args: Tuple[int, int, int, int]
+) -> Optional[SweepEntry]:
+    """Debug one (bug, scenario) pair; ``None`` marks a dormant run."""
+    bug_id, number, instances, seed = args
+    session = _sweep_session(number, instances)
+    try:
+        report = session.run(BUG_CATALOG[bug_id], seed=seed)
+    except DebugSessionError:
+        return None
+    return SweepEntry(
+        bug_id=bug_id,
+        scenario_number=number,
+        symptom=report.symptom_kind,
+        pruned_fraction=report.pruned_fraction,
+        ip_implicated=report.buggy_ip_is_plausible,
+        localization=report.localization.fraction,
+        plausible_count=len(report.plausible_causes),
+    )
+
+
+def bug_sweep(
+    seed: int = 1234,
+    instances: int = 1,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> SweepResult:
+    """Inject and debug every catalog bug in every applicable scenario.
+
+    ``jobs>1`` fans the (bug, scenario) pairs out over a process pool;
+    results are assembled in task order, so the outcome is identical
+    to a serial sweep.
+    """
+    pools = {
+        number: {m.name for m in sc.message_pool}
+        for number, sc in usage_scenarios(instances=instances).items()
+    }
+    tasks: List[Tuple[int, int, int, int]] = [
+        (bug.bug_id, number, instances, seed + bug.bug_id)
+        for bug in BUG_CATALOG.values()
+        for number in (1, 2, 3)
+        if bug.effect.message in pools[number]
+    ]
+    outcomes, _ = orchestrate(
+        _sweep_task, tasks, jobs=jobs, timeout=timeout, name="bugsweep"
+    )
+    entries: List[SweepEntry] = []
+    dormant: List[Tuple[int, int]] = []
+    for task, outcome in zip(tasks, outcomes):
+        if outcome is None:
+            dormant.append((task[0], task[1]))
+        else:
+            entries.append(outcome)
     return SweepResult(entries=tuple(entries), dormant=tuple(dormant))
 
 

@@ -3,15 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro import __version__
+from repro.runtime.artifacts import artifact_key, message_fingerprint
+from repro.runtime.cache import default_cache
 from repro.selection.selector import MessageSelector, SelectionResult
 from repro.soc.t2.scenarios import UsageScenario, usage_scenarios
 
 #: Trace buffer width used throughout the paper's experiments.
 BUFFER_WIDTH = 32
-
-_CACHE: Dict[Tuple[int, int], "ScenarioSelection"] = {}
 
 
 @dataclass(frozen=True)
@@ -24,35 +25,81 @@ class ScenarioSelection:
     without_packing: SelectionResult
 
 
+def selection_key(
+    number: int,
+    instances: int,
+    buffer_width: int,
+    method: str,
+    scenario: UsageScenario,
+) -> str:
+    """Content-addressed cache key for one scenario selection.
+
+    The key carries *every* input the selection depends on -- scenario
+    number, instance count, buffer width, Step-2 engine, the library
+    version, and a structural fingerprint of the scenario's message
+    pool and sub-groups -- so selections made under different options
+    (e.g. different buffer widths) can never alias, in this process or
+    on disk.
+    """
+    return artifact_key(
+        "scenario-selection",
+        scenario=number,
+        instances=instances,
+        buffer_width=buffer_width,
+        method=method,
+        subgroup_policy="proportional",
+        version=__version__,
+        pool=message_fingerprint(tuple(scenario.message_pool)),
+        subgroups=message_fingerprint(scenario.subgroup_pool),
+    )
+
+
 def scenario_selection(
-    number: int, instances: int = 1
+    number: int,
+    instances: int = 1,
+    buffer_width: int = BUFFER_WIDTH,
+    method: str = "exhaustive",
 ) -> ScenarioSelection:
-    """Selection results for one scenario (memoized per process --
-    interleaving and selection are deterministic)."""
-    key = (number, instances)
-    if key not in _CACHE:
-        scenario = usage_scenarios(instances=instances)[number]
+    """Selection results for one scenario, via the artifact cache.
+
+    Interleaving and selection are deterministic, so the bundle is
+    content-addressed: repeated calls in one process return the same
+    object (LRU front), and a warm ``REPRO_CACHE_DIR`` makes fresh
+    processes skip the product construction and Step-1/2 search
+    entirely.
+    """
+    scenario = usage_scenarios(instances=instances)[number]
+    key = selection_key(number, instances, buffer_width, method, scenario)
+
+    def compute() -> ScenarioSelection:
         selector = MessageSelector(
             scenario.interleaved(),
-            BUFFER_WIDTH,
+            buffer_width,
             subgroups=scenario.subgroup_pool,
         )
         # the paper's formulation: exhaustive Step-1/2 argmax (feasible
         # for the <= 12-message scenario pools; coverage breaks gain ties)
-        _CACHE[key] = ScenarioSelection(
+        return ScenarioSelection(
             scenario=scenario,
             selector=selector,
-            with_packing=selector.select(method="exhaustive", packing=True),
-            without_packing=selector.select(
-                method="exhaustive", packing=False
-            ),
+            with_packing=selector.select(method=method, packing=True),
+            without_packing=selector.select(method=method, packing=False),
         )
-    return _CACHE[key]
+
+    return default_cache().get_or_compute(key, compute)
 
 
 def scenario_selections(instances: int = 1) -> Dict[int, ScenarioSelection]:
     """Selections for all three scenarios."""
     return {n: scenario_selection(n, instances) for n in (1, 2, 3)}
+
+
+def warm_cache(
+    instances: int = 1, numbers: Sequence[int] = (1, 2, 3)
+) -> Dict[int, ScenarioSelection]:
+    """Precompute (or load) the scenario selections -- the expensive
+    artifacts every table, sweep, and campaign starts from."""
+    return {n: scenario_selection(n, instances) for n in numbers}
 
 
 def render_table(

@@ -5,13 +5,19 @@ self-contained markdown document -- measured tables in code fences,
 each introduced by what the paper reports for the same artifact.  CI
 can archive the output next to the benchmark JSON
 (:mod:`repro.experiments.export`) to track the reproduction over time.
+
+The artifact registry here (:data:`ARTIFACT_TITLES`,
+:func:`render_artifact`) is shared with ``python -m repro tables``;
+because each artifact renders independently, both callers accept
+``jobs>1`` and fan the renders out through the runtime orchestrator.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro import __version__
+from repro.runtime.orchestrator import orchestrate
 
 _PAPER_NOTES = {
     "Table 1": "Scenario composition, flow shapes, and root-cause "
@@ -45,37 +51,105 @@ _PAPER_NOTES = {
 }
 
 
-def build_report(instances: int = 1) -> str:
-    """Regenerate everything and return the markdown report."""
-    from repro.experiments.fig5 import format_fig5
-    from repro.experiments.fig6 import format_fig6
-    from repro.experiments.fig7 import format_fig7
-    from repro.experiments.headline import format_headline
-    from repro.experiments.reconstruction import (
-        format_reconstruction,
-        usb_reconstruction,
-    )
-    from repro.experiments.table1 import format_table1
-    from repro.experiments.table2 import format_table2
-    from repro.experiments.table3 import format_table3
-    from repro.experiments.table4 import format_table4
-    from repro.experiments.table5 import format_table5
-    from repro.experiments.table6 import format_table6
-    from repro.experiments.table7 import format_table7
+#: Renderable artifact names (registry order = report section order)
+#: mapped to their section titles.
+ARTIFACT_TITLES = {
+    "table1": "Table 1",
+    "table2": "Table 2",
+    "table3": "Table 3",
+    "table4": "Table 4",
+    "table5": "Table 5",
+    "table6": "Table 6",
+    "table7": "Table 7",
+    "fig5": "Figure 5",
+    "fig6": "Figure 6",
+    "fig7": "Figure 7",
+    "reconstruction": "Reconstruction",
+    "headline": "Headline",
+}
 
+
+def render_artifact(
+    name: str, instances: int = 1, plot: bool = False
+) -> str:
+    """Render one named artifact (module-level, so renders can be
+    dispatched to pool workers).  ``plot`` adds the ASCII scatter/step
+    plots to fig5/fig6 (the CLI wants them; the markdown report
+    doesn't)."""
+    if name == "table1":
+        from repro.experiments.table1 import format_table1
+        return format_table1()
+    if name == "table2":
+        from repro.experiments.table2 import format_table2
+        return format_table2()
+    if name == "table3":
+        from repro.experiments.table3 import format_table3
+        return format_table3(instances)
+    if name == "table4":
+        from repro.experiments.table4 import format_table4
+        return format_table4()
+    if name == "table5":
+        from repro.experiments.table5 import format_table5
+        return format_table5(instances)
+    if name == "table6":
+        from repro.experiments.table6 import format_table6
+        return format_table6(instances)
+    if name == "table7":
+        from repro.experiments.table7 import format_table7
+        return format_table7(instances)
+    if name == "fig5":
+        from repro.experiments.fig5 import format_fig5
+        return format_fig5(instances, plot=plot)
+    if name == "fig6":
+        from repro.experiments.fig6 import format_fig6
+        return format_fig6(instances, plot=plot)
+    if name == "fig7":
+        from repro.experiments.fig7 import format_fig7
+        return format_fig7(instances)
+    if name == "reconstruction":
+        from repro.experiments.reconstruction import (
+            format_reconstruction,
+            usb_reconstruction,
+        )
+        return format_reconstruction(usb_reconstruction())
+    if name == "headline":
+        from repro.experiments.headline import format_headline
+        return format_headline(instances)
+    raise KeyError(
+        f"unknown artifact {name!r}; choose from "
+        f"{', '.join(ARTIFACT_TITLES)}"
+    )
+
+
+def _render_task(args: Tuple[str, int, bool]) -> str:
+    name, instances, plot = args
+    return render_artifact(name, instances, plot=plot)
+
+
+def render_artifacts(
+    names: List[str],
+    instances: int = 1,
+    jobs: int = 1,
+    plot: bool = False,
+) -> List[str]:
+    """Render several artifacts, optionally across a process pool
+    (each render is independent; output order follows *names*)."""
+    bodies, _ = orchestrate(
+        _render_task,
+        [(name, instances, plot) for name in names],
+        jobs=jobs,
+        name="tables",
+    )
+    return bodies
+
+
+def build_report(instances: int = 1, jobs: int = 1) -> str:
+    """Regenerate everything and return the markdown report."""
+    names = list(ARTIFACT_TITLES)
+    bodies = render_artifacts(names, instances=instances, jobs=jobs)
     sections = [
-        ("Table 1", format_table1()),
-        ("Table 2", format_table2()),
-        ("Table 3", format_table3(instances)),
-        ("Table 4", format_table4()),
-        ("Table 5", format_table5(instances)),
-        ("Table 6", format_table6(instances)),
-        ("Table 7", format_table7(instances)),
-        ("Figure 5", format_fig5(instances, plot=False)),
-        ("Figure 6", format_fig6(instances, plot=False)),
-        ("Figure 7", format_fig7(instances)),
-        ("Reconstruction", format_reconstruction(usb_reconstruction())),
-        ("Headline", format_headline(instances)),
+        (ARTIFACT_TITLES[name], body)
+        for name, body in zip(names, bodies)
     ]
     lines: List[str] = [
         "# Reproduction report",

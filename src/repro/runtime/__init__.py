@@ -1,0 +1,59 @@
+"""Runtime substrate: artifact caching, parallel fan-out, telemetry.
+
+This package is the scaling layer under the experiment drivers, the
+debug campaigns, and the CLI:
+
+* :mod:`repro.runtime.artifacts` -- content-addressed keys for
+  expensive derivations (interleavings, MI tables, selections).
+* :mod:`repro.runtime.cache` -- disk-backed artifact store with an
+  in-memory LRU front (``REPRO_CACHE_DIR`` overrides the location).
+* :mod:`repro.runtime.parallel` -- deterministic process-pool map
+  with per-task timeout and graceful serial fallback.
+* :mod:`repro.runtime.orchestrator` -- parallel runs wrapped in
+  telemetry.
+* :mod:`repro.runtime.telemetry` -- JSON-exportable run records.
+"""
+
+from repro.runtime.artifacts import (
+    artifact_key,
+    canonical_token,
+    message_fingerprint,
+)
+from repro.runtime.cache import (
+    ArtifactCache,
+    CacheSnapshot,
+    CacheStats,
+    default_cache,
+    resolve_cache_dir,
+    set_default_cache,
+)
+from repro.runtime.orchestrator import TaskFailure, orchestrate
+from repro.runtime.parallel import resolve_jobs, run_tasks
+from repro.runtime.telemetry import (
+    RunRecord,
+    clear_runs,
+    export_runs,
+    recent_runs,
+    record_run,
+)
+
+__all__ = [
+    "artifact_key",
+    "canonical_token",
+    "message_fingerprint",
+    "ArtifactCache",
+    "CacheSnapshot",
+    "CacheStats",
+    "default_cache",
+    "resolve_cache_dir",
+    "set_default_cache",
+    "TaskFailure",
+    "orchestrate",
+    "resolve_jobs",
+    "run_tasks",
+    "RunRecord",
+    "clear_runs",
+    "export_runs",
+    "recent_runs",
+    "record_run",
+]

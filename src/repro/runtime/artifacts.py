@@ -1,0 +1,104 @@
+"""Content-addressed artifact keys.
+
+An *artifact* is any expensive, deterministic derivation: an
+interleaved-flow product, a mutual-information table, a
+:class:`~repro.selection.selector.SelectionResult`, a full scenario
+selection bundle.  Because every derivation in this library is a pure
+function of its inputs, an artifact is fully identified by a *key*:
+a stable hash over the artifact kind and the canonicalized inputs.
+
+Keys must be reproducible **across processes and Python invocations**
+(``PYTHONHASHSEED`` randomizes ``hash()``, so we never use it) -- the
+disk cache relies on a warm entry written by one process being found
+by the next.  Canonicalization therefore only accepts values with an
+unambiguous text form: ``None``, booleans, integers, floats, strings,
+and (possibly nested) tuples/lists/dicts/sets of those.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Sequence, Set
+
+from repro.errors import ArtifactKeyError
+
+#: Bump when the canonicalization scheme (not the cached payloads)
+#: changes incompatibly; part of every key.
+KEY_SCHEMA = 1
+
+
+def canonical_token(value: object) -> str:
+    """Render *value* as an unambiguous, order-stable text token.
+
+    Raises
+    ------
+    ArtifactKeyError
+        If *value* (or a nested element) has no canonical form.
+        Arbitrary objects are rejected rather than ``repr()``-ed:
+        a default ``repr`` embeds the object address, which would
+        silently make every key unique and the cache useless.
+    """
+    if value is None or isinstance(value, (bool, int)):
+        return repr(value)
+    if isinstance(value, float):
+        # repr() round-trips floats exactly in Python 3
+        return repr(value)
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, bytes):
+        return "bytes:" + value.hex()
+    if isinstance(value, Mapping):
+        items = sorted(
+            (canonical_token(k), canonical_token(v))
+            for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (set, frozenset)):
+        return "s{" + ",".join(sorted(canonical_token(v) for v in value)) + "}"
+    if isinstance(value, Sequence):
+        return "[" + ",".join(canonical_token(v) for v in value) + "]"
+    raise ArtifactKeyError(
+        f"cannot canonicalize {type(value).__name__!r} value {value!r} "
+        f"into an artifact key; pass primitives or containers of them"
+    )
+
+
+def artifact_key(kind: str, **fields: object) -> str:
+    """Content-addressed key for an artifact of *kind* with *fields*.
+
+    The key is a hex SHA-256 digest prefixed by the kind, e.g.
+    ``"scenario-selection-5f0c..."`` -- readable in a cache directory
+    listing while still collision-resistant.  Field order does not
+    matter; field *names* do.
+    """
+    if not kind or any(c in kind for c in "/\\ \t\n"):
+        raise ArtifactKeyError(f"invalid artifact kind {kind!r}")
+    payload = canonical_token(
+        {"schema": KEY_SCHEMA, "kind": kind, "fields": dict(fields)}
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return f"{kind}-{digest}"
+
+
+def message_fingerprint(messages: Sequence[object]) -> str:
+    """Cheap structural fingerprint of a message pool.
+
+    Guards cached selections against edits to the flow/catalog
+    definitions: if a message is renamed, re-widthed, or re-routed the
+    fingerprint (and therefore the key) changes and the stale entry is
+    simply never looked up again.
+    """
+    rows = sorted(
+        (
+            getattr(m, "name", ""),
+            getattr(m, "width", 0),
+            getattr(m, "source", "") or "",
+            getattr(m, "destination", "") or "",
+            getattr(m, "parent", "") or "",
+        )
+        for m in messages
+    )
+    digest = hashlib.sha256(
+        canonical_token(rows).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]

@@ -1,0 +1,112 @@
+"""Process-pool fan-out with deterministic ordering and serial fallback.
+
+``run_tasks(fn, items)`` is the single primitive every parallel code
+path in the library routes through.  Guarantees:
+
+* **Determinism** -- results come back in *item order*, never in
+  completion order, so ``jobs=8`` is byte-identical to ``jobs=1``.
+* **Graceful degradation** -- ``jobs=1``, an unavailable
+  ``multiprocessing`` (restricted environments), or an unpicklable
+  worker falls back to an in-process loop instead of failing.
+* **Per-task timeout** -- enforced in pool mode; a task overrunning
+  its budget raises :class:`~repro.errors.OrchestrationError`.
+
+Workers must be module-level callables (the usual pickling rule); each
+item is passed as a single argument.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import OrchestrationError
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` parameter: ``None``/``0`` means one worker
+    per CPU; negative values are rejected."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise OrchestrationError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    fallback: bool = True,
+) -> List[Any]:
+    """Apply *fn* to every item, possibly across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable applied to each item.
+    items:
+        The work units (materialized up front; ordering is preserved).
+    jobs:
+        Worker process count; ``1`` runs serially in-process, ``0`` or
+        ``None`` uses all CPUs.
+    timeout:
+        Per-task wall-clock budget in seconds (pool mode only -- a
+        serial in-process task cannot be preempted portably).
+    fallback:
+        Whether pool-setup failures degrade to the serial path.
+
+    Raises
+    ------
+    OrchestrationError
+        On per-task timeout or a worker crash (serial-path exceptions
+        and in-task exceptions propagate unwrapped).
+    """
+    work: Sequence[Any] = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        return _run_pool(fn, work, jobs, timeout)
+    except OrchestrationError:
+        raise
+    except (ImportError, OSError, PermissionError,
+            pickle.PicklingError, AttributeError, TypeError):
+        # no usable multiprocessing here (sandbox, __main__-less
+        # embedding, unpicklable worker): degrade, don't die
+        if not fallback:
+            raise
+        return [fn(item) for item in work]
+
+
+def _run_pool(
+    fn: Callable[[Any], Any],
+    work: Sequence[Any],
+    jobs: int,
+    timeout: Optional[float],
+) -> List[Any]:
+    import concurrent.futures as cf
+    from concurrent.futures.process import BrokenProcessPool
+
+    results: List[Any] = [None] * len(work)
+    max_workers = min(jobs, len(work))
+    with cf.ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(fn, item) for item in work]
+        try:
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result(timeout=timeout)
+                except cf.TimeoutError as exc:
+                    raise OrchestrationError(
+                        f"task {index} exceeded its {timeout}s budget"
+                    ) from exc
+                except BrokenProcessPool as exc:
+                    raise OrchestrationError(
+                        f"worker pool died while running task {index}"
+                    ) from exc
+        finally:
+            for future in futures:
+                future.cancel()
+    return results

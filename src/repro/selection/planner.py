@@ -20,11 +20,12 @@ width dips below it again.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.core.interleave import InterleavedFlow
 from repro.core.message import Message
 from repro.errors import SelectionError
+from repro.runtime.orchestrator import orchestrate
 from repro.selection.selector import MessageSelector, SelectionResult
 
 
@@ -74,13 +75,41 @@ class BufferPlan:
         return best
 
 
+def _plan_task(args) -> PlanPoint:
+    """Selection at one candidate width (independent work unit)."""
+    interleaved, width, subgroup_list, packing = args
+    try:
+        result: SelectionResult = MessageSelector(
+            interleaved, width, subgroups=subgroup_list
+        ).select(method="knapsack", packing=packing)
+    except SelectionError:
+        # nothing fits this width: zero point
+        return PlanPoint(
+            width=width, coverage=0.0, gain=0.0,
+            utilization=0.0, traced=(),
+        )
+    return PlanPoint(
+        width=width,
+        coverage=result.coverage,
+        gain=result.gain,
+        utilization=result.utilization,
+        traced=result.traced.names(),
+    )
+
+
 def plan_buffer(
     interleaved: InterleavedFlow,
     widths: Sequence[int] = (8, 12, 16, 20, 24, 28, 32, 40, 48, 64),
     subgroups: Iterable[Message] = (),
     packing: bool = True,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
 ) -> BufferPlan:
     """Sweep candidate buffer *widths* over one scenario.
+
+    Each width is an independent selection, so ``jobs>1`` sweeps them
+    across a process pool; the plan's point order follows *widths*
+    either way.
 
     Raises
     ------
@@ -95,30 +124,13 @@ def plan_buffer(
             f"widths must be strictly increasing, got {widths}"
         )
     subgroup_list = tuple(subgroups)
-    points: List[PlanPoint] = []
-    for width in widths:
-        try:
-            result: SelectionResult = MessageSelector(
-                interleaved, width, subgroups=subgroup_list
-            ).select(method="knapsack", packing=packing)
-        except SelectionError:
-            # nothing fits this width: zero point
-            points.append(
-                PlanPoint(
-                    width=width, coverage=0.0, gain=0.0,
-                    utilization=0.0, traced=(),
-                )
-            )
-            continue
-        points.append(
-            PlanPoint(
-                width=width,
-                coverage=result.coverage,
-                gain=result.gain,
-                utilization=result.utilization,
-                traced=result.traced.names(),
-            )
-        )
+    points, _ = orchestrate(
+        _plan_task,
+        [(interleaved, width, subgroup_list, packing) for width in widths],
+        jobs=jobs,
+        timeout=timeout,
+        name="plan",
+    )
     return BufferPlan(points=tuple(points))
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.flow import Flow, Transition
@@ -9,6 +11,25 @@ from repro.core.indexing import index_flows
 from repro.core.interleave import interleave, interleave_flows
 from repro.core.message import Message
 from repro.examples_builtin import toy_cache_coherence_flow
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the runtime artifact cache at a per-session temp dir so
+    tests never read or pollute the user's ``~/.cache/repro``."""
+    from repro.runtime.cache import set_default_cache
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-cache")
+    )
+    set_default_cache(None)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    set_default_cache(None)
 
 
 @pytest.fixture

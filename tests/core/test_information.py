@@ -113,3 +113,37 @@ class TestEdgeCases:
         for m in cc_flow.messages:
             for i in (1, 2):
                 assert model.contribution(IndexedMessage(m, i)) >= 0.0
+
+
+class TestCrossProcessDeterminism:
+    def test_gain_independent_of_hash_seed(self):
+        """The gain sum must not follow set iteration order: string
+        hash randomization reorders sets per process, and a reordered
+        float sum can differ in the last ulp -- enough to flip rank
+        ties in fig5 and break byte-identical reproduction."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        code = (
+            "from repro.core.interleave import interleave_flows;"
+            "from repro.core.information import InformationModel;"
+            "from repro.examples_builtin import toy_cache_coherence_flow;"
+            "f = toy_cache_coherence_flow();"
+            "u = interleave_flows([f], copies=2);"
+            "g = InformationModel(u).gain(f.messages);"
+            "print(repr(g), end='')"
+        )
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        values = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                env={**os.environ, "PYTHONPATH": src,
+                     "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("1", "2", "33")
+        }
+        assert len(values) == 1

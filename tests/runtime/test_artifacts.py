@@ -1,0 +1,118 @@
+"""Tests for content-addressed artifact keys."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+from repro.core.message import Message
+from repro.errors import ArtifactKeyError
+from repro.runtime.artifacts import (
+    artifact_key,
+    canonical_token,
+    message_fingerprint,
+)
+
+
+class TestCanonicalToken:
+    def test_primitives(self):
+        assert canonical_token(None) == "None"
+        assert canonical_token(True) == "True"
+        assert canonical_token(3) == "3"
+        assert canonical_token(0.25) == "0.25"
+        assert canonical_token("x") == "'x'"
+
+    def test_dict_order_insensitive(self):
+        assert canonical_token({"a": 1, "b": 2}) == canonical_token(
+            {"b": 2, "a": 1}
+        )
+
+    def test_set_order_insensitive(self):
+        assert canonical_token({3, 1, 2}) == canonical_token({2, 3, 1})
+
+    def test_sequences_keep_order(self):
+        assert canonical_token([1, 2]) != canonical_token([2, 1])
+        assert canonical_token((1, 2)) == canonical_token([1, 2])
+
+    def test_bool_and_int_distinguished_from_str(self):
+        assert canonical_token(1) != canonical_token("1")
+
+    def test_arbitrary_objects_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(ArtifactKeyError, match="canonicalize"):
+            canonical_token(Opaque())
+
+    def test_nested_rejection_propagates(self):
+        with pytest.raises(ArtifactKeyError):
+            canonical_token({"k": [object()]})
+
+
+class TestArtifactKey:
+    def test_deterministic(self):
+        a = artifact_key("sel", scenario=1, width=32)
+        b = artifact_key("sel", width=32, scenario=1)
+        assert a == b
+        assert a.startswith("sel-")
+
+    def test_fields_change_key(self):
+        base = artifact_key("sel", scenario=1, width=32)
+        assert artifact_key("sel", scenario=1, width=16) != base
+        assert artifact_key("sel", scenario=2, width=32) != base
+        assert artifact_key("other", scenario=1, width=32) != base
+
+    def test_field_names_matter(self):
+        assert artifact_key("k", a=1) != artifact_key("k", b=1)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ArtifactKeyError):
+            artifact_key("")
+        with pytest.raises(ArtifactKeyError):
+            artifact_key("has space")
+        with pytest.raises(ArtifactKeyError):
+            artifact_key("has/slash")
+
+    def test_stable_across_processes(self):
+        """PYTHONHASHSEED randomization must not affect keys: a key
+        computed by a fresh interpreter matches this process's."""
+        code = (
+            "from repro.runtime.artifacts import artifact_key;"
+            "print(artifact_key('sel', scenario=1, width=32,"
+            " names=('a', 'b'), opts={'packing': True}), end='')"
+        )
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": src,
+                 "PYTHONHASHSEED": "12345"},
+        ).stdout
+        assert out == artifact_key(
+            "sel", scenario=1, width=32, names=("a", "b"),
+            opts={"packing": True},
+        )
+
+
+class TestMessageFingerprint:
+    def test_order_insensitive(self):
+        a = Message("a", 2, source="P", destination="Q")
+        b = Message("b", 3, source="Q", destination="P")
+        assert message_fingerprint([a, b]) == message_fingerprint([b, a])
+
+    def test_width_changes_fingerprint(self):
+        a2 = Message("a", 2, source="P", destination="Q")
+        a3 = Message("a", 3, source="P", destination="Q")
+        assert message_fingerprint([a2]) != message_fingerprint([a3])
+
+    def test_routing_changes_fingerprint(self):
+        pq = Message("a", 2, source="P", destination="Q")
+        pr = Message("a", 2, source="P", destination="R")
+        assert message_fingerprint([pq]) != message_fingerprint([pr])

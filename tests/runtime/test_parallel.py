@@ -1,0 +1,101 @@
+"""Tests for the deterministic process-pool primitive."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import OrchestrationError
+from repro.runtime.parallel import resolve_jobs, run_tasks
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _jittered_identity(x: int) -> int:
+    # later items finish first, so completion order inverts item order
+    time.sleep(0.05 * (4 - x) if x < 4 else 0)
+    return x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"bad unit {x}")
+
+
+def _sleepy(x: float) -> float:
+    time.sleep(x)
+    return x
+
+
+def _pid(_: object) -> int:
+    return os.getpid()
+
+
+class TestSerial:
+    def test_jobs_one_runs_in_process(self):
+        pids = run_tasks(_pid, range(3), jobs=1)
+        assert set(pids) == {os.getpid()}
+
+    def test_results_in_item_order(self):
+        assert run_tasks(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="bad unit"):
+            run_tasks(_boom, [7], jobs=1)
+
+    def test_single_item_stays_serial_even_with_jobs(self):
+        assert run_tasks(_pid, [0], jobs=8) == [os.getpid()]
+
+
+class TestPool:
+    def test_ordering_survives_out_of_order_completion(self):
+        assert run_tasks(
+            _jittered_identity, range(5), jobs=4
+        ) == list(range(5))
+
+    def test_matches_serial(self):
+        items = list(range(20))
+        assert run_tasks(_square, items, jobs=4) == \
+            run_tasks(_square, items, jobs=1)
+
+    def test_uses_worker_processes(self):
+        pids = run_tasks(_pid, range(8), jobs=4)
+        assert os.getpid() not in pids
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="bad unit"):
+            run_tasks(_boom, range(4), jobs=2, fallback=False)
+
+    def test_timeout_raises(self):
+        with pytest.raises(OrchestrationError, match="budget"):
+            run_tasks(_sleepy, [1.0, 1.0], jobs=2, timeout=0.2)
+
+
+class TestFallback:
+    def test_unpicklable_worker_falls_back_to_serial(self):
+        # a lambda cannot cross a process boundary; the fallback path
+        # must still produce correct, ordered results
+        results = run_tasks(lambda x: x + 1, range(4), jobs=2)
+        assert results == [1, 2, 3, 4]
+
+    def test_fallback_disabled_raises(self):
+        with pytest.raises(Exception):
+            run_tasks(
+                lambda x: x + 1, range(4), jobs=2, fallback=False
+            )
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) == resolve_jobs(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(OrchestrationError, match=">= 0"):
+            resolve_jobs(-2)

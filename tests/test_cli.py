@@ -157,3 +157,47 @@ class TestSpecCommands:
         )
         assert main(["dot", "G", "--spec", str(path)]) == 2
         assert "defines" in capsys.readouterr().err
+
+
+class TestJobsFlags:
+    def test_tables_jobs_matches_serial(self, capsys):
+        assert main(["tables", "table1", "table2", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["tables", "table1", "table2", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_debug_campaign_mode(self, capsys):
+        assert main(["debug", "1", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 failing runs" in out
+        assert "messages investigated" in out
+        assert "plausible:" in out
+
+
+class TestCacheCommand:
+    def test_stats(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache directory:" in out
+        assert "disk entries:" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "directory" in payload
+        assert "stats" in payload
+        assert "runs" in payload
+
+    def test_warm_then_clear(self, capsys):
+        assert main(["cache", "warm"]) == 0
+        out = capsys.readouterr().out
+        assert "warmed 3 scenario selection(s)" in out
+        assert main(["cache", "clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+    def test_rejects_unknown_action(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "bogus"])
