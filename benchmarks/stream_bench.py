@@ -1,0 +1,73 @@
+"""Streaming throughput benchmark -- writes ``BENCH_stream.json``.
+
+Drives N concurrent synthetic debug sessions through the streaming
+service (:func:`repro.stream.run_load_test`) and records the numbers a
+capacity plan needs: aggregate records/sec and p95/max per-feed
+latency.  Stdlib only, so CI can run it with nothing but the package
+on ``PYTHONPATH``::
+
+    PYTHONPATH=src python benchmarks/stream_bench.py \
+        --sessions 8 --workers 4 --out BENCH_stream.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--chunk", type=int, default=16)
+    parser.add_argument("--scenario", type=int, choices=(1, 2, 3),
+                        default=1)
+    parser.add_argument("--mode",
+                        choices=("prefix", "exact", "window"),
+                        default="prefix")
+    parser.add_argument("--buffer", type=int, default=32)
+    parser.add_argument("--instances", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_stream.json")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.common import scenario_selection
+    from repro.stream import run_load_test
+    from repro.stream.session import SessionLimits
+
+    bundle = scenario_selection(
+        args.scenario, instances=args.instances, buffer_width=args.buffer
+    )
+    report = run_load_test(
+        bundle.scenario.interleaved(),
+        bundle.with_packing.traced,
+        sessions=args.sessions,
+        workers=args.workers,
+        chunk_size=args.chunk,
+        seed=args.seed,
+        mode=args.mode,
+        limits=SessionLimits(max_sessions=args.sessions),
+    )
+    payload = report.as_dict()
+    payload["scenario"] = args.scenario
+    payload["buffer"] = args.buffer
+    payload["instances"] = args.instances
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {args.out}: {payload['records_per_s']} records/s, "
+          f"p95 feed latency {payload['p95_feed_latency_s'] * 1e3:.3f}ms "
+          f"({payload['sessions']} sessions, "
+          f"{payload['total_records']} records)")
+    statuses = payload["statuses"]
+    if set(statuses) != {"closed"}:
+        print(f"unexpected session statuses: {statuses}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

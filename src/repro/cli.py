@@ -15,6 +15,12 @@ Commands
     Dump a flow (or a scenario's interleaving) as Graphviz DOT.
 ``cache``
     Inspect, clear, or warm the content-addressed artifact cache.
+``stream``
+    Follow a trace file incrementally and watch the localization
+    fraction tighten as records arrive.
+``serve-demo``
+    Drive N concurrent synthetic debug sessions through the streaming
+    service and print throughput plus telemetry.
 
 ``tables``/``report``/``plan``/``debug`` accept ``--jobs N`` to fan
 independent work units out over a process pool (results are identical
@@ -266,6 +272,104 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.errors import FrontierOverflowError
+    from repro.experiments.common import scenario_selection
+    from repro.selection.localization import PathLocalizer
+    from repro.stream import IncrementalLocalizer, IncrementalTraceParser
+
+    bundle = scenario_selection(
+        args.scenario, instances=args.instances, buffer_width=args.buffer
+    )
+    sc = bundle.scenario
+    traced = bundle.with_packing.traced
+    localizer = IncrementalLocalizer(
+        mode=args.mode,
+        max_frontier=args.max_frontier,
+        localizer=PathLocalizer(sc.interleaved(), traced),
+    )
+    parser = IncrementalTraceParser(sc.catalog)
+    total = localizer.localizer.total_paths
+    print(f"{sc.name}: following {args.tracefile} "
+          f"(mode={args.mode}, buffer={args.buffer})")
+    try:
+        with open(args.tracefile, encoding="utf-8") as stream:
+            while True:
+                chunk = stream.read(args.chunk_bytes)
+                records = (
+                    parser.feed(chunk) if chunk else parser.close()
+                )
+                consumed = localizer.observe_records(records)
+                if consumed:
+                    result = localizer.snapshot()
+                    print(f"  after {localizer.observed_length:4d} "
+                          f"captured: {result.consistent_paths}/{total} "
+                          f"paths ({result.fraction:.4%}) "
+                          f"frontier={localizer.frontier_size}")
+                if not chunk:
+                    break
+    except FrontierOverflowError:
+        print(f"frontier overflowed max size {args.max_frontier}; "
+              "re-run with a larger --max-frontier", file=sys.stderr)
+        return 1
+    result = localizer.snapshot()
+    print(f"trace: scenario={parser.scenario!r} seed={parser.seed} "
+          f"({parser.records_emitted} records, "
+          f"{localizer.observed_length} captured)")
+    for diagnostic in parser.diagnostics:
+        print(f"  skipped {diagnostic}", file=sys.stderr)
+    print(f"localization: {result.consistent_paths}/{total} paths "
+          f"({result.fraction:.4%})")
+    return 0
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.common import scenario_selection
+    from repro.runtime.telemetry import recent_runs
+    from repro.stream import run_load_test
+    from repro.stream.session import SessionLimits
+
+    bundle = scenario_selection(
+        args.scenario, instances=args.instances, buffer_width=args.buffer
+    )
+    sc = bundle.scenario
+    report = run_load_test(
+        sc.interleaved(),
+        bundle.with_packing.traced,
+        sessions=args.sessions,
+        workers=args.workers,
+        chunk_size=args.chunk,
+        seed=args.seed,
+        mode=args.mode,
+        limits=SessionLimits(
+            max_sessions=args.sessions, max_frontier=args.max_frontier
+        ),
+    )
+    summary = report.as_dict()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"{sc.name}: {report.sessions} concurrent sessions over "
+          f"{report.workers} workers (mode={report.mode}, "
+          f"chunk={report.chunk_size})")
+    print(f"  records fed:      {report.total_records}")
+    print(f"  wall time:        {report.wall_s:.3f}s")
+    print(f"  throughput:       {report.records_per_s:.0f} records/s")
+    print(f"  p95 feed latency: {report.p95_feed_latency_s * 1e3:.3f}ms")
+    print(f"  max feed latency: {report.max_feed_latency_s * 1e3:.3f}ms")
+    print(f"  session statuses: {summary['statuses']}")
+    runs = recent_runs(name_prefix="stream:")
+    print(f"telemetry: {len(runs)} session record(s)")
+    for record in runs[-args.sessions:][:5]:
+        print(f"  {record.name}: feeds={record.tasks_dispatched} "
+              f"records={record.extra['records']} "
+              f"status={record.extra['status']} "
+              f"fraction={record.extra['fraction']:.4%}")
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.soc.t2.flows import t2_flows
     from repro.viz import flow_to_dot, interleaved_to_dot
@@ -406,6 +510,44 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--json", action="store_true",
                        help="emit stats as JSON (stats action only)")
     cache.set_defaults(func=_cmd_cache)
+
+    stream = sub.add_parser(
+        "stream",
+        help="follow a trace file incrementally, printing localization",
+    )
+    stream.add_argument("tracefile", help="path to a repro-trace file")
+    stream.add_argument("--scenario", type=int, choices=(1, 2, 3),
+                        default=1)
+    stream.add_argument("--mode", choices=("prefix", "exact", "window"),
+                        default="prefix")
+    stream.add_argument("--buffer", type=int, default=32)
+    stream.add_argument("--instances", type=int, default=1)
+    stream.add_argument("--chunk-bytes", type=int, default=256,
+                        help="bytes ingested per read (smaller = more "
+                        "frequent progress lines)")
+    stream.add_argument("--max-frontier", type=int, default=None,
+                        help="bound the carried DP frontier")
+    stream.set_defaults(func=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve-demo",
+        help="drive N concurrent synthetic streaming debug sessions",
+    )
+    serve.add_argument("--sessions", type=int, default=8)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--scenario", type=int, choices=(1, 2, 3),
+                       default=1)
+    serve.add_argument("--mode", choices=("prefix", "exact", "window"),
+                       default="prefix")
+    serve.add_argument("--buffer", type=int, default=32)
+    serve.add_argument("--instances", type=int, default=1)
+    serve.add_argument("--chunk", type=int, default=16,
+                       help="records per feed call")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-frontier", type=int, default=4096)
+    serve.add_argument("--json", action="store_true",
+                       help="emit the load-test report as JSON")
+    serve.set_defaults(func=_cmd_serve_demo)
 
     dot = sub.add_parser("dot", help="dump a flow as Graphviz DOT")
     dot.add_argument(

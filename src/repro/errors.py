@@ -58,5 +58,16 @@ class ArtifactKeyError(ReproError):
     """A value cannot be canonicalized into a content-addressed key."""
 
 
+class StreamError(ReproError):
+    """The streaming analysis layer was misused (unknown session,
+    session table full, service already shut down, ...)."""
+
+
+class FrontierOverflowError(StreamError):
+    """An incremental localizer's DP frontier outgrew its configured
+    bound; the session must fall back to batch analysis or widen the
+    limit."""
+
+
 class OrchestrationError(ReproError):
     """Parallel task execution failed (timeout, worker crash, ...)."""

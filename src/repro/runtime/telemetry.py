@@ -62,9 +62,18 @@ def record_run(record: RunRecord) -> RunRecord:
     return record
 
 
-def recent_runs(limit: Optional[int] = None) -> List[RunRecord]:
-    """Most recent records, oldest first."""
+def recent_runs(
+    limit: Optional[int] = None, name_prefix: Optional[str] = None
+) -> List[RunRecord]:
+    """Most recent records, oldest first.
+
+    *name_prefix* keeps only records whose ``name`` starts with it --
+    e.g. ``name_prefix="stream:"`` isolates per-session streaming
+    telemetry from table-regeneration runs sharing the ring buffer.
+    """
     records = list(_RECORDS)
+    if name_prefix is not None:
+        records = [r for r in records if r.name.startswith(name_prefix)]
     if limit is not None:
         records = records[-limit:]
     return records

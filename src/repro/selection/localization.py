@@ -14,24 +14,45 @@ symptom fires), or *contains* ``O`` as a contiguous run of visible
 messages (``mode="window"`` -- a depth-limited ring buffer that only
 retained the last ``depth`` captures).  Non-traced labels are free.
 
-Counting never enumerates paths: prefix/exact modes run a DP over
-``(product state, matched length)``; window mode composes the
-interleaved DAG with the KMP failure automaton of the observed window,
-whose determinism makes the count exact (each path maps to exactly one
-automaton state sequence -- no double counting when the window could
-match at several offsets).
+Counting never enumerates paths.  Prefix/exact modes run a *forward*
+DP whose state is a :class:`DPFrontier`: the weight of every product
+state reachable by consuming the observation so far.  The frontier is
+exposed stepwise (:meth:`PathLocalizer.initial_frontier`,
+:meth:`PathLocalizer.advance_frontier`) so that
+:class:`repro.stream.incremental.IncrementalLocalizer` can carry it
+across captures arriving over time; the batch :meth:`PathLocalizer.
+localize` is a thin wrapper that replays the observation through the
+same hooks.  Window mode composes the interleaved DAG with the KMP
+failure automaton of the observed window, whose determinism makes the
+count exact (each path maps to exactly one automaton state sequence --
+no double counting when the window could match at several offsets);
+the failure table can be grown online (:func:`kmp_extend`) and handed
+back to :meth:`PathLocalizer.window_count`.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.execution import underlying_message
 from repro.core.interleave import InterleavedFlow, ProductState
 from repro.core.message import IndexedMessage, Message
 from repro.errors import SelectionError
 from repro.selection.packing import expand_subgroups
+
+#: The localization modes :meth:`PathLocalizer.localize` understands.
+MODES = ("prefix", "exact", "window")
 
 
 @dataclass(frozen=True)
@@ -64,6 +85,50 @@ class LocalizationResult:
         )
 
 
+@dataclass(frozen=True)
+class DPFrontier:
+    """Forward localization-DP state after consuming ``length`` symbols.
+
+    Attributes
+    ----------
+    matched:
+        Weight per product state of path-prefixes whose *last edge*
+        consumed the newest observed symbol (for ``length == 0``: the
+        initial states with weight 1).  ``prefix``-mode counts hang off
+        this map: each weighted state contributes ``weight x
+        paths_to_stop``.
+    closed:
+        ``matched`` propagated forward along non-traced (invisible)
+        edges -- the states from which the *next* observed symbol may
+        be consumed.  ``exact``-mode counts sum ``closed`` over stop
+        states.
+    length:
+        Observed symbols consumed so far.
+    """
+
+    matched: Mapping[ProductState, int]
+    closed: Mapping[ProductState, int]
+    length: int
+
+    @property
+    def size(self) -> int:
+        """Number of live product states (the memory the frontier pins)."""
+        return len(self.closed)
+
+    @property
+    def is_dead(self) -> bool:
+        """No path is consistent with the observation any more."""
+        return not self.closed
+
+
+@dataclass(frozen=True)
+class _Adjacency:
+    """Per-state edges split by trace-buffer visibility."""
+
+    visible: Tuple[Tuple[IndexedMessage, ProductState], ...]
+    invisible: Tuple[ProductState, ...]
+
+
 class PathLocalizer:
     """Counts interleaved-flow paths consistent with observed traces.
 
@@ -83,6 +148,8 @@ class PathLocalizer:
         expanded = expand_subgroups(traced, interleaved.messages)
         self._visible: Set[Message] = set(expanded)
         self._total = interleaved.count_paths()
+        self._adjacency: Optional[Dict[ProductState, _Adjacency]] = None
+        self._topo_index: Optional[Dict[ProductState, int]] = None
 
     @property
     def total_paths(self) -> int:
@@ -121,7 +188,7 @@ class PathLocalizer:
             (the buffer could never have captured it), or *mode* is
             unknown, or window mode receives un-indexed items.
         """
-        if mode not in ("prefix", "exact", "window"):
+        if mode not in MODES:
             raise SelectionError(
                 f"unknown localization mode {mode!r}; "
                 "choose 'prefix', 'exact', or 'window'"
@@ -133,54 +200,93 @@ class PathLocalizer:
                 )
         observation: Tuple[object, ...] = tuple(observed)
         if mode == "window":
-            count = self._count_window(observation)
+            count = self.window_count(observation)
         else:
-            memo: Dict[Tuple[ProductState, int], int] = {}
-            count = sum(
-                self._count(start, 0, observation, memo, mode)
-                for start in self.interleaved.initial
+            frontier = self.initial_frontier()
+            for item in observation:
+                frontier = self.advance_frontier(frontier, item)
+            count = (
+                self.prefix_count(frontier)
+                if mode == "prefix"
+                else self.exact_count(frontier)
             )
         return LocalizationResult(consistent_paths=count, total_paths=self._total)
 
     # ------------------------------------------------------------------
-    def _count(
+    # stepwise DP hooks (prefix/exact modes)
+    # ------------------------------------------------------------------
+    def initial_frontier(self) -> DPFrontier:
+        """The frontier before any symbol has been observed."""
+        matched = {state: 1 for state in self.interleaved.initial}
+        return DPFrontier(
+            matched=matched,
+            closed=self._invisible_closure(matched),
+            length=0,
+        )
+
+    def advance_frontier(
+        self, frontier: DPFrontier, symbol: object
+    ) -> DPFrontier:
+        """Consume one observed *symbol*: O(frontier x out-degree).
+
+        Raises :class:`~repro.errors.SelectionError` when *symbol* is
+        not in the traced set (the buffer could never have captured
+        it) -- the same guard the batch API applies up front.
+        """
+        if not self.is_visible(symbol):
+            raise SelectionError(
+                f"observed message {symbol!r} is not in the traced set"
+            )
+        adjacency = self._split_adjacency()
+        matched: Dict[ProductState, int] = {}
+        for state, weight in frontier.closed.items():
+            for label, target in adjacency[state].visible:
+                if _matches(symbol, label):
+                    matched[target] = matched.get(target, 0) + weight
+        return DPFrontier(
+            matched=matched,
+            closed=self._invisible_closure(matched),
+            length=frontier.length + 1,
+        )
+
+    def prefix_count(self, frontier: DPFrontier) -> int:
+        """Paths whose visible projection *starts with* the consumed
+        observation: every minimally-matched prefix times any
+        continuation to a stop state."""
+        to_stop = self.interleaved.paths_to_stop()
+        return sum(
+            weight * to_stop.get(state, 0)
+            for state, weight in frontier.matched.items()
+        )
+
+    def exact_count(self, frontier: DPFrontier) -> int:
+        """Paths whose visible projection *equals* the consumed
+        observation: matched prefixes that reach a stop state through
+        invisible edges only."""
+        stop = self.interleaved.stop
+        return sum(
+            weight
+            for state, weight in frontier.closed.items()
+            if state in stop
+        )
+
+    # ------------------------------------------------------------------
+    # window mode (KMP-composed DP)
+    # ------------------------------------------------------------------
+    def window_count(
         self,
-        state: ProductState,
-        matched: int,
         observation: Tuple[object, ...],
-        memo: Dict[Tuple[ProductState, int], int],
-        mode: str,
+        failure: Optional[Sequence[int]] = None,
     ) -> int:
-        if matched == len(observation) and mode == "prefix":
-            # the snapshot is fully explained; any continuation of the
-            # run (visible or not) is consistent with it
-            return self.interleaved.paths_to_stop().get(state, 0)
-        key = (state, matched)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
-        total = 0
-        if matched == len(observation) and state in self.interleaved.stop:
-            total += 1
-        for t in self.interleaved.outgoing(state):
-            if self.is_visible(t.message):
-                if matched < len(observation) and _matches(
-                    observation[matched], t.message
-                ):
-                    total += self._count(
-                        t.target, matched + 1, observation, memo, mode
-                    )
-            else:
-                total += self._count(t.target, matched, observation, memo, mode)
-        memo[key] = total
-        return total
-
-
-    def _count_window(self, observation: Tuple[object, ...]) -> int:
         """Paths whose visible projection contains *observation* as a
         contiguous run, via the KMP automaton (deterministic, so every
         path is counted exactly once even when the window could match
-        at several offsets)."""
+        at several offsets).
+
+        *failure* may supply a precomputed KMP failure table for the
+        observation (e.g. one grown online with :func:`kmp_extend`);
+        omitted, it is built here.
+        """
         for item in observation:
             if not isinstance(item, IndexedMessage):
                 raise SelectionError(
@@ -189,7 +295,7 @@ class PathLocalizer:
                 )
         if not observation:
             return self._total
-        step = _kmp_transition(observation)
+        step = _kmp_transition(observation, failure)
         accept = len(observation)
         memo: Dict[Tuple[ProductState, int], int] = {}
 
@@ -212,19 +318,106 @@ class PathLocalizer:
 
         return sum(count(start, 0) for start in self.interleaved.initial)
 
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _split_adjacency(self) -> Dict[ProductState, _Adjacency]:
+        """Outgoing edges per state, split by visibility (lazy, built
+        once per localizer -- visibility is fixed)."""
+        if self._adjacency is None:
+            table: Dict[ProductState, _Adjacency] = {}
+            for state in self.interleaved.states:
+                visible: List[Tuple[IndexedMessage, ProductState]] = []
+                invisible: List[ProductState] = []
+                for t in self.interleaved.outgoing(state):
+                    if self.is_visible(t.message):
+                        visible.append((t.message, t.target))
+                    else:
+                        invisible.append(t.target)
+                table[state] = _Adjacency(tuple(visible), tuple(invisible))
+            self._adjacency = table
+        return self._adjacency
 
-def _kmp_transition(pattern: Tuple[object, ...]):
+    def _topological_index(self) -> Dict[ProductState, int]:
+        if self._topo_index is None:
+            self._topo_index = {
+                state: i
+                for i, state in enumerate(self.interleaved.topological_order())
+            }
+        return self._topo_index
+
+    def _invisible_closure(
+        self, weights: Mapping[ProductState, int]
+    ) -> Dict[ProductState, int]:
+        """Propagate *weights* forward along invisible edges (each
+        invisible path counted once -- relaxation in topological
+        order over the reachable sub-DAG only)."""
+        if not weights:
+            return {}
+        topo = self._topological_index()
+        adjacency = self._split_adjacency()
+        closed: Dict[ProductState, int] = dict(weights)
+        heap = [(topo[state], state) for state in closed]
+        heapq.heapify(heap)
+        done: Set[ProductState] = set()
+        while heap:
+            _, state = heapq.heappop(heap)
+            if state in done:
+                continue
+            done.add(state)
+            weight = closed[state]
+            for target in adjacency[state].invisible:
+                if target not in closed:
+                    closed[target] = 0
+                    heapq.heappush(heap, (topo[target], target))
+                closed[target] += weight
+        return closed
+
+
+# ----------------------------------------------------------------------
+# KMP machinery (window mode)
+# ----------------------------------------------------------------------
+def kmp_extend(
+    pattern: List[object], failure: List[int], symbol: object
+) -> None:
+    """Append *symbol* to *pattern*, extending *failure* in place.
+
+    This is the online step of the classic failure-function
+    construction: O(1) amortized, and the table built by repeated
+    extension is identical to :func:`kmp_failure` on the final
+    pattern -- which is what lets a streaming window observation grow
+    without rebuilding the automaton.
+    """
+    if not pattern:
+        pattern.append(symbol)
+        failure.append(0)
+        return
+    k = failure[-1]
+    while k > 0 and symbol != pattern[k]:
+        k = failure[k - 1]
+    if symbol == pattern[k]:
+        k += 1
+    pattern.append(symbol)
+    failure.append(k)
+
+
+def kmp_failure(pattern: Sequence[object]) -> List[int]:
+    """The KMP failure table of *pattern* (exact equality on items)."""
+    grown: List[object] = []
+    failure: List[int] = []
+    for symbol in pattern:
+        kmp_extend(grown, failure, symbol)
+    return failure
+
+
+def _kmp_transition(
+    pattern: Tuple[object, ...], failure: Optional[Sequence[int]] = None
+):
     """The KMP transition function ``step(state, symbol) -> state`` for
     *pattern* (exact equality on indexed messages)."""
     n = len(pattern)
-    failure = [0] * n
-    k = 0
-    for i in range(1, n):
-        while k > 0 and pattern[i] != pattern[k]:
-            k = failure[k - 1]
-        if pattern[i] == pattern[k]:
-            k += 1
-        failure[i] = k
+    if failure is None:
+        failure = kmp_failure(pattern)
 
     def step(state: int, symbol: object) -> int:
         if state == n:

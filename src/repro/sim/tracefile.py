@@ -9,25 +9,93 @@ the way post-silicon labs actually look at traces:
     140 2:reqtot 0x5a
     203 2:grant 0x3
 
-Each line is ``<cycle> <index>:<message> <hex value>``.
+Each line is ``<cycle> <index>:<message> <hex value>``.  Scenario
+names are quoted with ``"`` and ``\\`` backslash-escaped so arbitrary
+labels round-trip.
+
+The line-level grammar is exposed as :func:`parse_header`,
+:func:`parse_record_line`, and :func:`format_record` so the batch
+reader here and the incremental ingester
+(:class:`repro.stream.ingest.IncrementalTraceParser`) parse
+byte-identically by construction.
 """
 
 from __future__ import annotations
 
 import io
 import re
-from typing import List, Mapping, Sequence, TextIO, Tuple
+from typing import Mapping, Optional, Sequence, TextIO, Tuple
 
 from repro.core.message import IndexedMessage, Message
 from repro.errors import SimulationError
 from repro.sim.engine import TraceRecord
 
 _HEADER = re.compile(
-    r'^# repro-trace v1 scenario="(?P<scenario>[^"]*)" seed=(?P<seed>-?\d+)$'
+    r'^# repro-trace v1 scenario="(?P<scenario>(?:[^"\\]|\\.)*)" '
+    r"seed=(?P<seed>-?\d+)$"
 )
 _LINE = re.compile(
     r"^(?P<cycle>\d+) (?P<index>\d+):(?P<name>\S+) 0x(?P<value>[0-9a-fA-F]+)$"
 )
+_UNESCAPE = re.compile(r"\\(.)")
+
+
+def escape_scenario(scenario: str) -> str:
+    """Backslash-escape a scenario label for the quoted header field."""
+    return scenario.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def unescape_scenario(escaped: str) -> str:
+    """Inverse of :func:`escape_scenario`."""
+    return _UNESCAPE.sub(r"\1", escaped)
+
+
+def format_header(scenario: str, seed: int) -> str:
+    """The header line (without trailing newline)."""
+    return f'# repro-trace v1 scenario="{escape_scenario(scenario)}" seed={seed}'
+
+
+def format_record(record: TraceRecord) -> str:
+    """One record line (without trailing newline)."""
+    return (
+        f"{record.cycle} {record.message.index}:"
+        f"{record.message.message.name} 0x{record.value:x}"
+    )
+
+
+def parse_header(line: str) -> Optional[Tuple[str, int]]:
+    """Parse a header line into ``(scenario, seed)``; ``None`` when the
+    line is not a well-formed v1 header."""
+    match = _HEADER.match(line)
+    if not match:
+        return None
+    return unescape_scenario(match.group("scenario")), int(match.group("seed"))
+
+
+def parse_record_line(
+    line: str, catalog: Mapping[str, Message]
+) -> TraceRecord:
+    """Parse one record line.
+
+    Raises
+    ------
+    SimulationError
+        When the line is malformed or names a message missing from
+        *catalog* (``reason`` in the message distinguishes the two).
+    """
+    match = _LINE.match(line)
+    if not match:
+        raise SimulationError(f"bad trace line: {line!r}")
+    name = match.group("name")
+    try:
+        message = catalog[name]
+    except KeyError:
+        raise SimulationError(f"unknown message {name!r}") from None
+    return TraceRecord(
+        cycle=int(match.group("cycle")),
+        message=IndexedMessage(message, int(match.group("index"))),
+        value=int(match.group("value"), 16),
+    )
 
 
 def write_trace_file(
@@ -37,10 +105,9 @@ def write_trace_file(
     seed: int = 0,
 ) -> None:
     """Serialize *records* to *stream* in trace-file format."""
-    stream.write(f'# repro-trace v1 scenario="{scenario}" seed={seed}\n')
+    stream.write(format_header(scenario, seed) + "\n")
     for r in records:
-        stream.write(f"{r.cycle} {r.message.index}:{r.message.message.name} "
-                     f"0x{r.value:x}\n")
+        stream.write(format_record(r) + "\n")
 
 
 def read_trace_file(
@@ -66,33 +133,19 @@ def read_trace_file(
         On malformed lines or messages missing from the catalog.
     """
     first = stream.readline().rstrip("\n")
-    header = _HEADER.match(first)
-    if not header:
+    header = parse_header(first)
+    if header is None:
         raise SimulationError(f"bad trace file header: {first!r}")
-    scenario = header.group("scenario")
-    seed = int(header.group("seed"))
-    records: List[TraceRecord] = []
+    scenario, seed = header
+    records = []
     for lineno, line in enumerate(stream, start=2):
         line = line.rstrip("\n")
         if not line or line.startswith("#"):
             continue
-        match = _LINE.match(line)
-        if not match:
-            raise SimulationError(f"bad trace line {lineno}: {line!r}")
-        name = match.group("name")
-        if name not in catalog:
-            raise SimulationError(
-                f"trace line {lineno}: unknown message {name!r}"
-            )
-        records.append(
-            TraceRecord(
-                cycle=int(match.group("cycle")),
-                message=IndexedMessage(
-                    catalog[name], int(match.group("index"))
-                ),
-                value=int(match.group("value"), 16),
-            )
-        )
+        try:
+            records.append(parse_record_line(line, catalog))
+        except SimulationError as exc:
+            raise SimulationError(f"trace line {lineno}: {exc}") from None
     return tuple(records), scenario, seed
 
 

@@ -1,0 +1,45 @@
+"""Streaming trace analysis: incremental ingestion and online
+localization (the service layer over Section 5.2).
+
+- :mod:`repro.stream.ingest` -- chunk-tolerant trace-file parsing with
+  structured diagnostics,
+- :mod:`repro.stream.incremental` -- the localization DP carried
+  across captures,
+- :mod:`repro.stream.session` -- per-validator sessions with limits,
+  overflow status, idle eviction, and telemetry,
+- :mod:`repro.stream.service` -- a thread-pooled front end plus the
+  synthetic load test behind ``repro serve-demo``.
+"""
+
+from repro.stream.incremental import IncrementalLocalizer
+from repro.stream.ingest import IncrementalTraceParser, ParseDiagnostic
+from repro.stream.service import (
+    LoadTestReport,
+    SessionOutcome,
+    StreamService,
+    chunked,
+    run_load_test,
+    synthetic_session_records,
+)
+from repro.stream.session import (
+    FeedOutcome,
+    SessionLimits,
+    SessionManager,
+    StreamSession,
+)
+
+__all__ = [
+    "IncrementalLocalizer",
+    "IncrementalTraceParser",
+    "ParseDiagnostic",
+    "SessionLimits",
+    "SessionManager",
+    "StreamSession",
+    "FeedOutcome",
+    "StreamService",
+    "SessionOutcome",
+    "LoadTestReport",
+    "chunked",
+    "run_load_test",
+    "synthetic_session_records",
+]

@@ -1,0 +1,260 @@
+"""Online path localization: the batch DP, carried across captures.
+
+``selection.localization`` answers "how many interleaved-flow paths
+are consistent with this observation?" for one complete observation.
+During live debug the observation *grows*: every trace-buffer readout
+appends a few records, and re-running the full DP per readout costs
+O(states x observation) each time.  :class:`IncrementalLocalizer`
+instead carries the DP state between :meth:`~IncrementalLocalizer.
+feed` calls:
+
+* **prefix/exact modes** keep the forward
+  :class:`~repro.selection.localization.DPFrontier` -- weights over
+  ``(product state, matched length)`` -- so consuming one new record
+  costs O(frontier x out-degree), independent of how much has already
+  been observed.  The frontier only ever *shrinks or stays bounded*
+  (it lives inside the product's antichain of states reachable at one
+  matched length), which is what makes thousands of concurrent
+  sessions affordable.
+* **window mode** grows the observed window's KMP failure table online
+  (O(1) amortized per record, :func:`~repro.selection.localization.
+  kmp_extend`); the composed product/automaton count is evaluated
+  lazily at :meth:`~IncrementalLocalizer.snapshot` and cached per
+  observation length, so feeding is cheap and repeated snapshots are
+  free.
+
+At every point ``snapshot()`` equals the batch
+:meth:`~repro.selection.localization.PathLocalizer.localize` on the
+records fed so far -- chunking is invisible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.core.interleave import InterleavedFlow
+from repro.core.message import IndexedMessage, Message
+from repro.errors import FrontierOverflowError, SelectionError
+from repro.selection.localization import (
+    DPFrontier,
+    LocalizationResult,
+    MODES,
+    PathLocalizer,
+    kmp_extend,
+)
+from repro.sim.engine import TraceRecord
+
+#: What ``feed`` accepts: raw simulator records or bare (indexed)
+#: messages -- the same shapes the batch API takes.
+Observable = Union[TraceRecord, IndexedMessage, Message]
+
+
+def _symbol(item: Observable) -> object:
+    """The observation symbol carried by *item*."""
+    if isinstance(item, TraceRecord):
+        return item.message
+    return item
+
+
+class IncrementalLocalizer:
+    """Carries the localization DP across incremental captures.
+
+    Parameters
+    ----------
+    interleaved:
+        The usage scenario's interleaved flow.
+    traced:
+        The traced message set (as for the batch localizer).
+    mode:
+        ``"prefix"`` (default), ``"exact"``, or ``"window"`` -- fixed
+        for the lifetime of the localizer (the carried DP state is
+        mode-specific).
+    max_frontier:
+        Optional bound on carried DP state: live frontier states for
+        prefix/exact, observed-window length for window mode.  When
+        exceeded, :meth:`feed` raises :class:`~repro.errors.
+        FrontierOverflowError` and the localizer freezes at its last
+        consistent state (``overflowed`` turns true; further feeding
+        keeps raising).
+    localizer:
+        Share an existing :class:`PathLocalizer` (its adjacency split,
+        topological index, and path-count tables) across many
+        incremental sessions over the same scenario; omitted, a
+        private one is built.
+    """
+
+    def __init__(
+        self,
+        interleaved: Optional[InterleavedFlow] = None,
+        traced: Optional[Iterable[Message]] = None,
+        mode: str = "prefix",
+        max_frontier: Optional[int] = None,
+        localizer: Optional[PathLocalizer] = None,
+    ) -> None:
+        if mode not in MODES:
+            raise SelectionError(
+                f"unknown localization mode {mode!r}; "
+                "choose 'prefix', 'exact', or 'window'"
+            )
+        if localizer is None:
+            if interleaved is None or traced is None:
+                raise SelectionError(
+                    "IncrementalLocalizer needs (interleaved, traced) "
+                    "or an existing localizer"
+                )
+            localizer = PathLocalizer(interleaved, traced)
+        if max_frontier is not None and max_frontier < 1:
+            raise SelectionError(
+                f"max_frontier must be >= 1, got {max_frontier}"
+            )
+        self.mode = mode
+        self.max_frontier = max_frontier
+        self._localizer = localizer
+        self._overflowed = False
+        self._observed_length = 0
+        # prefix/exact state: the forward frontier
+        self._frontier: Optional[DPFrontier] = None
+        if mode != "window":
+            self._frontier = localizer.initial_frontier()
+        # window state: the growing pattern + its online failure table
+        self._pattern: List[object] = []
+        self._failure: List[int] = []
+        self._window_cache: Optional[LocalizationResult] = None
+        self._peak_frontier = self.frontier_size
+
+    # ------------------------------------------------------------------
+    @property
+    def localizer(self) -> PathLocalizer:
+        """The shared batch localizer (DP tables, visibility)."""
+        return self._localizer
+
+    @property
+    def observed_length(self) -> int:
+        """Symbols consumed so far."""
+        return self._observed_length
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether the frontier bound was hit (state frozen since)."""
+        return self._overflowed
+
+    @property
+    def frontier_size(self) -> int:
+        """Carried DP state size: live product states (prefix/exact)
+        or window length (window mode)."""
+        if self.mode == "window":
+            return len(self._pattern)
+        assert self._frontier is not None
+        return self._frontier.size
+
+    @property
+    def peak_frontier(self) -> int:
+        """Largest frontier seen over the localizer's lifetime."""
+        return self._peak_frontier
+
+    @property
+    def is_dead(self) -> bool:
+        """No path can be consistent any more (count pinned at 0)."""
+        if self.mode == "window":
+            return False  # a window may still match later paths' runs
+        assert self._frontier is not None
+        return self._frontier.is_dead
+
+    def is_visible(self, item: Observable) -> bool:
+        """Whether the trace buffer would have captured *item*."""
+        return self._localizer.is_visible(_symbol(item))
+
+    # ------------------------------------------------------------------
+    def feed(self, records: Iterable[Observable]) -> int:
+        """Consume *records* (oldest first); returns symbols consumed.
+
+        Raises
+        ------
+        SelectionError
+            On an untraced observation (mirror of the batch guard) or,
+            in window mode, an un-indexed one.
+        FrontierOverflowError
+            When ``max_frontier`` is exceeded; the localizer freezes
+            at the state *before* the overflowing record.
+        """
+        if self._overflowed:
+            raise FrontierOverflowError(
+                f"localizer frontier overflowed at {self.max_frontier}; "
+                "no further records accepted"
+            )
+        consumed = 0
+        for item in records:
+            self._feed_one(_symbol(item))
+            consumed += 1
+        return consumed
+
+    def observe_records(self, records: Iterable[Observable]) -> int:
+        """Feed only the records the trace buffer would have captured.
+
+        Convenience for raw simulator/ingest streams that still carry
+        untraced messages; returns how many records were consumed.
+        """
+        return self.feed(r for r in records if self.is_visible(r))
+
+    def snapshot(self) -> LocalizationResult:
+        """The batch-identical localization of everything fed so far."""
+        if self.mode == "prefix":
+            assert self._frontier is not None
+            count = self._localizer.prefix_count(self._frontier)
+        elif self.mode == "exact":
+            assert self._frontier is not None
+            count = self._localizer.exact_count(self._frontier)
+        else:
+            if self._window_cache is None:
+                self._window_cache = LocalizationResult(
+                    consistent_paths=self._localizer.window_count(
+                        tuple(self._pattern), self._failure
+                    ),
+                    total_paths=self._localizer.total_paths,
+                )
+            return self._window_cache
+        return LocalizationResult(
+            consistent_paths=count,
+            total_paths=self._localizer.total_paths,
+        )
+
+    # ------------------------------------------------------------------
+    def _feed_one(self, symbol: object) -> None:
+        if self.mode == "window":
+            if not isinstance(symbol, IndexedMessage):
+                raise SelectionError(
+                    "window-mode localization needs a fully indexed "
+                    f"observation; got {symbol!r}"
+                )
+            if not self._localizer.is_visible(symbol):
+                raise SelectionError(
+                    f"observed message {symbol!r} is not in the traced set"
+                )
+            if (
+                self.max_frontier is not None
+                and len(self._pattern) + 1 > self.max_frontier
+            ):
+                self._overflowed = True
+                raise FrontierOverflowError(
+                    f"window length would exceed max_frontier="
+                    f"{self.max_frontier}"
+                )
+            kmp_extend(self._pattern, self._failure, symbol)
+            self._window_cache = None
+        else:
+            assert self._frontier is not None
+            advanced = self._localizer.advance_frontier(
+                self._frontier, symbol
+            )
+            if (
+                self.max_frontier is not None
+                and advanced.size > self.max_frontier
+            ):
+                self._overflowed = True
+                raise FrontierOverflowError(
+                    f"frontier grew to {advanced.size} states, over "
+                    f"max_frontier={self.max_frontier}"
+                )
+            self._frontier = advanced
+        self._observed_length += 1
+        self._peak_frontier = max(self._peak_frontier, self.frontier_size)

@@ -1,0 +1,244 @@
+"""A concurrent front end over :class:`~repro.stream.session.
+SessionManager` -- stdlib only.
+
+:class:`StreamService` drives whole sessions on a thread pool: one
+task opens a session, feeds its record chunks in order, snapshots, and
+closes.  Per-session ordering is guaranteed by construction (a
+session's chunks never leave its task); cross-session isolation is the
+manager's job and is what the load test below exercises.
+
+:func:`run_load_test` is the reusable synthetic workload behind
+``python -m repro serve-demo`` and ``benchmarks/stream_bench.py``: N
+validators following N independent simulated failing runs, reported as
+aggregate records/sec plus p95/max per-feed latency.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.interleave import InterleavedFlow
+from repro.core.message import Message
+from repro.errors import StreamError
+from repro.selection.localization import LocalizationResult
+from repro.sim.engine import TraceRecord, TransactionSimulator
+from repro.stream.incremental import Observable
+from repro.stream.session import SessionLimits, SessionManager
+
+
+@dataclass(frozen=True)
+class SessionOutcome:
+    """Everything one driven session produced."""
+
+    session_id: str
+    result: LocalizationResult
+    status: str
+    records: int
+    feed_latencies_s: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class LoadTestReport:
+    """Aggregate numbers from one synthetic multi-session run."""
+
+    sessions: int
+    workers: int
+    chunk_size: int
+    mode: str
+    total_records: int
+    wall_s: float
+    records_per_s: float
+    p95_feed_latency_s: float
+    max_feed_latency_s: float
+    outcomes: Tuple[SessionOutcome, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (per-session payloads reduced to the
+        numbers dashboards plot)."""
+        return {
+            "sessions": self.sessions,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "mode": self.mode,
+            "total_records": self.total_records,
+            "wall_s": round(self.wall_s, 6),
+            "records_per_s": round(self.records_per_s, 3),
+            "p95_feed_latency_s": round(self.p95_feed_latency_s, 6),
+            "max_feed_latency_s": round(self.max_feed_latency_s, 6),
+            "statuses": {
+                status: sum(1 for o in self.outcomes if o.status == status)
+                for status in sorted({o.status for o in self.outcomes})
+            },
+            "fractions": [
+                round(o.result.fraction, 8) for o in self.outcomes
+            ],
+        }
+
+
+class StreamService:
+    """Drives sessions over a :class:`ThreadPoolExecutor`.
+
+    The localization DP is pure Python, so threads do not speed a
+    single session up; what the pool buys is *multiplexing* -- many
+    validators served concurrently with bounded workers -- and a
+    permanent concurrency test of the manager's locking.
+    """
+
+    def __init__(self, manager: SessionManager, workers: int = 4) -> None:
+        if workers < 1:
+            raise StreamError(f"workers must be >= 1, got {workers}")
+        self.manager = manager
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-stream"
+        )
+
+    # ------------------------------------------------------------------
+    def run_session(
+        self,
+        chunks: Iterable[Sequence[Observable]],
+        session_id: Optional[str] = None,
+        mode: Optional[str] = None,
+        drop_invisible: bool = False,
+    ) -> SessionOutcome:
+        """Open, feed every chunk in order, snapshot, close (synchronous)."""
+        sid = self.manager.open(session_id, mode=mode)
+        latencies: List[float] = []
+        records = 0
+        try:
+            for chunk in chunks:
+                started = time.perf_counter()
+                outcome = self.manager.feed(
+                    sid, chunk, drop_invisible=drop_invisible
+                )
+                latencies.append(time.perf_counter() - started)
+                records += outcome.consumed
+            result = self.manager.snapshot(sid)
+        finally:
+            record = self.manager.close(sid)
+        return SessionOutcome(
+            session_id=sid,
+            result=result,
+            status=str(record.extra["status"]),
+            records=records,
+            feed_latencies_s=tuple(latencies),
+        )
+
+    def submit_session(
+        self,
+        chunks: Sequence[Sequence[Observable]],
+        session_id: Optional[str] = None,
+        mode: Optional[str] = None,
+        drop_invisible: bool = False,
+    ) -> "Future[SessionOutcome]":
+        """Schedule :meth:`run_session` on the pool."""
+        if self._pool is None:
+            raise StreamError("service is shut down")
+        return self._pool.submit(
+            self.run_session, chunks, session_id, mode, drop_invisible
+        )
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "StreamService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+def chunked(
+    records: Sequence[Observable], size: int
+) -> List[Tuple[Observable, ...]]:
+    """Split *records* into feed-sized chunks (last one may be short)."""
+    if size < 1:
+        raise StreamError(f"chunk size must be >= 1, got {size}")
+    return [
+        tuple(records[i : i + size]) for i in range(0, len(records), size)
+    ]
+
+
+def synthetic_session_records(
+    interleaved: InterleavedFlow,
+    traced: Iterable[Message],
+    seed: int,
+    scenario_name: str = "stream-demo",
+) -> Tuple[TraceRecord, ...]:
+    """One simulated failing run's capture: a seeded golden run
+    projected onto the traced set (what the buffer would hold)."""
+    simulator = TransactionSimulator(interleaved, scenario_name)
+    trace = simulator.run(seed=seed)
+    return trace.project(tuple(traced))
+
+
+def run_load_test(
+    interleaved: InterleavedFlow,
+    traced: Iterable[Message],
+    sessions: int = 8,
+    workers: int = 4,
+    chunk_size: int = 16,
+    seed: int = 0,
+    mode: str = "prefix",
+    limits: Optional[SessionLimits] = None,
+) -> LoadTestReport:
+    """Drive *sessions* concurrent synthetic validators to completion.
+
+    Each session follows its own seeded simulated run (seeds
+    ``seed .. seed+sessions-1``), fed in *chunk_size* record chunks.
+    Determinism: the produced localization fractions depend only on
+    the seeds, never on thread scheduling -- which is exactly the
+    cross-session isolation guarantee the acceptance tests pin down.
+    """
+    if sessions < 1:
+        raise StreamError(f"sessions must be >= 1, got {sessions}")
+    traced = tuple(traced)
+    if limits is None:
+        limits = SessionLimits(max_sessions=max(sessions, 1))
+    manager = SessionManager(interleaved, traced, mode=mode, limits=limits)
+    workloads = [
+        chunked(
+            synthetic_session_records(interleaved, traced, seed + i),
+            chunk_size,
+        )
+        for i in range(sessions)
+    ]
+    started = time.perf_counter()
+    with StreamService(manager, workers=workers) as service:
+        futures = [
+            service.submit_session(chunks, session_id=f"demo-{i:04d}")
+            for i, chunks in enumerate(workloads)
+        ]
+        outcomes = tuple(f.result() for f in futures)
+    wall = time.perf_counter() - started
+    latencies = sorted(
+        latency for o in outcomes for latency in o.feed_latencies_s
+    )
+    total_records = sum(o.records for o in outcomes)
+    return LoadTestReport(
+        sessions=sessions,
+        workers=workers,
+        chunk_size=chunk_size,
+        mode=mode,
+        total_records=total_records,
+        wall_s=wall,
+        records_per_s=total_records / wall if wall > 0 else 0.0,
+        p95_feed_latency_s=_percentile(latencies, 0.95),
+        max_feed_latency_s=latencies[-1] if latencies else 0.0,
+        outcomes=outcomes,
+    )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]

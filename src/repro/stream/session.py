@@ -1,0 +1,273 @@
+"""Concurrent debug-session management for online localization.
+
+A production debug service faces many validators at once, each
+following their own failing run.  :class:`SessionManager` owns one
+:class:`~repro.stream.incremental.IncrementalLocalizer` per session
+and enforces the limits that keep the process bounded:
+
+* ``max_sessions`` -- the session table never grows past it (idle
+  sessions are evicted first; a full table refuses new opens),
+* ``max_frontier`` -- per-session DP state is bounded; a session whose
+  frontier outgrows it flips to the explicit ``"overflow"`` status and
+  freezes at its last consistent snapshot instead of eating the heap,
+* ``idle_timeout_s`` -- sessions nobody fed for that long are evicted.
+
+All sessions share one :class:`~repro.selection.localization.
+PathLocalizer` per scenario (the adjacency split, topological index,
+and path-count tables are read-only), so per-session cost is just the
+carried frontier.  Every session's lifecycle ends in a
+:class:`~repro.runtime.telemetry.RunRecord` (name ``stream:<id>``)
+through the process-wide telemetry ring, same as the batch
+orchestrators.
+
+All public methods are thread-safe behind one manager lock: the DP
+advances are pure Python (GIL-bound), so finer locking would buy
+nothing while costing correctness review.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.interleave import InterleavedFlow
+from repro.core.message import Message
+from repro.errors import FrontierOverflowError, StreamError
+from repro.runtime.telemetry import RunRecord, record_run
+from repro.selection.localization import LocalizationResult, PathLocalizer
+from repro.stream.incremental import IncrementalLocalizer, Observable
+
+#: Session lifecycle states.
+ACTIVE = "active"
+OVERFLOW = "overflow"
+CLOSED = "closed"
+EVICTED = "evicted"
+
+
+@dataclass(frozen=True)
+class SessionLimits:
+    """Resource bounds one :class:`SessionManager` enforces."""
+
+    max_sessions: int = 64
+    max_frontier: Optional[int] = 4096
+    idle_timeout_s: float = 300.0
+
+
+@dataclass(frozen=True)
+class FeedOutcome:
+    """What one :meth:`SessionManager.feed` call did."""
+
+    session_id: str
+    consumed: int
+    status: str
+    observed_length: int
+    frontier_size: int
+
+
+class StreamSession:
+    """One validator's live localization state (owned by the manager)."""
+
+    def __init__(
+        self,
+        session_id: str,
+        localizer: IncrementalLocalizer,
+        opened_at: float,
+    ) -> None:
+        self.session_id = session_id
+        self.localizer = localizer
+        self.status = ACTIVE
+        self.opened_at = opened_at
+        self.last_active = opened_at
+        self.feeds = 0
+        self.records = 0
+
+    @property
+    def mode(self) -> str:
+        return self.localizer.mode
+
+
+class SessionManager:
+    """Multiplexes many incremental localization sessions.
+
+    Parameters
+    ----------
+    interleaved:
+        The usage scenario's interleaved flow (shared by all sessions).
+    traced:
+        The traced message set.
+    mode:
+        Default localization mode for new sessions (overridable per
+        :meth:`open`).
+    limits:
+        Resource bounds; defaults to :class:`SessionLimits`.
+    clock:
+        Monotonic-seconds source (injectable for eviction tests).
+    """
+
+    def __init__(
+        self,
+        interleaved: InterleavedFlow,
+        traced: Iterable[Message],
+        mode: str = "prefix",
+        limits: Optional[SessionLimits] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.limits = limits if limits is not None else SessionLimits()
+        self.default_mode = mode
+        self._shared = PathLocalizer(interleaved, traced)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: Dict[str, StreamSession] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def shared_localizer(self) -> PathLocalizer:
+        return self._shared
+
+    def session_ids(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._sessions)
+
+    def session(self, session_id: str) -> StreamSession:
+        with self._lock:
+            return self._get(session_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    def open(
+        self, session_id: Optional[str] = None, mode: Optional[str] = None
+    ) -> str:
+        """Open a session; returns its id.
+
+        Evicts idle sessions first; raises :class:`~repro.errors.
+        StreamError` when the table is still full or the id is taken.
+        """
+        with self._lock:
+            self.evict_idle()
+            if len(self._sessions) >= self.limits.max_sessions:
+                raise StreamError(
+                    f"session table full ({self.limits.max_sessions}); "
+                    "close or evict a session first"
+                )
+            if session_id is None:
+                self._next_id += 1
+                session_id = f"s{self._next_id:04d}"
+            if session_id in self._sessions:
+                raise StreamError(f"session {session_id!r} already open")
+            localizer = IncrementalLocalizer(
+                mode=mode if mode is not None else self.default_mode,
+                max_frontier=self.limits.max_frontier,
+                localizer=self._shared,
+            )
+            self._sessions[session_id] = StreamSession(
+                session_id, localizer, self._clock()
+            )
+            return session_id
+
+    def feed(
+        self,
+        session_id: str,
+        records: Iterable[Observable],
+        drop_invisible: bool = False,
+    ) -> FeedOutcome:
+        """Feed *records* to a session.
+
+        A frontier overflow does not raise: the session flips to the
+        ``"overflow"`` status, keeps its last consistent snapshot, and
+        silently ignores further feeds -- the outcome's ``status``
+        field is the explicit signal.  ``drop_invisible`` skips records
+        the trace buffer would not have captured (raw simulator or
+        ingest streams) instead of treating them as an error.
+        """
+        with self._lock:
+            session = self._get(session_id)
+            session.last_active = self._clock()
+            if session.status == OVERFLOW:
+                return self._outcome(session, consumed=0)
+            session.feeds += 1
+            consumed = 0
+            try:
+                for item in records:
+                    if drop_invisible and not session.localizer.is_visible(
+                        item
+                    ):
+                        continue
+                    session.localizer.feed((item,))
+                    consumed += 1
+            except FrontierOverflowError:
+                session.status = OVERFLOW
+            session.records += consumed
+            return self._outcome(session, consumed=consumed)
+
+    def snapshot(self, session_id: str) -> LocalizationResult:
+        """The session's current localization (batch-identical)."""
+        with self._lock:
+            return self._get(session_id).localizer.snapshot()
+
+    def close(self, session_id: str) -> RunRecord:
+        """Close a session, emitting its telemetry record."""
+        with self._lock:
+            session = self._get(session_id)
+            return self._retire(session, CLOSED)
+
+    def evict_idle(self, now: Optional[float] = None) -> Tuple[str, ...]:
+        """Retire sessions idle for longer than ``idle_timeout_s``."""
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            idle = [
+                s
+                for s in self._sessions.values()
+                if now - s.last_active > self.limits.idle_timeout_s
+            ]
+            for session in idle:
+                self._retire(session, EVICTED)
+            return tuple(s.session_id for s in idle)
+
+    # ------------------------------------------------------------------
+    def _get(self, session_id: str) -> StreamSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise StreamError(f"unknown session {session_id!r}")
+        return session
+
+    def _outcome(self, session: StreamSession, consumed: int) -> FeedOutcome:
+        return FeedOutcome(
+            session_id=session.session_id,
+            consumed=consumed,
+            status=session.status,
+            observed_length=session.localizer.observed_length,
+            frontier_size=session.localizer.frontier_size,
+        )
+
+    def _retire(self, session: StreamSession, status: str) -> RunRecord:
+        result = session.localizer.snapshot()
+        final = status if session.status == ACTIVE else session.status
+        record = RunRecord(
+            name=f"stream:{session.session_id}",
+            jobs=1,
+            tasks_dispatched=session.feeds,
+            tasks_completed=session.feeds,
+            tasks_failed=0,
+            wall_time_s=self._clock() - session.opened_at,
+            extra={
+                "mode": session.mode,
+                "status": final,
+                "records": session.records,
+                "observed_length": session.localizer.observed_length,
+                "peak_frontier": session.localizer.peak_frontier,
+                "consistent_paths": result.consistent_paths,
+                "total_paths": result.total_paths,
+                "fraction": result.fraction,
+            },
+        )
+        session.status = final
+        del self._sessions[session.session_id]
+        record_run(record)
+        return record

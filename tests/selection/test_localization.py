@@ -11,6 +11,7 @@ from repro.core.interleave import interleave_flows
 from repro.core.message import IndexedMessage, Message, MessageCombination
 from repro.errors import SelectionError
 from repro.selection.localization import (
+    DPFrontier,
     LocalizationResult,
     PathLocalizer,
     localize_trace,
@@ -135,6 +136,74 @@ class TestLocalizationResult:
         req = cc_flow.message_by_name("ReqE")
         result = localize_trace(cc_interleaved, traced, [req])
         assert isinstance(result, LocalizationResult)
+
+
+class TestStepwiseHooks:
+    """The frontier API that `localize` is now a thin wrapper over."""
+
+    def test_initial_frontier_counts_everything(self, localizer):
+        frontier = localizer.initial_frontier()
+        assert isinstance(frontier, DPFrontier)
+        assert frontier.length == 0
+        assert not frontier.is_dead
+        assert localizer.prefix_count(frontier) == localizer.total_paths
+
+    def test_stepwise_replay_equals_batch(self, cc_interleaved, traced):
+        localizer = PathLocalizer(cc_interleaved, traced)
+        rng = random.Random(13)
+        for _ in range(10):
+            execution = cc_interleaved.random_execution(rng)
+            observed = project_trace(execution.messages, set(traced))
+            frontier = localizer.initial_frontier()
+            for k, symbol in enumerate(observed, start=1):
+                frontier = localizer.advance_frontier(frontier, symbol)
+                assert frontier.length == k
+                batch = localizer.localize(observed[:k])
+                assert (
+                    localizer.prefix_count(frontier)
+                    == batch.consistent_paths
+                )
+                assert (
+                    localizer.exact_count(frontier)
+                    == localizer.localize(
+                        observed[:k], mode="exact"
+                    ).consistent_paths
+                )
+
+    def test_dead_frontier_stays_dead(self, cc_flow, localizer):
+        gnt = cc_flow.message_by_name("GntE")
+        frontier = localizer.initial_frontier()
+        # GntE cannot be the first visible event of any path
+        frontier = localizer.advance_frontier(
+            frontier, IndexedMessage(gnt, 1)
+        )
+        assert frontier.is_dead
+        assert frontier.size == 0
+        frontier = localizer.advance_frontier(
+            frontier, IndexedMessage(gnt, 2)
+        )
+        assert frontier.is_dead
+        assert localizer.prefix_count(frontier) == 0
+        assert localizer.exact_count(frontier) == 0
+
+    def test_advance_rejects_untraced(self, cc_flow, localizer):
+        ack = cc_flow.message_by_name("Ack")
+        with pytest.raises(SelectionError, match="not in the traced set"):
+            localizer.advance_frontier(localizer.initial_frontier(), ack)
+
+    def test_observation_longer_than_any_path_is_dead(
+        self, cc_flow, localizer
+    ):
+        req = cc_flow.message_by_name("ReqE")
+        # each path has 4 visible messages; a 10-symbol observation
+        # cannot be a prefix (or exact projection) of any of them
+        obs = [IndexedMessage(req, 1 + (i % 2)) for i in range(10)]
+        for mode in ("prefix", "exact"):
+            assert localizer.localize(obs, mode=mode).consistent_paths == 0
+        frontier = localizer.initial_frontier()
+        for symbol in obs:
+            frontier = localizer.advance_frontier(frontier, symbol)
+        assert frontier.is_dead
 
 
 class TestSubgroupLocalization:

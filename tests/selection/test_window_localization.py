@@ -9,7 +9,12 @@ import pytest
 from repro.core.execution import project_trace
 from repro.core.message import IndexedMessage, Message, MessageCombination
 from repro.errors import SelectionError
-from repro.selection.localization import PathLocalizer, _kmp_transition
+from repro.selection.localization import (
+    PathLocalizer,
+    _kmp_transition,
+    kmp_extend,
+    kmp_failure,
+)
 
 
 @pytest.fixture
@@ -48,6 +53,80 @@ class TestKmpTransition:
         step = _kmp_transition(("a", "b"))
         assert step(1, "x") == 0
         assert step(1, "a") == 1  # stay on the repeated prefix
+
+
+def _naive_failure(pattern):
+    """Reference failure function by definition: longest proper border
+    of each prefix."""
+    table = []
+    for end in range(1, len(pattern) + 1):
+        prefix = pattern[:end]
+        table.append(
+            max(
+                (
+                    k
+                    for k in range(end)
+                    if prefix[:k] == prefix[end - k:]
+                ),
+            )
+        )
+    return table
+
+
+class TestKmpExtend:
+    """Online failure-table growth must equal the by-definition table."""
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["abc", "aaab", "ababaa", "aabaaab", "x", "", "abababab"],
+    )
+    def test_matches_definition(self, pattern):
+        grown, failure = [], []
+        for symbol in pattern:
+            kmp_extend(grown, failure, symbol)  # appends symbol itself
+        assert grown == list(pattern)
+        assert failure == _naive_failure(pattern)
+        assert kmp_failure(tuple(pattern)) == failure
+
+    def test_extension_is_incremental(self):
+        # extending never rewrites earlier entries
+        grown, failure = [], []
+        snapshots = []
+        for symbol in "aabaa":
+            kmp_extend(grown, failure, symbol)
+            snapshots.append(tuple(failure))
+        for shorter, longer in zip(snapshots, snapshots[1:]):
+            assert longer[: len(shorter)] == shorter
+
+
+class TestWindowDepthOne:
+    """Depth-1 buffers: the window is a single capture."""
+
+    def test_single_symbol_window_counts_containing_paths(
+        self, cc_interleaved, traced, localizer
+    ):
+        visible = set(traced)
+        for message in sorted(traced):
+            for index in (1, 2):
+                obs = (IndexedMessage(message, index),)
+                expected = sum(
+                    1
+                    for execution in cc_interleaved.executions()
+                    if obs[0]
+                    in project_trace(execution.messages, visible)
+                )
+                got = localizer.localize(list(obs), mode="window")
+                assert got.consistent_paths == expected, obs
+
+    def test_every_path_contains_each_indexed_message(
+        self, traced, localizer
+    ):
+        # on the toy flow every visible message occurs on every path,
+        # so any depth-1 window is uninformative
+        total = localizer.total_paths
+        assert localizer.window_count(
+            [IndexedMessage(sorted(traced)[0], 1)]
+        ) == total
 
 
 class TestWindowMode:

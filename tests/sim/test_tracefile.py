@@ -1,0 +1,79 @@
+"""Unit tests for the trace-file line grammar, including the
+quote-escaping regression: scenario names containing ``"`` or ``\\``
+used to corrupt the header on write and fail to parse on read."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.message import IndexedMessage, Message
+from repro.errors import SimulationError
+from repro.sim.engine import TraceRecord
+from repro.sim.tracefile import (
+    escape_scenario,
+    format_header,
+    format_record,
+    parse_header,
+    parse_record_line,
+    read_trace_file,
+    round_trip,
+    unescape_scenario,
+    write_trace_file,
+)
+
+_CATALOG = {"alpha": Message("alpha", 8)}
+_RECORD = TraceRecord(
+    cycle=17, message=IndexedMessage(_CATALOG["alpha"], 2), value=0x5A
+)
+
+
+class TestScenarioEscaping:
+    @pytest.mark.parametrize(
+        "scenario",
+        ['ab"c', "back\\slash", '\\"', '""', "\\\\", 'mix "of\\" both'],
+    )
+    def test_quote_regression_round_trips(self, scenario):
+        buffer = io.StringIO()
+        write_trace_file(buffer, [_RECORD], scenario=scenario, seed=5)
+        buffer.seek(0)
+        records, got_scenario, seed = read_trace_file(buffer, _CATALOG)
+        assert got_scenario == scenario
+        assert records == (_RECORD,)
+        assert seed == 5
+
+    @pytest.mark.parametrize(
+        "scenario", ["", "plain", 'ab"c', "a\\b", '\\"tricky\\"']
+    )
+    def test_unescape_inverts_escape(self, scenario):
+        assert unescape_scenario(escape_scenario(scenario)) == scenario
+
+    def test_escape_output_has_no_bare_quote(self):
+        escaped = escape_scenario('ab"c\\d')
+        # every quote/backslash in the escaped form is preceded by a
+        # backslash, so the header's quoted field stays unambiguous
+        assert escaped == 'ab\\"c\\\\d'
+        assert parse_header(format_header('ab"c\\d', 0)) == ('ab"c\\d', 0)
+
+
+class TestLineGrammar:
+    def test_format_parse_record_round_trip(self):
+        line = format_record(_RECORD)
+        assert line == "17 2:alpha 0x5a"
+        assert parse_record_line(line, _CATALOG) == _RECORD
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SimulationError, match="bad trace line"):
+            parse_record_line("not a record", _CATALOG)
+
+    def test_unknown_message_rejected(self):
+        with pytest.raises(SimulationError, match="unknown message"):
+            parse_record_line("1 0:missing 0x0", _CATALOG)
+
+    def test_non_header_line_parses_to_none(self):
+        assert parse_header("# some other comment") is None
+        assert parse_header("") is None
+
+    def test_round_trip_helper(self):
+        assert round_trip([_RECORD], _CATALOG, scenario='q"q') == (_RECORD,)

@@ -9,6 +9,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.message import IndexedMessage, Message
 from repro.sim.engine import TraceRecord
 from repro.sim.tracefile import read_trace_file, write_trace_file
+from repro.stream.ingest import IncrementalTraceParser
 
 _MESSAGES = {
     "alpha": Message("alpha", 8),
@@ -39,17 +40,19 @@ def record_streams(draw):
     return records
 
 
-@settings(max_examples=50, deadline=None)
-@given(
-    record_streams(),
-    st.text(
-        alphabet=st.characters(
-            blacklist_characters='"\n\r', min_codepoint=32, max_codepoint=126
-        ),
-        max_size=20,
+# Quotes and backslashes are deliberately *included*: escaping on write
+# must make any printable label round-trip.
+_scenarios = st.text(
+    alphabet=st.characters(
+        blacklist_characters="\n\r", min_codepoint=32, max_codepoint=126
     ),
-    st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    max_size=20,
 )
+_seeds = st.integers(min_value=-(2 ** 31), max_value=2 ** 31)
+
+
+@settings(max_examples=50, deadline=None)
+@given(record_streams(), _scenarios, _seeds)
 def test_round_trip_preserves_everything(records, scenario, seed):
     buffer = io.StringIO()
     write_trace_file(buffer, records, scenario=scenario, seed=seed)
@@ -58,3 +61,49 @@ def test_round_trip_preserves_everything(records, scenario, seed):
     assert list(parsed) == records
     assert got_scenario == scenario
     assert got_seed == seed
+
+
+@settings(max_examples=50, deadline=None)
+@given(record_streams(), _scenarios, _seeds, st.data())
+def test_batch_and_incremental_readers_agree(records, scenario, seed, data):
+    """The batch reader and the streaming ingester share the line
+    grammar: any serialized file parses identically through both, at
+    any chunking."""
+    buffer = io.StringIO()
+    write_trace_file(buffer, records, scenario=scenario, seed=seed)
+    text = buffer.getvalue()
+    buffer.seek(0)
+    batch, got_scenario, got_seed = read_trace_file(buffer, _MESSAGES)
+
+    parser = IncrementalTraceParser(_MESSAGES)
+    streamed = []
+    i = 0
+    while i < len(text):
+        j = i + data.draw(st.integers(min_value=1, max_value=32))
+        streamed.extend(parser.feed(text[i:j]))
+        i = j
+    streamed.extend(parser.close())
+    assert tuple(streamed) == batch
+    assert parser.scenario == got_scenario == scenario
+    assert parser.seed == got_seed == seed
+    assert parser.diagnostics == ()
+
+
+def test_empty_scenario_and_negative_seed_round_trip():
+    buffer = io.StringIO()
+    write_trace_file(buffer, [], scenario="", seed=-1)
+    buffer.seek(0)
+    records, scenario, seed = read_trace_file(buffer, _MESSAGES)
+    assert records == ()
+    assert scenario == ""
+    assert seed == -1
+
+
+def test_uppercase_hex_accepted():
+    text = '# repro-trace v1 scenario="x" seed=0\n7 1:alpha 0xAB\n'
+    records, _, _ = read_trace_file(io.StringIO(text), _MESSAGES)
+    assert records[0].value == 0xAB
+    parser = IncrementalTraceParser(_MESSAGES)
+    streamed = parser.feed(text)
+    assert streamed == records
+    assert parser.diagnostics == ()

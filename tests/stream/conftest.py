@@ -1,0 +1,19 @@
+"""Shared fixtures for the streaming-analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import MessageCombination
+
+
+@pytest.fixture
+def traced(cc_flow) -> MessageCombination:
+    return MessageCombination(
+        [cc_flow.message_by_name("ReqE"), cc_flow.message_by_name("GntE")]
+    )
+
+
+@pytest.fixture
+def catalog(cc_flow):
+    return {m.name: m for m in cc_flow.messages}

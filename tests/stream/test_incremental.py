@@ -1,0 +1,187 @@
+"""Tests for the incremental localizer: batch equivalence at every
+prefix, chunking invariance, and frontier limits."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.execution import project_trace
+from repro.core.message import IndexedMessage
+from repro.errors import FrontierOverflowError, SelectionError
+from repro.selection.localization import PathLocalizer
+from repro.sim.engine import TransactionSimulator
+from repro.stream.incremental import IncrementalLocalizer
+
+MODES = ("prefix", "exact", "window")
+
+
+@pytest.fixture
+def batch(cc_interleaved, traced) -> PathLocalizer:
+    return PathLocalizer(cc_interleaved, traced)
+
+
+def golden_observations(cc_interleaved, traced, seeds):
+    for seed in seeds:
+        execution = cc_interleaved.random_execution(random.Random(seed))
+        yield project_trace(execution.messages, set(traced))
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_prefix_matches_batch(
+        self, cc_interleaved, traced, batch, mode
+    ):
+        for obs in golden_observations(cc_interleaved, traced, range(8)):
+            inc = IncrementalLocalizer(cc_interleaved, traced, mode=mode)
+            assert inc.snapshot() == batch.localize([], mode=mode)
+            for k, symbol in enumerate(obs, start=1):
+                inc.feed([symbol])
+                assert inc.snapshot() == batch.localize(
+                    obs[:k], mode=mode
+                ), (mode, k)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_chunking_is_invisible(self, cc_interleaved, traced, mode):
+        (obs,) = list(golden_observations(cc_interleaved, traced, [42]))
+        one_by_one = IncrementalLocalizer(cc_interleaved, traced, mode=mode)
+        for symbol in obs:
+            one_by_one.feed([symbol])
+        all_at_once = IncrementalLocalizer(cc_interleaved, traced, mode=mode)
+        all_at_once.feed(obs)
+        assert one_by_one.snapshot() == all_at_once.snapshot()
+        assert one_by_one.observed_length == all_at_once.observed_length
+
+    def test_trace_records_feedable(self, cc_interleaved, traced, batch):
+        trace = TransactionSimulator(cc_interleaved, "Toy").run(seed=9)
+        captured = trace.project(tuple(traced))
+        inc = IncrementalLocalizer(cc_interleaved, traced)
+        inc.feed(captured)  # TraceRecord objects, not bare messages
+        expected = batch.localize([r.message for r in captured])
+        assert inc.snapshot() == expected
+
+    def test_observe_records_filters_invisible(
+        self, cc_interleaved, traced, batch
+    ):
+        trace = TransactionSimulator(cc_interleaved, "Toy").run(seed=9)
+        inc = IncrementalLocalizer(cc_interleaved, traced)
+        consumed = inc.observe_records(trace.records)  # full record stream
+        captured = trace.project(tuple(traced))
+        assert consumed == len(captured)
+        assert inc.snapshot() == batch.localize(
+            [r.message for r in captured]
+        )
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_observation_longer_than_any_path(
+        self, cc_flow, cc_interleaved, traced, batch, mode
+    ):
+        req = cc_flow.message_by_name("ReqE")
+        # no path has more than 4 visible messages; feed 12
+        obs = [IndexedMessage(req, 1 + (i % 2)) for i in range(12)]
+        inc = IncrementalLocalizer(cc_interleaved, traced, mode=mode)
+        inc.feed(obs)
+        assert inc.snapshot().consistent_paths == 0
+        assert inc.snapshot() == batch.localize(obs, mode=mode)
+        if mode != "window":
+            assert inc.is_dead
+
+    def test_window_depth_one(self, cc_flow, cc_interleaved, traced, batch):
+        # a depth-1 ring buffer retains a single capture
+        req = cc_flow.message_by_name("ReqE")
+        inc = IncrementalLocalizer(
+            cc_interleaved, traced, mode="window", max_frontier=1
+        )
+        inc.feed([IndexedMessage(req, 1)])
+        expected = batch.localize([IndexedMessage(req, 1)], mode="window")
+        assert inc.snapshot() == expected
+        assert inc.snapshot().consistent_paths == inc.snapshot().total_paths
+
+    def test_empty_snapshot_matches_batch(
+        self, cc_interleaved, traced, batch
+    ):
+        for mode in MODES:
+            inc = IncrementalLocalizer(cc_interleaved, traced, mode=mode)
+            assert inc.snapshot() == batch.localize([], mode=mode)
+        # prefix/window: nothing observed constrains nothing
+        prefix = IncrementalLocalizer(cc_interleaved, traced).snapshot()
+        assert prefix.consistent_paths == prefix.total_paths > 0
+
+
+class TestGuards:
+    def test_unknown_mode(self, cc_interleaved, traced):
+        with pytest.raises(SelectionError, match="unknown localization"):
+            IncrementalLocalizer(cc_interleaved, traced, mode="fuzzy")
+
+    def test_untraced_symbol_rejected(self, cc_flow, cc_interleaved, traced):
+        ack = cc_flow.message_by_name("Ack")
+        inc = IncrementalLocalizer(cc_interleaved, traced)
+        with pytest.raises(SelectionError, match="not in the traced set"):
+            inc.feed([IndexedMessage(ack, 1)])
+
+    def test_window_needs_indexed(self, cc_flow, cc_interleaved, traced):
+        req = cc_flow.message_by_name("ReqE")
+        inc = IncrementalLocalizer(cc_interleaved, traced, mode="window")
+        with pytest.raises(SelectionError, match="fully indexed"):
+            inc.feed([req])
+
+    def test_missing_construction_args(self):
+        with pytest.raises(SelectionError, match="needs"):
+            IncrementalLocalizer()
+
+    def test_bad_max_frontier(self, cc_interleaved, traced):
+        with pytest.raises(SelectionError, match="max_frontier"):
+            IncrementalLocalizer(cc_interleaved, traced, max_frontier=0)
+
+
+class TestOverflow:
+    def test_window_overflow_freezes_state(
+        self, cc_flow, cc_interleaved, traced
+    ):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        inc = IncrementalLocalizer(
+            cc_interleaved, traced, mode="window", max_frontier=1
+        )
+        inc.feed([IndexedMessage(req, 1)])
+        before = inc.snapshot()
+        with pytest.raises(FrontierOverflowError):
+            inc.feed([IndexedMessage(gnt, 1)])
+        assert inc.overflowed
+        assert inc.snapshot() == before  # frozen at last consistent state
+        with pytest.raises(FrontierOverflowError):
+            inc.feed([IndexedMessage(gnt, 1)])
+
+    def test_prefix_overflow(self, cc_flow, cc_interleaved, traced):
+        req = cc_flow.message_by_name("ReqE")
+        inc = IncrementalLocalizer(
+            cc_interleaved, traced, mode="prefix", max_frontier=1
+        )
+        with pytest.raises(FrontierOverflowError):
+            # plain (un-indexed) ReqE matches both instances: frontier 2
+            inc.feed([req])
+        assert inc.overflowed
+
+
+class TestSharedLocalizer:
+    def test_sessions_share_tables_without_state_leak(
+        self, cc_flow, cc_interleaved, traced, batch
+    ):
+        req = cc_flow.message_by_name("ReqE")
+        gnt = cc_flow.message_by_name("GntE")
+        a = IncrementalLocalizer(localizer=batch)
+        b = IncrementalLocalizer(localizer=batch)
+        a.feed([IndexedMessage(req, 1)])
+        b.feed([IndexedMessage(req, 2), IndexedMessage(gnt, 2)])
+        assert a.snapshot() == batch.localize([IndexedMessage(req, 1)])
+        assert b.snapshot() == batch.localize(
+            [IndexedMessage(req, 2), IndexedMessage(gnt, 2)]
+        )
+
+    def test_peak_frontier_tracked(self, cc_interleaved, traced):
+        inc = IncrementalLocalizer(cc_interleaved, traced)
+        start = inc.frontier_size
+        assert inc.peak_frontier >= start >= 1

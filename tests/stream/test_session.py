@@ -1,0 +1,150 @@
+"""Tests for the session manager: limits, eviction, overflow status,
+and telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import IndexedMessage
+from repro.errors import StreamError
+from repro.runtime.telemetry import clear_runs, recent_runs
+from repro.sim.engine import TransactionSimulator
+from repro.stream.session import (
+    ACTIVE,
+    EVICTED,
+    OVERFLOW,
+    SessionLimits,
+    SessionManager,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    clear_runs()
+    yield
+    clear_runs()
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def manager(cc_interleaved, traced, clock) -> SessionManager:
+    return SessionManager(
+        cc_interleaved,
+        traced,
+        limits=SessionLimits(
+            max_sessions=3, max_frontier=64, idle_timeout_s=10.0
+        ),
+        clock=clock,
+    )
+
+
+class TestLifecycle:
+    def test_open_feed_snapshot_close(self, manager, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        sid = manager.open()
+        outcome = manager.feed(sid, [IndexedMessage(req, 1)])
+        assert outcome.consumed == 1
+        assert outcome.status == ACTIVE
+        assert outcome.observed_length == 1
+        result = manager.snapshot(sid)
+        assert 0 < result.consistent_paths < result.total_paths
+        record = manager.close(sid)
+        assert record.name == f"stream:{sid}"
+        assert record.extra["records"] == 1
+        assert record.extra["status"] == "closed"
+        assert sid not in manager.session_ids()
+
+    def test_close_emits_telemetry(self, manager):
+        sid = manager.open()
+        manager.close(sid)
+        runs = recent_runs(name_prefix="stream:")
+        assert len(runs) == 1
+        assert runs[0].extra["mode"] == "prefix"
+
+    def test_unknown_session(self, manager):
+        with pytest.raises(StreamError, match="unknown session"):
+            manager.feed("nope", [])
+        with pytest.raises(StreamError, match="unknown session"):
+            manager.snapshot("nope")
+
+    def test_duplicate_id_rejected(self, manager):
+        manager.open("dup")
+        with pytest.raises(StreamError, match="already open"):
+            manager.open("dup")
+
+    def test_per_session_mode_override(self, manager, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        sid = manager.open(mode="window")
+        assert manager.session(sid).mode == "window"
+        manager.feed(sid, [IndexedMessage(req, 1)])
+        result = manager.snapshot(sid)
+        assert result.consistent_paths == result.total_paths
+
+
+class TestLimits:
+    def test_max_sessions_enforced(self, manager):
+        for _ in range(3):
+            manager.open()
+        with pytest.raises(StreamError, match="session table full"):
+            manager.open()
+
+    def test_idle_eviction_frees_capacity(self, manager, clock):
+        stale = manager.open()
+        clock.now = 11.0  # stale is now past idle_timeout_s
+        fresh = [manager.open() for _ in range(3)]  # evicts, then fills
+        assert stale not in manager.session_ids()
+        assert set(fresh) == set(manager.session_ids())
+        (record,) = recent_runs(name_prefix=f"stream:{stale}")
+        assert record.extra["status"] == EVICTED
+
+    def test_active_sessions_not_evicted(self, manager, clock, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        sid = manager.open()
+        clock.now = 8.0
+        manager.feed(sid, [IndexedMessage(req, 1)])  # refreshes last_active
+        clock.now = 16.0  # 8s since the feed: still live
+        assert manager.evict_idle() == ()
+        assert sid in manager.session_ids()
+
+    def test_overflow_is_a_status_not_an_exception(
+        self, cc_interleaved, traced, cc_flow, clock
+    ):
+        manager = SessionManager(
+            cc_interleaved,
+            traced,
+            limits=SessionLimits(max_sessions=4, max_frontier=1),
+            clock=clock,
+        )
+        req = cc_flow.message_by_name("ReqE")
+        sid = manager.open()
+        before = manager.snapshot(sid)
+        outcome = manager.feed(sid, [req])  # frontier 2 > limit 1
+        assert outcome.status == OVERFLOW
+        assert manager.snapshot(sid) == before  # frozen
+        again = manager.feed(sid, [req])  # explicit no-op
+        assert again.consumed == 0
+        assert again.status == OVERFLOW
+        record = manager.close(sid)
+        assert record.extra["status"] == OVERFLOW
+
+
+class TestFeedFiltering:
+    def test_drop_invisible_skips_untraced(
+        self, manager, cc_interleaved, traced
+    ):
+        trace = TransactionSimulator(cc_interleaved, "Toy").run(seed=2)
+        sid = manager.open()
+        outcome = manager.feed(sid, trace.records, drop_invisible=True)
+        assert outcome.consumed == len(trace.project(tuple(traced)))

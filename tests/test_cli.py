@@ -175,6 +175,71 @@ class TestJobsFlags:
         assert "plausible:" in out
 
 
+class TestStreamCommand:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        from repro.experiments.common import scenario_selection
+        from repro.sim.engine import TransactionSimulator
+        from repro.sim.tracefile import write_trace_file
+
+        sc = scenario_selection(1).scenario
+        trace = TransactionSimulator(sc.interleaved(), sc.name).run(seed=11)
+        path = tmp_path / "s1.trace"
+        with path.open("w") as stream:
+            write_trace_file(
+                stream, trace.records, scenario=sc.name, seed=11
+            )
+        return path
+
+    def test_stream_follows_trace(self, capsys, trace_path):
+        assert main(["stream", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "following" in out
+        assert "captured:" in out
+        assert "localization:" in out
+        assert "seed=11" in out
+
+    def test_stream_window_mode(self, capsys, trace_path):
+        assert main(["stream", str(trace_path), "--mode", "window",
+                     "--chunk-bytes", "64"]) == 0
+        assert "mode=window" in capsys.readouterr().out
+
+    def test_stream_frontier_overflow(self, capsys, trace_path):
+        assert main(["stream", str(trace_path),
+                     "--max-frontier", "1"]) == 1
+        assert "frontier overflowed" in capsys.readouterr().err
+
+    def test_stream_diagnostics_on_stderr(self, capsys, tmp_path):
+        path = tmp_path / "noisy.trace"
+        path.write_text(
+            '# repro-trace v1 scenario="x" seed=0\nthis is garbage\n'
+        )
+        assert main(["stream", str(path)]) == 0
+        assert "skipped" in capsys.readouterr().err
+
+
+class TestServeDemoCommand:
+    def test_serve_demo_small(self, capsys):
+        assert main(["serve-demo", "--sessions", "3",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 concurrent sessions" in out
+        assert "throughput:" in out
+        assert "p95 feed latency:" in out
+        assert "'closed': 3" in out
+        assert "telemetry:" in out
+
+    def test_serve_demo_json(self, capsys):
+        import json
+
+        assert main(["serve-demo", "--sessions", "2", "--workers", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sessions"] == 2
+        assert payload["statuses"] == {"closed": 2}
+        assert len(payload["fractions"]) == 2
+
+
 class TestCacheCommand:
     def test_stats(self, capsys):
         assert main(["cache", "stats"]) == 0
