@@ -1,0 +1,195 @@
+"""Core selection benchmark -- writes ``BENCH_core.json``.
+
+Measures the interned-state/bitset fast path of exhaustive Step-2
+selection (gain + coverage per feasible combination) against a
+faithful replication of the pre-interning implementation, which
+rescanned the full transition relation once per combination
+(``visible_states``).  Both engines are run on the same interleaved
+flow and must agree exactly -- same winning combination, bit-identical
+gain -- or the benchmark fails.
+
+Stdlib only, so CI can run it with nothing but the package on
+``PYTHONPATH``::
+
+    PYTHONPATH=src python benchmarks/core_bench.py \
+        --out BENCH_core.json \
+        --check-against benchmarks/BENCH_core_baseline.json \
+        --min-speedup 5
+
+``--check-against`` compares the fast-path timings of each case to a
+committed baseline and fails on a >2x slowdown (``--max-slowdown``);
+``--min-speedup`` enforces a minimum fast-vs-legacy speedup on the
+largest benchmarked case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+
+def _legacy_coverage(interleaved, combo, parents) -> float:
+    """Pre-interning Definition-7 coverage: full transition scan."""
+    from repro.core.coverage import visible_states
+
+    expanded = [
+        parents.get(m.parent, m) if m.parent is not None else m
+        for m in combo
+    ]
+    return len(visible_states(interleaved, expanded)) / interleaved.num_states
+
+
+def _legacy_exhaustive(selector):
+    """Replicates the pre-interning Step 1+2: O(#combos x |delta|)."""
+    from repro.selection.combinations import feasible_combinations
+    from repro.selection.selector import _inverted_names
+
+    interleaved = selector.interleaved
+    parents = {m.name: m for m in interleaved.messages}
+    best = None
+    best_key = (-1.0, -1.0, -1, ())
+    for combo in feasible_combinations(
+        selector._candidate_pool(), selector.buffer_width
+    ):
+        gain = selector.model.gain(combo)
+        key = (
+            gain,
+            _legacy_coverage(interleaved, combo, parents),
+            combo.total_width,
+            _inverted_names(combo),
+        )
+        if key > best_key:
+            best, best_key = combo, key
+    return best, best_key[0]
+
+
+def _bench_case(number: int, instances: int, buffer_width: int) -> Dict:
+    from repro import perf
+    from repro.selection.selector import MessageSelector
+    from repro.soc.t2.scenarios import scenario
+
+    sc = scenario(number, instances=instances)
+    t0 = time.perf_counter()
+    interleaved = sc.interleaved()
+    interleave_s = time.perf_counter() - t0
+
+    selector = MessageSelector(interleaved, buffer_width)
+
+    # legacy first: it never touches the visibility index, so the
+    # fast-path timing below honestly includes the index construction
+    t0 = time.perf_counter()
+    legacy_combo, legacy_gain = _legacy_exhaustive(selector)
+    legacy_s = time.perf_counter() - t0
+
+    with perf.collect() as counters:
+        t0 = time.perf_counter()
+        result = selector.select(method="exhaustive", packing=False)
+        fast_s = time.perf_counter() - t0
+
+    if result.combination != legacy_combo or result.gain != legacy_gain:
+        raise AssertionError(
+            f"fast and legacy engines disagree on scenario{number}x"
+            f"{instances}: {result.combination.names()} "
+            f"(gain={result.gain!r}) vs {legacy_combo.names()} "
+            f"(gain={legacy_gain!r})"
+        )
+
+    return {
+        "name": f"scenario{number}x{instances}",
+        "states": interleaved.num_states,
+        "transitions": interleaved.num_transitions,
+        "combinations": counters.get("combinations_scored"),
+        "interleave_s": round(interleave_s, 6),
+        "fast_s": round(fast_s, 6),
+        "legacy_s": round(legacy_s, 6),
+        "speedup": round(legacy_s / fast_s, 2) if fast_s > 0 else None,
+        "counters": counters.as_dict(),
+    }
+
+
+def _parse_cases(spec: str) -> List[Sequence[int]]:
+    cases = []
+    for part in spec.split(","):
+        number, _, instances = part.strip().partition("x")
+        cases.append((int(number), int(instances or "1")))
+    return cases
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cases", default="1x1,2x1,1x2,2x2",
+        help="comma-separated scenarioxinstances pairs, largest last",
+    )
+    parser.add_argument("--buffer", type=int, default=32)
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument(
+        "--check-against", default=None,
+        help="baseline BENCH_core.json to compare fast-path times to",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=2.0,
+        help="fail when fast_s exceeds baseline by this factor",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail when the largest case's fast-vs-legacy speedup "
+        "is below this",
+    )
+    args = parser.parse_args(argv)
+
+    cases = [
+        _bench_case(number, instances, args.buffer)
+        for number, instances in _parse_cases(args.cases)
+    ]
+    largest = max(cases, key=lambda c: c["states"])
+    payload = {
+        "python": platform.python_version(),
+        "buffer": args.buffer,
+        "cases": cases,
+        "largest": largest["name"],
+        "largest_speedup": largest["speedup"],
+    }
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    for case in cases:
+        print(f"{case['name']}: {case['states']} states, "
+              f"{case['combinations']} combinations, "
+              f"fast {case['fast_s']:.4f}s vs legacy "
+              f"{case['legacy_s']:.4f}s ({case['speedup']}x)")
+    print(f"wrote {args.out}; largest case {largest['name']} "
+          f"speedup {largest['speedup']}x")
+
+    status = 0
+    if args.min_speedup is not None and (
+        largest["speedup"] is None
+        or largest["speedup"] < args.min_speedup
+    ):
+        print(f"FAIL: {largest['name']} speedup {largest['speedup']}x "
+              f"< required {args.min_speedup}x", file=sys.stderr)
+        status = 1
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        by_name = {c["name"]: c for c in baseline.get("cases", ())}
+        for case in cases:
+            base = by_name.get(case["name"])
+            if base is None:
+                continue
+            limit = base["fast_s"] * args.max_slowdown
+            if case["fast_s"] > limit:
+                print(f"FAIL: {case['name']} fast path took "
+                      f"{case['fast_s']:.4f}s, more than "
+                      f"{args.max_slowdown}x the baseline "
+                      f"{base['fast_s']:.4f}s", file=sys.stderr)
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

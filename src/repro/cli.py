@@ -21,6 +21,10 @@ Commands
 ``serve-demo``
     Drive N concurrent synthetic debug sessions through the streaming
     service and print throughput plus telemetry.
+``profile``
+    Run interleaving + selection for a scenario under the stage
+    counters of :mod:`repro.perf` and print them (states expanded,
+    bitset ORs, DP steps, wall time per stage).
 
 ``tables``/``report``/``plan``/``debug`` accept ``--jobs N`` to fan
 independent work units out over a process pool (results are identical
@@ -370,6 +374,46 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro import perf
+    from repro.selection.selector import MessageSelector
+    from repro.soc.t2.scenarios import scenario
+
+    sc = scenario(args.scenario, instances=args.instances)
+    start = time.perf_counter()
+    with perf.collect() as counters:
+        u = sc.interleaved()
+        selector = MessageSelector(
+            u, args.buffer, subgroups=sc.subgroup_pool
+        )
+        result = selector.select(
+            method=args.method, packing=not args.no_packing
+        )
+    wall = time.perf_counter() - start
+    perf.record_profile(
+        counters,
+        f"profile:scenario{args.scenario}x{args.instances}:{args.method}",
+        wall_time_s=wall,
+    )
+    if args.json:
+        payload = counters.as_dict()
+        payload["wall_time_s"] = round(wall, 6)
+        payload["result"] = result.describe()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{sc.name}: profile (method={args.method}, "
+          f"buffer={args.buffer}, instances={args.instances})")
+    print(f"interleaved flow: {u.num_states} states, "
+          f"{u.num_transitions} transitions")
+    print(result.describe())
+    print(counters.format())
+    print(f"{'total wall time':<24}  {wall:>13.4f}s")
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.soc.t2.flows import t2_flows
     from repro.viz import flow_to_dot, interleaved_to_dot
@@ -548,6 +592,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="emit the load-test report as JSON")
     serve.set_defaults(func=_cmd_serve_demo)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile interleaving + selection stage counters",
+    )
+    profile.add_argument("scenario", type=int, choices=(1, 2, 3))
+    profile.add_argument("--buffer", type=int, default=32)
+    profile.add_argument("--instances", type=int, default=1)
+    profile.add_argument(
+        "--method", choices=("exhaustive", "knapsack"), default="exhaustive"
+    )
+    profile.add_argument("--no-packing", action="store_true")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the counters as JSON")
+    profile.set_defaults(func=_cmd_profile)
 
     dot = sub.add_parser("dot", help="dump a flow as Graphviz DOT")
     dot.add_argument(

@@ -26,11 +26,13 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Optional,
     Sequence,
     Tuple,
 )
 
 from repro.core.message import Message, MessageCombination
+from repro.core.visibility import VisibilityIndex, index_flow_visibility
 from repro.errors import FlowValidationError
 
 State = Hashable
@@ -134,6 +136,7 @@ class Flow:
             by_source.setdefault(t.source, []).append(t)
         for state in self.states:
             self._outgoing[state] = tuple(by_source.get(state, ()))
+        self._visibility: Optional[VisibilityIndex] = None
 
     # ------------------------------------------------------------------
     # validation
@@ -233,6 +236,13 @@ class Flow:
     def outgoing(self, state: State) -> Tuple[Transition, ...]:
         """Transitions leaving *state* (empty tuple if none)."""
         return self._outgoing.get(state, ())
+
+    def visibility_index(self) -> VisibilityIndex:
+        """Per-message coverage bitsets (Definition 7 fast path),
+        built once per flow on first use."""
+        if self._visibility is None:
+            self._visibility = index_flow_visibility(self)
+        return self._visibility
 
     def message_by_name(self, name: str) -> Message:
         """Look up a message of ``E`` by name.

@@ -64,19 +64,24 @@ class InformationModel:
                 f"interleaved flow {interleaved.name} has no transitions; "
                 "information gain is undefined"
             )
-        # n(y) and n(x, y)
-        occurrences: Dict[IndexedMessage, int] = {}
-        joint: Dict[IndexedMessage, Dict[object, int]] = {}
-        for t in interleaved.transitions:
-            occurrences[t.message] = occurrences.get(t.message, 0) + 1
-            joint.setdefault(t.message, {})
-            joint[t.message][t.target] = joint[t.message].get(t.target, 0) + 1
+        # n(y) and n(x, y) off the flow's per-message edge index: target
+        # states are interned integer IDs and the index is built in
+        # transition order, so the per-target first-encounter order --
+        # and therefore every float-sum order below -- is identical to
+        # the historical full transition scan
+        edge_index = interleaved.edge_target_ids()
+        occurrences: Dict[IndexedMessage, int] = {
+            y: len(target_ids) for y, target_ids in edge_index.items()
+        }
         self._occurrences: Mapping[IndexedMessage, int] = occurrences
         self._contribution: Dict[IndexedMessage, float] = {}
-        for y, destinations in joint.items():
+        for y, target_ids in edge_index.items():
             n_y = occurrences[y]
+            joint: Dict[int, int] = {}
+            for target_id in target_ids:
+                joint[target_id] = joint.get(target_id, 0) + 1
             c = 0.0
-            for n_xy in destinations.values():
+            for n_xy in joint.values():
                 p_xy = n_xy / self.total_occurrences
                 c += p_xy * math.log(self.num_states * n_xy / n_y)
             self._contribution[y] = c

@@ -13,10 +13,20 @@ paper's binary operator ``F ||| G``:
 Only the reachable part of the product is materialized (sparse, BFS
 from the initial product states), which is what keeps the construction
 tractable for multi-flow usage scenarios.
+
+Internally the product is *interned*: every reachable state and every
+distinct indexed message receives a dense integer ID at construction
+(IDs follow the states'/messages' natural sort order), and the
+transition relation is stored as CSR-style integer arrays.  The public
+tuple/dataclass API (``states``, ``transitions``, ``outgoing``, ...)
+is preserved as thin views over those tables, while the hot consumers
+-- the information model, coverage bitsets, and the localization DP --
+work directly on the integer arrays.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import (
@@ -26,10 +36,10 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
 )
 
+from repro import perf
 from repro.core.flow import Execution, Flow
 from repro.core.indexing import (
     IndexedFlow,
@@ -38,6 +48,7 @@ from repro.core.indexing import (
     index_flows,
 )
 from repro.core.message import IndexedMessage, Message, MessageCombination
+from repro.core.visibility import VisibilityIndex
 from repro.errors import InterleavingError
 
 ProductState = Tuple[IndexedState, ...]
@@ -57,6 +68,75 @@ class InterleavedTransition:
         return f"{src} --{self.message.name}--> {dst}"
 
 
+@dataclass(frozen=True)
+class _InternedProduct:
+    """The integer view of a product automaton.
+
+    ``state_table``/``message_table`` assign dense IDs in the states'
+    (respectively messages') sort order, so comparisons on IDs agree
+    with comparisons on the objects.  The adjacency is CSR-style: the
+    edges leaving state ID ``i`` are positions
+    ``adj_offsets[i]:adj_offsets[i + 1]`` of the parallel
+    ``adj_messages``/``adj_targets`` arrays, sorted by
+    ``(message ID, target ID)`` -- the exact order :meth:`InterleavedFlow.
+    outgoing` has always presented.
+    """
+
+    state_table: Tuple[ProductState, ...]
+    state_ids: Dict[ProductState, int]
+    message_table: Tuple[IndexedMessage, ...]
+    message_ids: Dict[IndexedMessage, int]
+    adj_offsets: Tuple[int, ...]
+    adj_messages: Tuple[int, ...]
+    adj_targets: Tuple[int, ...]
+
+
+def _intern_product(
+    states: FrozenSet[ProductState],
+    transitions: Sequence[InterleavedTransition],
+) -> _InternedProduct:
+    """Build the interned tables from object-level states/transitions.
+
+    Used when an :class:`InterleavedFlow` is constructed directly (the
+    :func:`interleave` builder assembles the tables inline, without
+    re-deriving them from objects).
+    """
+    state_table = tuple(sorted(states))
+    state_ids = {state: i for i, state in enumerate(state_table)}
+    message_table = tuple(sorted({t.message for t in transitions}))
+    message_ids = {m: i for i, m in enumerate(message_table)}
+    edges = sorted(
+        (state_ids[t.source], message_ids[t.message], state_ids[t.target])
+        for t in transitions
+    )
+    return _finish_interning(state_table, state_ids, message_table,
+                             message_ids, edges)
+
+
+def _finish_interning(
+    state_table: Tuple[ProductState, ...],
+    state_ids: Dict[ProductState, int],
+    message_table: Tuple[IndexedMessage, ...],
+    message_ids: Dict[IndexedMessage, int],
+    edges: List[Tuple[int, int, int]],
+) -> _InternedProduct:
+    """Pack ``(src, msg, tgt)`` ID triples (sorted) into CSR arrays."""
+    offsets = [0] * (len(state_table) + 1)
+    for src, _, _ in edges:
+        offsets[src + 1] += 1
+    for i in range(1, len(offsets)):
+        offsets[i] += offsets[i - 1]
+    return _InternedProduct(
+        state_table=state_table,
+        state_ids=state_ids,
+        message_table=message_table,
+        message_ids=message_ids,
+        adj_offsets=tuple(offsets),
+        adj_messages=tuple(m for _, m, _ in edges),
+        adj_targets=tuple(t for _, _, t in edges),
+    )
+
+
 class InterleavedFlow:
     """Reachable interleaving product ``U = F1 ||| F2 ||| ... ||| Fn``.
 
@@ -72,7 +152,18 @@ class InterleavedFlow:
     * ``count_paths()`` -- number of executions (used as the
       denominator of path localization, Section 5.2),
     * ``executions()`` / ``random_execution()`` -- path enumeration and
-      sampling.
+      sampling,
+
+    plus the integer-level view the hot paths run on:
+
+    * ``state_id`` / ``state_at`` and ``message_id`` / ``message_at``
+      -- the interned tables (IDs follow sort order),
+    * ``initial_ids`` / ``stop_ids`` / ``csr_adjacency()`` -- the
+      product automaton over IDs,
+    * ``paths_to_stop_ids()`` / ``topological_ids()`` -- the DP
+      arrays, indexed by state ID,
+    * ``visibility_index()`` -- per-message coverage bitsets
+      (:mod:`repro.core.visibility`).
     """
 
     def __init__(
@@ -82,18 +173,72 @@ class InterleavedFlow:
         initial: FrozenSet[ProductState],
         stop: FrozenSet[ProductState],
         transitions: Tuple[InterleavedTransition, ...],
+        interned: Optional[_InternedProduct] = None,
     ) -> None:
         self.components = tuple(components)
         self.states = states
         self.initial = initial
         self.stop = stop
         self.transitions = transitions
-        self._outgoing: Dict[ProductState, List[InterleavedTransition]] = {}
-        for t in transitions:
-            self._outgoing.setdefault(t.source, []).append(t)
-        for adjacency in self._outgoing.values():
-            adjacency.sort()
+        self._interned = (
+            interned
+            if interned is not None
+            else _intern_product(states, transitions)
+        )
+        self._initial_ids = tuple(
+            sorted(self._interned.state_ids[s] for s in initial)
+        )
+        self._stop_ids = frozenset(
+            self._interned.state_ids[s] for s in stop
+        )
+        # lazy caches over the interned tables
+        self._outgoing_cache: Dict[ProductState, Tuple[InterleavedTransition, ...]] = {}
         self._paths_to_stop: Optional[Dict[ProductState, int]] = None
+        self._paths_to_stop_ids: Optional[List[int]] = None
+        self._topological_ids: Optional[List[int]] = None
+        self._message_occurrences: Optional[Dict[IndexedMessage, int]] = None
+        self._edge_targets_by_message: Optional[
+            Dict[IndexedMessage, List[int]]
+        ] = None
+        self._visibility: Optional[VisibilityIndex] = None
+        self._messages: Optional[MessageCombination] = None
+
+    # ------------------------------------------------------------------
+    # interned integer view
+    # ------------------------------------------------------------------
+    def state_id(self, state: ProductState) -> int:
+        """Dense ID of *state* (IDs follow the states' sort order)."""
+        return self._interned.state_ids[state]
+
+    def state_at(self, state_id: int) -> ProductState:
+        """The product state interned at *state_id*."""
+        return self._interned.state_table[state_id]
+
+    def message_id(self, message: IndexedMessage) -> Optional[int]:
+        """Dense ID of an indexed message, or ``None`` when it labels
+        no edge of the product."""
+        return self._interned.message_ids.get(message)
+
+    def message_at(self, message_id: int) -> IndexedMessage:
+        """The indexed message interned at *message_id*."""
+        return self._interned.message_table[message_id]
+
+    @property
+    def initial_ids(self) -> Tuple[int, ...]:
+        """IDs of the initial product states, ascending."""
+        return self._initial_ids
+
+    @property
+    def stop_ids(self) -> FrozenSet[int]:
+        """IDs of the stop product states."""
+        return self._stop_ids
+
+    def csr_adjacency(self) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+        """The transition relation as ``(offsets, message_ids,
+        target_ids)`` CSR arrays (edges of state ``i`` live at
+        ``offsets[i]:offsets[i + 1]``, sorted by message then target)."""
+        interned = self._interned
+        return interned.adj_offsets, interned.adj_messages, interned.adj_targets
 
     # ------------------------------------------------------------------
     # accessors
@@ -113,82 +258,176 @@ class InterleavedFlow:
     @property
     def messages(self) -> MessageCombination:
         """The (un-indexed) message set ``E = union of component E_i``."""
-        return MessageCombination(
-            m for c in self.components for m in c.flow.messages
-        )
+        if self._messages is None:
+            self._messages = MessageCombination(
+                m for c in self.components for m in c.flow.messages
+            )
+        return self._messages
 
     @property
     def indexed_messages(self) -> Tuple[IndexedMessage, ...]:
-        """Every indexed message labelling at least one edge."""
-        return tuple(sorted({t.message for t in self.transitions}))
+        """Every indexed message labelling at least one edge (the
+        interned message table -- already sorted)."""
+        return self._interned.message_table
 
     def indices_of(self, message: Message) -> Tuple[int, ...]:
         """Instance indices under which *message* occurs in the product."""
         return tuple(
             sorted(
                 {
-                    t.message.index
-                    for t in self.transitions
-                    if t.message.message == message
+                    m.index
+                    for m in self._interned.message_table
+                    if m.message == message
                 }
             )
         )
 
     def outgoing(self, state: ProductState) -> Tuple[InterleavedTransition, ...]:
-        return tuple(self._outgoing.get(state, ()))
+        cached = self._outgoing_cache.get(state)
+        if cached is None:
+            interned = self._interned
+            sid = interned.state_ids.get(state)
+            if sid is None:
+                return ()
+            lo = interned.adj_offsets[sid]
+            hi = interned.adj_offsets[sid + 1]
+            cached = tuple(
+                InterleavedTransition(
+                    state,
+                    interned.message_table[interned.adj_messages[e]],
+                    interned.state_table[interned.adj_targets[e]],
+                )
+                for e in range(lo, hi)
+            )
+            self._outgoing_cache[state] = cached
+        return cached
 
     @property
     def message_occurrences(self) -> Dict[IndexedMessage, int]:
-        """Edge count per indexed message over the whole product."""
-        counts: Dict[IndexedMessage, int] = {}
-        for t in self.transitions:
-            counts[t.message] = counts.get(t.message, 0) + 1
-        return counts
+        """Edge count per indexed message over the whole product
+        (computed once; the returned dict is a fresh copy)."""
+        if self._message_occurrences is None:
+            self._message_occurrences = {
+                message: len(targets)
+                for message, targets in self._edge_index().items()
+            }
+        return dict(self._message_occurrences)
 
     def destinations(self, message: IndexedMessage) -> List[ProductState]:
         """Target states of every edge labelled *message* (with
-        multiplicity)."""
-        return [t.target for t in self.transitions if t.message == message]
+        multiplicity), backed by the per-message edge index."""
+        table = self._interned.state_table
+        return [
+            table[target_id]
+            for target_id in self._edge_index().get(message, ())
+        ]
+
+    def edge_target_ids(self) -> Dict[IndexedMessage, List[int]]:
+        """Per-message target-state-ID lists (the edge index consumers
+        like the information model iterate); see :meth:`_edge_index`."""
+        return self._edge_index()
+
+    def _edge_index(self) -> Dict[IndexedMessage, List[int]]:
+        """Per-message target-ID lists, in transition-tuple order.
+
+        One pass over ``transitions``; keys appear in first-encounter
+        order and target multiplicity is preserved, which is what keeps
+        the information model's float-sum order identical to the
+        historical full-scan implementation.
+        """
+        if self._edge_targets_by_message is None:
+            index: Dict[IndexedMessage, List[int]] = {}
+            state_ids = self._interned.state_ids
+            for t in self.transitions:
+                index.setdefault(t.message, []).append(
+                    state_ids[t.target]
+                )
+            self._edge_targets_by_message = index
+        return self._edge_targets_by_message
+
+    def visibility_index(self) -> VisibilityIndex:
+        """Per-message coverage bitsets over interned state IDs
+        (built once, straight from the CSR arrays)."""
+        if self._visibility is None:
+            with perf.timed("visibility_index"):
+                interned = self._interned
+                self._visibility = VisibilityIndex.from_edges(
+                    len(interned.state_table),
+                    zip(
+                        (
+                            interned.message_table[m]
+                            for m in interned.adj_messages
+                        ),
+                        interned.adj_targets,
+                    ),
+                    interned.state_table,
+                )
+            perf.add("visibility_bitsets_built", 1)
+        return self._visibility
 
     # ------------------------------------------------------------------
     # paths / executions
     # ------------------------------------------------------------------
+    def topological_ids(self) -> List[int]:
+        """State IDs in a (deterministic) topological order of the
+        product DAG -- Kahn's algorithm over the CSR arrays."""
+        if self._topological_ids is None:
+            offsets, _, targets = self.csr_adjacency()
+            n = len(self._interned.state_table)
+            indegree = [0] * n
+            for target_id in targets:
+                indegree[target_id] += 1
+            ready = [i for i in range(n) if indegree[i] == 0]
+            order: List[int] = []
+            while ready:
+                state_id = ready.pop()
+                order.append(state_id)
+                for e in range(offsets[state_id], offsets[state_id + 1]):
+                    target_id = targets[e]
+                    indegree[target_id] -= 1
+                    if indegree[target_id] == 0:
+                        ready.append(target_id)
+            if len(order) != n:
+                raise InterleavingError(
+                    "interleaved flow is not a DAG"
+                )  # pragma: no cover - components are validated DAGs
+            self._topological_ids = order
+        return self._topological_ids
+
     def topological_order(self) -> List[ProductState]:
         """Reachable product states in topological order."""
-        indegree: Dict[ProductState, int] = {s: 0 for s in self.states}
-        for t in self.transitions:
-            indegree[t.target] += 1
-        ready = [s for s, d in indegree.items() if d == 0]
-        order: List[ProductState] = []
-        while ready:
-            state = ready.pop()
-            order.append(state)
-            for t in self.outgoing(state):
-                indegree[t.target] -= 1
-                if indegree[t.target] == 0:
-                    ready.append(t.target)
-        if len(order) != len(self.states):
-            raise InterleavingError(
-                "interleaved flow is not a DAG"
-            )  # pragma: no cover - components are validated DAGs
-        return order
+        table = self._interned.state_table
+        return [table[i] for i in self.topological_ids()]
+
+    def paths_to_stop_ids(self) -> List[int]:
+        """Paths-to-stop counts as an array indexed by state ID
+        (memoised)."""
+        if self._paths_to_stop_ids is None:
+            offsets, _, targets = self.csr_adjacency()
+            counts = [0] * len(self._interned.state_table)
+            stop_ids = self._stop_ids
+            for state_id in reversed(self.topological_ids()):
+                total = 1 if state_id in stop_ids else 0
+                for e in range(offsets[state_id], offsets[state_id + 1]):
+                    total += counts[targets[e]]
+                counts[state_id] = total
+            self._paths_to_stop_ids = counts
+        return self._paths_to_stop_ids
 
     def paths_to_stop(self) -> Dict[ProductState, int]:
         """Number of paths from each state to any stop state (memoised)."""
         if self._paths_to_stop is None:
-            counts: Dict[ProductState, int] = {}
-            for state in reversed(self.topological_order()):
-                total = 1 if state in self.stop else 0
-                for t in self.outgoing(state):
-                    total += counts[t.target]
-                counts[state] = total
-            self._paths_to_stop = counts
+            counts = self.paths_to_stop_ids()
+            table = self._interned.state_table
+            self._paths_to_stop = {
+                table[i]: counts[i] for i in range(len(table))
+            }
         return self._paths_to_stop
 
     def count_paths(self) -> int:
         """Total number of executions of the interleaved flow."""
-        counts = self.paths_to_stop()
-        return sum(counts.get(s, 0) for s in self.initial)
+        counts = self.paths_to_stop_ids()
+        return sum(counts[i] for i in self._initial_ids)
 
     def executions(self) -> Iterator[Execution]:
         """Lazily enumerate executions (may be astronomically many --
@@ -280,51 +519,121 @@ def interleave(instances: Sequence[IndexedFlow]) -> InterleavedFlow:
         is enforced: a component moves only while every other component
         is outside its atomic set, so no reachable state has two
         components simultaneously atomic.
+
+    Notes
+    -----
+    The BFS works on interned integers: product states are deduplicated
+    through an intern dict the moment they are generated, per-component
+    local adjacency is materialized once up front (instead of rebuilding
+    indexed ``(message, target)`` pairs on every visit), and edges are
+    collected as ID triples that are sorted and packed into the CSR
+    arrays the :class:`InterleavedFlow` hot paths consume.  The
+    resulting object-level ``states``/``transitions`` are identical --
+    including order -- to the historical object-graph construction.
     """
-    instances = tuple(instances)
-    if not instances:
-        raise InterleavingError("cannot interleave zero flow instances")
-    check_legally_indexed(instances)
+    with perf.timed("interleave"):
+        instances = tuple(instances)
+        if not instances:
+            raise InterleavingError("cannot interleave zero flow instances")
+        check_legally_indexed(instances)
 
-    atomic_sets: List[FrozenSet[IndexedState]] = [
-        frozenset(inst.atomic) for inst in instances
-    ]
-    initial_states: List[ProductState] = []
-    for combo in _cartesian([inst.initial for inst in instances]):
-        initial_states.append(tuple(combo))
+        positions = range(len(instances))
+        # per-component adjacency and atomic sets, materialized once
+        local_outgoing: List[Dict[IndexedState, Tuple[Tuple[IndexedMessage, IndexedState], ...]]] = [
+            {state: tuple(inst.outgoing(state)) for state in inst.states}
+            for inst in instances
+        ]
+        atomic_sets: List[FrozenSet[IndexedState]] = [
+            frozenset(inst.atomic) for inst in instances
+        ]
 
-    states: Set[ProductState] = set(initial_states)
-    transitions: List[InterleavedTransition] = []
-    frontier: List[ProductState] = list(initial_states)
-    while frontier:
-        current = frontier.pop()
-        for position, inst in enumerate(instances):
-            others_quiescent = all(
-                current[j] not in atomic_sets[j]
-                for j in range(len(instances))
-                if j != position
+        initial_states: List[ProductState] = [
+            combo
+            for combo in itertools.product(
+                *(inst.initial for inst in instances)
             )
-            if not others_quiescent:
-                continue
-            for message, target_local in inst.outgoing(current[position]):
-                target = current[:position] + (target_local,) + current[position + 1:]
-                transitions.append(InterleavedTransition(current, message, target))
-                if target not in states:
-                    states.add(target)
-                    frontier.append(target)
+        ]
 
-    stop_states = frozenset(
-        s
-        for s in states
-        if all(s[i] in set(inst.stop) for i, inst in enumerate(instances))
-    )
-    return InterleavedFlow(
-        components=instances,
-        states=frozenset(states),
-        initial=frozenset(initial_states),
-        stop=stop_states,
-        transitions=tuple(sorted(transitions)),
-    )
+        # BFS with discovery-order interning
+        discovery_ids: Dict[ProductState, int] = {}
+        discovered: List[ProductState] = []
+        for state in initial_states:
+            if state not in discovery_ids:
+                discovery_ids[state] = len(discovered)
+                discovered.append(state)
+        edges: List[Tuple[int, IndexedMessage, int]] = []
+        frontier: List[ProductState] = list(discovered)
+        while frontier:
+            current = frontier.pop()
+            current_id = discovery_ids[current]
+            atomic_positions = [
+                j for j in positions if current[j] in atomic_sets[j]
+            ]
+            if not atomic_positions:
+                movable: Sequence[int] = positions
+            elif len(atomic_positions) == 1:
+                # only the atomic component itself may move
+                movable = atomic_positions
+            else:  # pragma: no cover - unreachable from legal initials
+                movable = ()
+            for position in movable:
+                for message, target_local in local_outgoing[position][
+                    current[position]
+                ]:
+                    target = (
+                        current[:position]
+                        + (target_local,)
+                        + current[position + 1:]
+                    )
+                    target_id = discovery_ids.get(target)
+                    if target_id is None:
+                        target_id = len(discovered)
+                        discovery_ids[target] = target_id
+                        discovered.append(target)
+                        frontier.append(target)
+                    edges.append((current_id, message, target_id))
+
+        # final dense IDs follow the states' sort order, so integer
+        # comparisons agree with object comparisons everywhere
+        state_table = tuple(sorted(discovered))
+        state_ids = {state: i for i, state in enumerate(state_table)}
+        final_of = [0] * len(discovered)
+        for discovery_id, state in enumerate(discovered):
+            final_of[discovery_id] = state_ids[state]
+        message_table = tuple(sorted({message for _, message, _ in edges}))
+        message_ids = {m: i for i, m in enumerate(message_table)}
+        id_edges = sorted(
+            (final_of[src], message_ids[message], final_of[tgt])
+            for src, message, tgt in edges
+        )
+        interned = _finish_interning(
+            state_table, state_ids, message_table, message_ids, id_edges
+        )
+
+        # object-level views, in the exact historical order (the edge
+        # sort above equals sorting InterleavedTransition objects)
+        transitions = tuple(
+            InterleavedTransition(
+                state_table[src], message_table[mid], state_table[tgt]
+            )
+            for src, mid, tgt in id_edges
+        )
+        stop_sets = [frozenset(inst.stop) for inst in instances]
+        stop_states = frozenset(
+            s
+            for s in state_table
+            if all(s[i] in stop_sets[i] for i in positions)
+        )
+        perf.add("interleave_states_expanded", len(state_table))
+        perf.add("interleave_transitions", len(transitions))
+        return InterleavedFlow(
+            components=instances,
+            states=frozenset(state_table),
+            initial=frozenset(initial_states),
+            stop=stop_states,
+            transitions=transitions,
+            interned=interned,
+        )
 
 
 def interleave_flows(
@@ -339,16 +648,3 @@ def interleave_flows(
     for flow in flows:
         expanded.extend([flow] * copies)
     return interleave(index_flows(expanded))
-
-
-def _cartesian(
-    sets: Sequence[Sequence[IndexedState]],
-) -> Iterator[Tuple[IndexedState, ...]]:
-    """Cartesian product of component state sets (no itertools import to
-    keep recursion explicit and typed)."""
-    if not sets:
-        yield ()
-        return
-    for head in sets[0]:
-        for rest in _cartesian(sets[1:]):
-            yield (head,) + rest

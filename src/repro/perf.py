@@ -1,0 +1,168 @@
+"""Lightweight stage counters for the selection core.
+
+The hot paths of the library (product construction, coverage bitsets,
+the selection knapsack, the localization DP) report *aggregate* stage
+counters -- states expanded, bitset ORs, DP steps, wall time per stage
+-- through this module.  Instrumentation is collected only while a
+:func:`collect` block is active; outside one, :func:`add` and
+:func:`timed` are near-zero-cost no-ops, so the counters can stay in
+the production code paths permanently.
+
+Counters integrate with :mod:`repro.runtime.telemetry`:
+:func:`record_profile` wraps a finished collection into a
+:class:`~repro.runtime.telemetry.RunRecord` so ``repro profile`` output
+shows up next to orchestration/streaming telemetry.  The ``repro
+profile <scenario>`` CLI command and ``benchmarks/core_bench.py`` are
+the two consumers; both exist so that the Step-2 speedup (and any
+future regression) stays measurable.
+
+Usage::
+
+    from repro import perf
+
+    with perf.collect() as counters:
+        interleaved = interleave(instances)
+        select_messages(interleaved, 32)
+    print(counters.as_dict())
+
+Collections nest: every active collector receives every increment, so
+an outer campaign-level collection still sees the counters of inner
+per-scenario ones.  The active-collector stack is process-global and
+not thread-isolated -- profiling is a single-threaded activity here.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.telemetry import RunRecord
+
+
+@dataclass
+class PerfCounters:
+    """Aggregated stage counters for one :func:`collect` block.
+
+    Attributes
+    ----------
+    counters:
+        Monotonic event counts, e.g. ``interleave_states_expanded`` or
+        ``coverage_bitset_ors``.
+    timings:
+        Wall time per named stage in seconds (summed over repeated
+        entries of the same stage).
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "wall_s": {
+                stage: round(seconds, 6)
+                for stage, seconds in sorted(self.timings.items())
+            },
+        }
+
+    def format(self) -> str:
+        """Human-readable two-column table (for the CLI)."""
+        lines: List[str] = []
+        width = max(
+            (len(n) for n in (*self.counters, *self.timings)), default=0
+        )
+        for name in sorted(self.counters):
+            lines.append(f"{name:<{width}}  {self.counters[name]:>14,}")
+        for stage in sorted(self.timings):
+            lines.append(
+                f"{stage:<{width}}  {self.timings[stage]:>13.4f}s"
+            )
+        return "\n".join(lines)
+
+
+#: Active collector stack; empty almost always, which is what keeps the
+#: permanent instrumentation free (one falsy check per call site).
+_ACTIVE: List[PerfCounters] = []
+
+
+def enabled() -> bool:
+    """Whether any collection is active (for guarding costly summaries)."""
+    return bool(_ACTIVE)
+
+
+def add(name: str, amount: int = 1) -> None:
+    """Increment counter *name* in every active collection (no-op when
+    none is active)."""
+    if not _ACTIVE:
+        return
+    for counters in _ACTIVE:
+        counters.add(name, amount)
+
+
+@contextmanager
+def collect() -> Iterator[PerfCounters]:
+    """Activate a new :class:`PerfCounters` collection for the block."""
+    counters = PerfCounters()
+    _ACTIVE.append(counters)
+    try:
+        yield counters
+    finally:
+        _ACTIVE.remove(counters)
+
+
+@contextmanager
+def timed(stage: str) -> Iterator[None]:
+    """Time the block and add it to stage *stage* of every active
+    collection.  When none is active the only cost is two clock reads."""
+    if not _ACTIVE:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        for counters in _ACTIVE:
+            counters.add_time(stage, elapsed)
+
+
+def record_profile(
+    counters: PerfCounters,
+    name: str,
+    wall_time_s: Optional[float] = None,
+) -> "RunRecord":
+    """Publish *counters* to :mod:`repro.runtime.telemetry`.
+
+    The record lands in the same process-wide ring buffer as
+    orchestration and streaming telemetry, so ``repro cache stats``
+    and telemetry exports pick profiles up with no extra plumbing.
+    """
+    # imported here so repro.perf stays dependency-free for the hot
+    # paths (core.interleave imports it at module scope)
+    from repro.runtime.telemetry import RunRecord, record_run
+
+    record = RunRecord(
+        name=name,
+        jobs=1,
+        tasks_dispatched=1,
+        tasks_completed=1,
+        wall_time_s=(
+            wall_time_s
+            if wall_time_s is not None
+            else sum(counters.timings.values())
+        ),
+        extra=counters.as_dict(),
+    )
+    return record_run(record)

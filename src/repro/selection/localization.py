@@ -17,7 +17,10 @@ retained the last ``depth`` captures).  Non-traced labels are free.
 Counting never enumerates paths.  Prefix/exact modes run a *forward*
 DP whose state is a :class:`DPFrontier`: the weight of every product
 state reachable by consuming the observation so far.  The frontier is
-exposed stepwise (:meth:`PathLocalizer.initial_frontier`,
+keyed by the interleaved flow's *interned state IDs* (dense integers,
+see :mod:`repro.core.interleave`), so each DP step is integer-indexed
+array walking rather than tuple hashing.  The frontier is exposed
+stepwise (:meth:`PathLocalizer.initial_frontier`,
 :meth:`PathLocalizer.advance_frontier`) so that
 :class:`repro.stream.incremental.IncrementalLocalizer` can carry it
 across captures arriving over time; the batch :meth:`PathLocalizer.
@@ -36,6 +39,7 @@ import heapq
 from dataclasses import dataclass
 from typing import (
     Dict,
+    FrozenSet,
     Iterable,
     List,
     Mapping,
@@ -45,8 +49,9 @@ from typing import (
     Tuple,
 )
 
+from repro import perf
 from repro.core.execution import underlying_message
-from repro.core.interleave import InterleavedFlow, ProductState
+from repro.core.interleave import InterleavedFlow
 from repro.core.message import IndexedMessage, Message
 from repro.errors import SelectionError
 from repro.selection.packing import expand_subgroups
@@ -89,10 +94,14 @@ class LocalizationResult:
 class DPFrontier:
     """Forward localization-DP state after consuming ``length`` symbols.
 
+    Both maps are keyed by the interleaved flow's **interned state
+    IDs** (``InterleavedFlow.state_id``/``state_at`` convert to and
+    from product-state tuples when needed).
+
     Attributes
     ----------
     matched:
-        Weight per product state of path-prefixes whose *last edge*
+        Weight per state ID of path-prefixes whose *last edge*
         consumed the newest observed symbol (for ``length == 0``: the
         initial states with weight 1).  ``prefix``-mode counts hang off
         this map: each weighted state contributes ``weight x
@@ -106,8 +115,8 @@ class DPFrontier:
         Observed symbols consumed so far.
     """
 
-    matched: Mapping[ProductState, int]
-    closed: Mapping[ProductState, int]
+    matched: Mapping[int, int]
+    closed: Mapping[int, int]
     length: int
 
     @property
@@ -123,10 +132,15 @@ class DPFrontier:
 
 @dataclass(frozen=True)
 class _Adjacency:
-    """Per-state edges split by trace-buffer visibility."""
+    """Edges split by trace-buffer visibility, indexed by state ID.
 
-    visible: Tuple[Tuple[IndexedMessage, ProductState], ...]
-    invisible: Tuple[ProductState, ...]
+    ``visible[sid]`` holds ``(message_id, target_id)`` pairs;
+    ``invisible[sid]`` holds bare target IDs.  Built once per
+    localizer straight off the interleaved flow's CSR arrays.
+    """
+
+    visible: Tuple[Tuple[Tuple[int, int], ...], ...]
+    invisible: Tuple[Tuple[int, ...], ...]
 
 
 class PathLocalizer:
@@ -148,8 +162,18 @@ class PathLocalizer:
         expanded = expand_subgroups(traced, interleaved.messages)
         self._visible: Set[Message] = set(expanded)
         self._total = interleaved.count_paths()
-        self._adjacency: Optional[Dict[ProductState, _Adjacency]] = None
-        self._topo_index: Optional[Dict[ProductState, int]] = None
+        self._adjacency: Optional[_Adjacency] = None
+        self._topo_position: Optional[List[int]] = None
+        # message-ID views of the traced set: visibility per message ID,
+        # and the instance IDs of each plain (un-indexed) message
+        table = interleaved.indexed_messages
+        self._visible_mid: Tuple[bool, ...] = tuple(
+            m.message in self._visible for m in table
+        )
+        self._mids_by_plain: Dict[Message, Tuple[int, ...]] = {}
+        for mid, m in enumerate(table):
+            self._mids_by_plain.setdefault(m.message, ())
+            self._mids_by_plain[m.message] += (mid,)
 
     @property
     def total_paths(self) -> int:
@@ -217,7 +241,7 @@ class PathLocalizer:
     # ------------------------------------------------------------------
     def initial_frontier(self) -> DPFrontier:
         """The frontier before any symbol has been observed."""
-        matched = {state: 1 for state in self.interleaved.initial}
+        matched = {sid: 1 for sid in self.interleaved.initial_ids}
         return DPFrontier(
             matched=matched,
             closed=self._invisible_closure(matched),
@@ -238,11 +262,17 @@ class PathLocalizer:
                 f"observed message {symbol!r} is not in the traced set"
             )
         adjacency = self._split_adjacency()
-        matched: Dict[ProductState, int] = {}
-        for state, weight in frontier.closed.items():
-            for label, target in adjacency[state].visible:
-                if _matches(symbol, label):
-                    matched[target] = matched.get(target, 0) + weight
+        match_mids = self._matching_message_ids(symbol)
+        matched: Dict[int, int] = {}
+        steps = 0
+        for sid, weight in frontier.closed.items():
+            edges = adjacency.visible[sid]
+            steps += len(edges)
+            for mid, target_id in edges:
+                if mid in match_mids:
+                    matched[target_id] = matched.get(target_id, 0) + weight
+        if perf.enabled():
+            perf.add("localize_dp_steps", steps)
         return DPFrontier(
             matched=matched,
             closed=self._invisible_closure(matched),
@@ -253,21 +283,21 @@ class PathLocalizer:
         """Paths whose visible projection *starts with* the consumed
         observation: every minimally-matched prefix times any
         continuation to a stop state."""
-        to_stop = self.interleaved.paths_to_stop()
+        to_stop = self.interleaved.paths_to_stop_ids()
         return sum(
-            weight * to_stop.get(state, 0)
-            for state, weight in frontier.matched.items()
+            weight * to_stop[sid]
+            for sid, weight in frontier.matched.items()
         )
 
     def exact_count(self, frontier: DPFrontier) -> int:
         """Paths whose visible projection *equals* the consumed
         observation: matched prefixes that reach a stop state through
         invisible edges only."""
-        stop = self.interleaved.stop
+        stop_ids = self.interleaved.stop_ids
         return sum(
             weight
-            for state, weight in frontier.closed.items()
-            if state in stop
+            for sid, weight in frontier.closed.items()
+            if sid in stop_ids
         )
 
     # ------------------------------------------------------------------
@@ -297,80 +327,106 @@ class PathLocalizer:
             return self._total
         step = _kmp_transition(observation, failure)
         accept = len(observation)
-        memo: Dict[Tuple[ProductState, int], int] = {}
+        offsets, msg_ids, targets = self.interleaved.csr_adjacency()
+        message_table = self.interleaved.indexed_messages
+        visible_mid = self._visible_mid
+        to_stop = self.interleaved.paths_to_stop_ids()
+        memo: Dict[Tuple[int, int], int] = {}
 
-        def count(state: ProductState, k: int) -> int:
+        def count(sid: int, k: int) -> int:
             if k == accept:
                 # absorbing: any continuation is consistent
-                return self.interleaved.paths_to_stop().get(state, 0)
-            key = (state, k)
+                return to_stop[sid]
+            key = (sid, k)
             cached = memo.get(key)
             if cached is not None:
                 return cached
             total = 0
-            for t in self.interleaved.outgoing(state):
-                if self.is_visible(t.message):
-                    total += count(t.target, step(k, t.message))
+            for e in range(offsets[sid], offsets[sid + 1]):
+                mid = msg_ids[e]
+                if visible_mid[mid]:
+                    total += count(targets[e], step(k, message_table[mid]))
                 else:
-                    total += count(t.target, k)
+                    total += count(targets[e], k)
             memo[key] = total
             return total
 
-        return sum(count(start, 0) for start in self.interleaved.initial)
+        result = sum(count(sid, 0) for sid in self.interleaved.initial_ids)
+        if perf.enabled():
+            perf.add("localize_dp_steps", len(memo))
+        return result
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _split_adjacency(self) -> Dict[ProductState, _Adjacency]:
-        """Outgoing edges per state, split by visibility (lazy, built
-        once per localizer -- visibility is fixed)."""
+    def _matching_message_ids(self, symbol: object) -> FrozenSet[int]:
+        """Message IDs of edge labels the observed *symbol* matches:
+        one for an indexed symbol, every instance for a plain one."""
+        if isinstance(symbol, IndexedMessage):
+            mid = self.interleaved.message_id(symbol)
+            return frozenset() if mid is None else frozenset((mid,))
+        if isinstance(symbol, Message):
+            return frozenset(self._mids_by_plain.get(symbol, ()))
+        raise TypeError(f"not a message: {symbol!r}")
+
+    def _split_adjacency(self) -> _Adjacency:
+        """Outgoing edges per state ID, split by visibility (lazy,
+        built once per localizer -- visibility is fixed)."""
         if self._adjacency is None:
-            table: Dict[ProductState, _Adjacency] = {}
-            for state in self.interleaved.states:
-                visible: List[Tuple[IndexedMessage, ProductState]] = []
-                invisible: List[ProductState] = []
-                for t in self.interleaved.outgoing(state):
-                    if self.is_visible(t.message):
-                        visible.append((t.message, t.target))
+            offsets, msg_ids, targets = self.interleaved.csr_adjacency()
+            visible_mid = self._visible_mid
+            visible: List[Tuple[Tuple[int, int], ...]] = []
+            invisible: List[Tuple[int, ...]] = []
+            for sid in range(len(offsets) - 1):
+                vis: List[Tuple[int, int]] = []
+                invis: List[int] = []
+                for e in range(offsets[sid], offsets[sid + 1]):
+                    mid = msg_ids[e]
+                    if visible_mid[mid]:
+                        vis.append((mid, targets[e]))
                     else:
-                        invisible.append(t.target)
-                table[state] = _Adjacency(tuple(visible), tuple(invisible))
-            self._adjacency = table
+                        invis.append(targets[e])
+                visible.append(tuple(vis))
+                invisible.append(tuple(invis))
+            self._adjacency = _Adjacency(tuple(visible), tuple(invisible))
         return self._adjacency
 
-    def _topological_index(self) -> Dict[ProductState, int]:
-        if self._topo_index is None:
-            self._topo_index = {
-                state: i
-                for i, state in enumerate(self.interleaved.topological_order())
-            }
-        return self._topo_index
+    def _topological_position(self) -> List[int]:
+        """``position[sid]`` = rank of state ID *sid* in topological
+        order."""
+        if self._topo_position is None:
+            order = self.interleaved.topological_ids()
+            position = [0] * len(order)
+            for i, sid in enumerate(order):
+                position[sid] = i
+            self._topo_position = position
+        return self._topo_position
 
     def _invisible_closure(
-        self, weights: Mapping[ProductState, int]
-    ) -> Dict[ProductState, int]:
+        self, weights: Mapping[int, int]
+    ) -> Dict[int, int]:
         """Propagate *weights* forward along invisible edges (each
         invisible path counted once -- relaxation in topological
         order over the reachable sub-DAG only)."""
         if not weights:
             return {}
-        topo = self._topological_index()
+        position = self._topological_position()
         adjacency = self._split_adjacency()
-        closed: Dict[ProductState, int] = dict(weights)
-        heap = [(topo[state], state) for state in closed]
+        closed: Dict[int, int] = dict(weights)
+        heap = [(position[sid], sid) for sid in closed]
         heapq.heapify(heap)
-        done: Set[ProductState] = set()
+        done: Set[int] = set()
         while heap:
-            _, state = heapq.heappop(heap)
-            if state in done:
+            _, sid = heapq.heappop(heap)
+            if sid in done:
                 continue
-            done.add(state)
-            weight = closed[state]
-            for target in adjacency[state].invisible:
-                if target not in closed:
-                    closed[target] = 0
-                    heapq.heappush(heap, (topo[target], target))
-                closed[target] += weight
+            done.add(sid)
+            weight = closed[sid]
+            for target_id in adjacency.invisible[sid]:
+                if target_id not in closed:
+                    closed[target_id] = 0
+                    heapq.heappush(heap, (position[target_id], target_id))
+                closed[target_id] += weight
         return closed
 
 
@@ -429,15 +485,6 @@ def _kmp_transition(
         return state
 
     return step
-
-
-def _matches(observed: object, label: IndexedMessage) -> bool:
-    """Whether an observed item matches an edge label."""
-    if isinstance(observed, IndexedMessage):
-        return observed == label
-    if isinstance(observed, Message):
-        return observed == label.message
-    raise TypeError(f"not a message: {observed!r}")
 
 
 def localize_trace(

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+from repro import perf
 from repro.core.coverage import flow_specification_coverage
 from repro.core.information import InformationModel
 from repro.core.interleave import InterleavedFlow
@@ -128,7 +129,12 @@ class MessageSelector:
         self.buffer_width = buffer_width
         self.subgroups: Tuple[Message, ...] = tuple(sorted(set(subgroups)))
         self.subgroup_policy = subgroup_policy
-        self.model = InformationModel(interleaved)
+        with perf.timed("information_model"):
+            self.model = InformationModel(interleaved)
+        # sub-group -> parent expansion map, shared by every coverage
+        # query of this selector (exhaustive Step 2 issues one query
+        # per feasible combination)
+        self._parents = {m.name: m for m in interleaved.messages}
 
     # ------------------------------------------------------------------
     # public API
@@ -177,7 +183,11 @@ class MessageSelector:
     def coverage(self, traced: Iterable[Message]) -> float:
         """Flow specification coverage of *traced* over ``U``,
         expanding packed sub-groups to their parents for visibility."""
-        expanded = expand_subgroups(traced, self.interleaved.messages)
+        parents = self._parents
+        expanded = [
+            parents.get(m.parent, m) if m.parent is not None else m
+            for m in traced
+        ]
         return flow_specification_coverage(self.interleaved, expanded)
 
     # ------------------------------------------------------------------
@@ -190,24 +200,34 @@ class MessageSelector:
         )
 
     def _select_exhaustive(self) -> Tuple[MessageCombination, float]:
-        """Argmax of the gain over every feasible combination (Step 1+2)."""
+        """Argmax of the gain over every feasible combination (Step 1+2).
+
+        Each combination is scored with the O(|combo|) additive gain
+        and the O(|combo|) bitset coverage, so the whole enumeration is
+        O(#combinations x |combo|) -- the transition relation is never
+        rescanned.
+        """
         best: Optional[MessageCombination] = None
         best_key: Tuple[float, float, int, Tuple[str, ...]] = (-1.0, -1.0, -1, ())
-        for combo in feasible_combinations(
-            self._candidate_pool(), self.buffer_width
-        ):
-            gain = self.model.gain(combo)
-            # ties: prefer higher gain, then higher coverage (the other
-            # stated optimization objective), then fuller buffer, then a
-            # deterministic (lexicographically smallest) name set
-            key = (
-                gain,
-                self.coverage(combo),
-                combo.total_width,
-                _inverted_names(combo),
-            )
-            if key > best_key:
-                best, best_key = combo, key
+        scored = 0
+        with perf.timed("select_exhaustive"):
+            for combo in feasible_combinations(
+                self._candidate_pool(), self.buffer_width
+            ):
+                scored += 1
+                gain = self.model.gain(combo)
+                # ties: prefer higher gain, then higher coverage (the other
+                # stated optimization objective), then fuller buffer, then a
+                # deterministic (lexicographically smallest) name set
+                key = (
+                    gain,
+                    self.coverage(combo),
+                    combo.total_width,
+                    _inverted_names(combo),
+                )
+                if key > best_key:
+                    best, best_key = combo, key
+        perf.add("combinations_scored", scored)
         if best is None:
             raise SelectionError(
                 "no message fits the trace buffer "
@@ -230,20 +250,24 @@ class MessageSelector:
         dp: List[Tuple[float, int, Tuple[str, ...], Tuple[Message, ...]]] = [
             empty
         ] * (capacity + 1)
-        for item in pool:
-            for c in range(capacity, item.width - 1, -1):
-                gain, used, _, chosen = dp[c - item.width]
-                cand_gain = gain + self.model.message_contribution(item)
-                cand_width = used + item.width
-                cand_chosen = chosen + (item,)
-                cand = (
-                    cand_gain,
-                    cand_width,
-                    _inverted_names(cand_chosen),
-                    cand_chosen,
-                )
-                if cand[:3] > dp[c][:3]:
-                    dp[c] = cand
+        dp_steps = 0
+        with perf.timed("select_knapsack"):
+            for item in pool:
+                dp_steps += max(0, capacity - item.width + 1)
+                for c in range(capacity, item.width - 1, -1):
+                    gain, used, _, chosen = dp[c - item.width]
+                    cand_gain = gain + self.model.message_contribution(item)
+                    cand_width = used + item.width
+                    cand_chosen = chosen + (item,)
+                    cand = (
+                        cand_gain,
+                        cand_width,
+                        _inverted_names(cand_chosen),
+                        cand_chosen,
+                    )
+                    if cand[:3] > dp[c][:3]:
+                        dp[c] = cand
+        perf.add("knapsack_dp_steps", dp_steps)
         gain, _, _, chosen = dp[capacity]
         if not chosen:
             # all contributions were zero: fall back to the widest message

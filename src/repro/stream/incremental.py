@@ -10,9 +10,10 @@ feed` calls:
 
 * **prefix/exact modes** keep the forward
   :class:`~repro.selection.localization.DPFrontier` -- weights over
-  ``(product state, matched length)`` -- so consuming one new record
-  costs O(frontier x out-degree), independent of how much has already
-  been observed.  The frontier only ever *shrinks or stays bounded*
+  ``(interned state ID, matched length)``; state IDs are the dense
+  integers :mod:`repro.core.interleave` assigns at construction -- so
+  consuming one new record costs O(frontier x out-degree), independent
+  of how much has already been observed.  The frontier only ever *shrinks or stays bounded*
   (it lives inside the product's antichain of states reachable at one
   matched length), which is what makes thousands of concurrent
   sessions affordable.

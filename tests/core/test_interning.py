@@ -1,0 +1,172 @@
+"""Tests for the interned integer state/message tables of the product.
+
+:func:`repro.core.interleave.interleave` assigns dense integer IDs to
+product states and indexed messages at construction and stores the
+adjacency in CSR form; the object-level API (``states``,
+``transitions``, ``outgoing`` ...) is a view over those tables.  These
+tests pin the contract the ID consumers (coverage bitsets, the
+localization DP, the information model) rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import Flow, linear_flow
+from repro.core.indexing import index_flows
+from repro.core.interleave import interleave
+from repro.core.message import Message
+
+
+@pytest.fixture()
+def product():
+    a, b = Message("a", 4), Message("b", 6)
+    left = linear_flow("L", ["l0", "l1", "l2"], [a, b])
+    right = linear_flow("R", ["r0", "r1"], [Message("c", 2)])
+    return interleave(index_flows([left, right]))
+
+
+class TestStateTable:
+    def test_ids_are_dense_and_sorted(self, product):
+        table = [product.state_at(i) for i in range(product.num_states)]
+        assert table == sorted(product.states)
+        assert set(table) == product.states
+
+    def test_roundtrip(self, product):
+        for state in product.states:
+            assert product.state_at(product.state_id(state)) == state
+
+    def test_initial_and_stop_ids(self, product):
+        assert {
+            product.state_at(i) for i in product.initial_ids
+        } == set(product.initial)
+        assert {
+            product.state_at(i) for i in product.stop_ids
+        } == set(product.stop)
+
+
+class TestMessageTable:
+    def test_roundtrip(self, product):
+        for message in product.indexed_messages:
+            mid = product.message_id(message)
+            assert mid is not None
+            assert product.message_at(mid) == message
+
+    def test_unknown_message_has_no_id(self, product):
+        from repro.core.message import IndexedMessage
+
+        foreign = IndexedMessage(Message("zz", 1), 9)
+        assert product.message_id(foreign) is None
+
+    def test_indexed_messages_is_cached(self, product):
+        assert product.indexed_messages is product.indexed_messages
+
+
+class TestCSRAdjacency:
+    def test_matches_transitions(self, product):
+        offsets, msg_ids, targets = product.csr_adjacency()
+        assert offsets[0] == 0
+        assert offsets[-1] == len(msg_ids) == len(targets)
+        assert offsets[-1] == product.num_transitions
+        rebuilt = set()
+        for sid in range(product.num_states):
+            for e in range(offsets[sid], offsets[sid + 1]):
+                rebuilt.add(
+                    (
+                        product.state_at(sid),
+                        product.message_at(msg_ids[e]),
+                        product.state_at(targets[e]),
+                    )
+                )
+        assert rebuilt == {
+            (t.source, t.message, t.target) for t in product.transitions
+        }
+
+    def test_outgoing_view_matches_csr(self, product):
+        offsets, msg_ids, targets = product.csr_adjacency()
+        for state in product.states:
+            sid = product.state_id(state)
+            expected = [
+                (
+                    product.message_at(msg_ids[e]),
+                    product.state_at(targets[e]),
+                )
+                for e in range(offsets[sid], offsets[sid + 1])
+            ]
+            assert [
+                (t.message, t.target) for t in product.outgoing(state)
+            ] == expected
+
+
+class TestDerivedArrays:
+    def test_topological_ids_is_topo_order(self, product):
+        order = product.topological_ids()
+        assert sorted(order) == list(range(product.num_states))
+        position = {sid: i for i, sid in enumerate(order)}
+        for t in product.transitions:
+            assert (
+                position[product.state_id(t.source)]
+                < position[product.state_id(t.target)]
+            )
+
+    def test_paths_to_stop_ids_matches_object_view(self, product):
+        counts = product.paths_to_stop_ids()
+        by_state = product.paths_to_stop()
+        for state, count in by_state.items():
+            assert counts[product.state_id(state)] == count
+        assert product.count_paths() == sum(
+            counts[i] for i in product.initial_ids
+        )
+
+
+class TestEdgeIndexCaches:
+    def test_message_occurrences_matches_scan(self, product):
+        scan = {}
+        for t in product.transitions:
+            scan[t.message] = scan.get(t.message, 0) + 1
+        assert product.message_occurrences == scan
+
+    def test_message_occurrences_returns_a_copy(self, product):
+        snapshot = product.message_occurrences
+        snapshot.clear()
+        assert product.message_occurrences != {}
+
+    def test_destinations_matches_scan(self, product):
+        for message in product.indexed_messages:
+            expected = [
+                t.target
+                for t in product.transitions
+                if t.message == message
+            ]
+            assert product.destinations(message) == expected
+
+    def test_edge_target_ids_follow_transition_order(self, product):
+        index = product.edge_target_ids()
+        seen = []
+        for t in product.transitions:
+            if t.message not in seen:
+                seen.append(t.message)
+        assert list(index) == seen
+        for message, target_ids in index.items():
+            assert [product.state_at(i) for i in target_ids] == [
+                t.target
+                for t in product.transitions
+                if t.message == message
+            ]
+
+
+class TestMultiInitialProduct:
+    def test_product_of_multi_initial_flows(self):
+        a, b = Message("a", 1), Message("b", 1)
+        branchy = Flow(
+            name="B",
+            states=["x0", "x1", "p"],
+            initial=["x0", "x1"],
+            stop=["p"],
+            transitions=[("x0", a, "p"), ("x1", b, "p")],
+        )
+        product = interleave(index_flows([branchy, branchy]))
+        assert len(product.initial) == 4
+        assert set(product.initial_ids) == {
+            product.state_id(s) for s in product.initial
+        }

@@ -89,3 +89,26 @@ def test_exhaustive_matches_knapsack_gain(problem):
     exhaustive = selector.select(method="exhaustive", packing=False)
     knapsack = selector.select(method="knapsack", packing=False)
     assert abs(exhaustive.gain - knapsack.gain) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(selection_problems())
+def test_exhaustive_matches_knapsack_with_packing(problem):
+    """Both Step-2 engines reach the same optimum on the full
+    pipeline too: packed gain and combination width agree (the picked
+    sets may differ only between equal-gain optima)."""
+    interleaved, subgroups, buffer_width = problem
+    pool = [m for m in interleaved.messages if m.width <= buffer_width]
+    if not pool or len(interleaved.messages) > 12:
+        return
+    selector = MessageSelector(
+        interleaved, buffer_width, subgroups=subgroups
+    )
+    exhaustive = selector.select(method="exhaustive", packing=True)
+    knapsack = selector.select(method="knapsack", packing=True)
+    assert exhaustive.total_width <= buffer_width
+    assert knapsack.total_width <= buffer_width
+    if exhaustive.combination == knapsack.combination:
+        # identical Step-2 winners must pack (and score) identically
+        assert exhaustive.packed == knapsack.packed
+        assert abs(exhaustive.gain - knapsack.gain) < 1e-9

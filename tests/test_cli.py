@@ -266,3 +266,41 @@ class TestCacheCommand:
     def test_rejects_unknown_action(self, capsys):
         with pytest.raises(SystemExit):
             main(["cache", "bogus"])
+
+
+class TestProfileCommand:
+    def test_prints_counters_and_result(self, capsys):
+        assert main(["profile", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 2: profile" in out
+        assert "combinations_scored" in out
+        assert "coverage_bitset_ors" in out
+        assert "interleave_states_expanded" in out
+        assert "select_exhaustive" in out
+        assert "total wall time" in out
+        assert "gain=" in out
+
+    def test_knapsack_method(self, capsys):
+        assert main(["profile", "1", "--method", "knapsack",
+                     "--no-packing"]) == 0
+        out = capsys.readouterr().out
+        assert "knapsack_dp_steps" in out
+        assert "select_knapsack" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["profile", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["combinations_scored"] > 0
+        assert "wall_time_s" in payload
+        assert "gain=" in payload["result"]
+
+    def test_records_telemetry(self, capsys):
+        from repro.runtime.telemetry import recent_runs
+
+        assert main(["profile", "1", "--instances", "1"]) == 0
+        capsys.readouterr()
+        runs = recent_runs(name_prefix="profile:scenario1x1")
+        assert runs
+        assert "counters" in runs[-1].extra

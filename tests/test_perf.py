@@ -1,0 +1,117 @@
+"""Tests for the :mod:`repro.perf` stage counters."""
+
+from __future__ import annotations
+
+import json
+
+from repro import perf
+from repro.runtime.telemetry import recent_runs
+
+
+class TestPerfCounters:
+    def test_add_and_get(self):
+        counters = perf.PerfCounters()
+        counters.add("x")
+        counters.add("x", 4)
+        assert counters.get("x") == 5
+        assert counters.get("missing") == 0
+
+    def test_add_time_sums(self):
+        counters = perf.PerfCounters()
+        counters.add_time("stage", 0.25)
+        counters.add_time("stage", 0.25)
+        assert counters.timings["stage"] == 0.5
+
+    def test_as_dict_is_json_serializable(self):
+        counters = perf.PerfCounters()
+        counters.add("b", 2)
+        counters.add("a", 1)
+        counters.add_time("t", 0.1)
+        payload = json.loads(json.dumps(counters.as_dict()))
+        assert payload["counters"] == {"a": 1, "b": 2}
+        assert payload["wall_s"]["t"] == 0.1
+
+    def test_format_lists_all_entries(self):
+        counters = perf.PerfCounters()
+        counters.add("events", 1234)
+        counters.add_time("stage", 1.5)
+        text = counters.format()
+        assert "events" in text
+        assert "1,234" in text
+        assert "stage" in text
+
+
+class TestCollection:
+    def test_noop_when_inactive(self):
+        assert not perf.enabled()
+        perf.add("ignored")  # must not raise or record anywhere
+        with perf.timed("ignored"):
+            pass
+        assert not perf.enabled()
+
+    def test_collect_gathers_increments(self):
+        with perf.collect() as counters:
+            assert perf.enabled()
+            perf.add("events", 3)
+            with perf.timed("stage"):
+                pass
+        assert counters.get("events") == 3
+        assert counters.timings["stage"] >= 0.0
+        assert not perf.enabled()
+
+    def test_nested_collections_both_see_increments(self):
+        with perf.collect() as outer:
+            perf.add("events")
+            with perf.collect() as inner:
+                perf.add("events")
+        assert outer.get("events") == 2
+        assert inner.get("events") == 1
+
+    def test_instrumented_selection_reports_stages(self):
+        from repro.core.flow import linear_flow
+        from repro.core.indexing import index_flows
+        from repro.core.interleave import interleave
+        from repro.core.message import Message
+        from repro.selection.selector import select_messages
+
+        flow = linear_flow(
+            "F",
+            ["s0", "s1", "s2"],
+            [Message("a", 4), Message("b", 4)],
+        )
+        with perf.collect() as counters:
+            interleaved = interleave(index_flows([flow, flow]))
+            select_messages(interleaved, 8, method="exhaustive")
+        assert counters.get("interleave_states_expanded") == (
+            interleaved.num_states
+        )
+        assert counters.get("interleave_transitions") == (
+            interleaved.num_transitions
+        )
+        assert counters.get("combinations_scored") > 0
+        assert counters.get("coverage_queries") > 0
+        assert "interleave" in counters.timings
+        assert "select_exhaustive" in counters.timings
+
+
+class TestRecordProfile:
+    def test_lands_in_telemetry(self):
+        counters = perf.PerfCounters()
+        counters.add("events", 7)
+        counters.add_time("stage", 0.5)
+        record = perf.record_profile(counters, "profile:test")
+        assert record.name == "profile:test"
+        assert record.wall_time_s == 0.5
+        assert record.extra["counters"]["events"] == 7
+        assert any(
+            r.name == "profile:test"
+            for r in recent_runs(name_prefix="profile:")
+        )
+
+    def test_explicit_wall_time_wins(self):
+        counters = perf.PerfCounters()
+        counters.add_time("stage", 0.5)
+        record = perf.record_profile(
+            counters, "profile:wall", wall_time_s=2.0
+        )
+        assert record.wall_time_s == 2.0
