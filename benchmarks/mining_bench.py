@@ -1,0 +1,159 @@
+"""Spec-mining benchmark -- writes ``BENCH_mining.json``.
+
+For each T2 scenario: time corpus generation (simulator, uncached),
+the mining pass itself (projection -> clustering -> minimal automata),
+and the evaluation (structural matching + closed-loop selection), and
+record the mined-spec quality numbers.  Quality doubles as a smoke
+gate: CI fails the build when transition recall drops below
+``--min-recall`` or the closed-loop coverage delta exceeds
+``--max-coverage-delta`` -- the acceptance bar of the subsystem, not
+just its speed.
+
+Stdlib only, so CI can run it with nothing but the package on
+``PYTHONPATH``::
+
+    PYTHONPATH=src python benchmarks/mining_bench.py \
+        --out BENCH_mining.json \
+        --check-against benchmarks/BENCH_mining_baseline.json \
+        --min-recall 0.9 --max-coverage-delta 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+
+def _bench_case(number: int, runs: int, eval_runs: int) -> Dict:
+    from repro.mining.automaton import mine_spec
+    from repro.mining.corpus import generate_corpus
+    from repro.mining.evaluate import closed_loop, evaluate_spec
+    from repro.soc.t2.scenarios import scenario
+
+    sc = scenario(number)
+
+    t0 = time.perf_counter()
+    corpus = generate_corpus(number, runs=runs, use_cache=False)
+    corpus_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    mining = mine_spec(
+        corpus, catalog=sc.catalog, subgroups=sc.subgroup_pool
+    )
+    mine_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    spec_eval = evaluate_spec(sc.flows, mining)
+    loop = closed_loop(sc, mining, eval_runs=eval_runs)
+    eval_s = time.perf_counter() - t0
+
+    return {
+        "name": f"scenario{number}",
+        "runs": corpus.runs,
+        "records": corpus.total_records,
+        "flows_mined": len(mining.flows),
+        "corpus_s": round(corpus_s, 6),
+        "mine_s": round(mine_s, 6),
+        "eval_s": round(eval_s, 6),
+        "records_per_s": (
+            round(corpus.total_records / mine_s, 1) if mine_s > 0 else None
+        ),
+        "transition_recall": spec_eval.transition_recall,
+        "transition_precision": spec_eval.transition_precision,
+        "coverage_delta": loop.coverage_delta,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenarios", default="1,2,3",
+        help="comma-separated scenario numbers",
+    )
+    parser.add_argument("--runs", type=int, default=50,
+                        help="corpus size per scenario")
+    parser.add_argument("--eval-runs", type=int, default=2,
+                        help="golden runs scored for localization")
+    parser.add_argument("--out", default="BENCH_mining.json")
+    parser.add_argument(
+        "--check-against", default=None,
+        help="baseline BENCH_mining.json to compare mining times to",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=10.0,
+        help="fail when mine_s exceeds baseline by this factor "
+        "(mining is sub-millisecond, so the generous default absorbs "
+        "runner timing noise while still catching algorithmic "
+        "regressions)",
+    )
+    parser.add_argument(
+        "--min-recall", type=float, default=None,
+        help="fail when any scenario's transition recall is below this",
+    )
+    parser.add_argument(
+        "--max-coverage-delta", type=float, default=None,
+        help="fail when any closed-loop coverage delta exceeds this",
+    )
+    args = parser.parse_args(argv)
+
+    numbers = [int(n) for n in args.scenarios.split(",")]
+    cases = [
+        _bench_case(number, args.runs, args.eval_runs)
+        for number in numbers
+    ]
+    payload = {
+        "python": platform.python_version(),
+        "runs": args.runs,
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    for case in cases:
+        print(f"{case['name']}: {case['records']} records, "
+              f"corpus {case['corpus_s']:.3f}s, "
+              f"mine {case['mine_s']:.4f}s "
+              f"({case['records_per_s']} records/s), "
+              f"recall {case['transition_recall']:.1%}, "
+              f"coverage delta {case['coverage_delta']:.1%}")
+    print(f"wrote {args.out}")
+
+    status = 0
+    if args.min_recall is not None:
+        for case in cases:
+            if case["transition_recall"] < args.min_recall:
+                print(f"FAIL: {case['name']} transition recall "
+                      f"{case['transition_recall']:.1%} < required "
+                      f"{args.min_recall:.1%}", file=sys.stderr)
+                status = 1
+    if args.max_coverage_delta is not None:
+        for case in cases:
+            if case["coverage_delta"] > args.max_coverage_delta:
+                print(f"FAIL: {case['name']} coverage delta "
+                      f"{case['coverage_delta']:.1%} > allowed "
+                      f"{args.max_coverage_delta:.1%}", file=sys.stderr)
+                status = 1
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        by_name = {c["name"]: c for c in baseline.get("cases", ())}
+        for case in cases:
+            base = by_name.get(case["name"])
+            if base is None:
+                continue
+            limit = base["mine_s"] * args.max_slowdown
+            if case["mine_s"] > limit:
+                print(f"FAIL: {case['name']} mining took "
+                      f"{case['mine_s']:.4f}s, more than "
+                      f"{args.max_slowdown}x the baseline "
+                      f"{base['mine_s']:.4f}s", file=sys.stderr)
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

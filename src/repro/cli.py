@@ -11,6 +11,22 @@ Commands
     it into a multi-seed validation campaign).
 ``usb``
     Run the USB baseline comparison.
+``plan``
+    Sweep trace-buffer widths for a scenario and print the
+    coverage/width frontier.
+``spec``
+    Export the built-in T2 flows as a flowspec file.
+``export``
+    Export every experiment result as JSON.
+``report``
+    Build the full markdown reproduction report.
+``analyze``
+    Run message selection for the flows of a user-supplied flowspec
+    file.
+``mine``
+    Mine candidate flow specifications from a simulated trace corpus
+    and score them against ground truth (structural precision/recall
+    plus the closed-loop selection comparison).
 ``dot``
     Dump a flow (or a scenario's interleaving) as Graphviz DOT.
 ``cache``
@@ -26,7 +42,7 @@ Commands
     counters of :mod:`repro.perf` and print them (states expanded,
     bitset ORs, DP steps, wall time per stage).
 
-``tables``/``report``/``plan``/``debug`` accept ``--jobs N`` to fan
+``tables``/``report``/``plan``/``debug``/``mine`` accept ``--jobs N`` to fan
 independent work units out over a process pool (results are identical
 to a serial run); the artifact cache (``REPRO_CACHE_DIR``) makes warm
 re-runs skip the expensive interleaving/selection work entirely.
@@ -414,6 +430,88 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mine(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.flowspec import format_flowspec
+    from repro.mining import evaluate_scenario
+
+    ev = evaluate_scenario(
+        args.scenario,
+        instances=args.instances,
+        runs=args.runs,
+        base_seed=args.seed,
+        min_support=args.support,
+        buffer_width=args.buffer,
+        jobs=args.jobs,
+        eval_runs=args.eval_runs,
+    )
+    if args.emit:
+        print(
+            format_flowspec(
+                [m.flow for m in ev.mining.flows],
+                ev.mining.spec.subgroups,
+            ),
+            end="",
+        )
+        return 0
+    if args.json:
+        payload = {
+            "scenario": ev.number,
+            "corpus": {
+                "runs": ev.corpus.runs,
+                "records": ev.corpus.total_records,
+            },
+            "flows": [
+                {
+                    "name": m.flow.name,
+                    "states": m.flow.num_states,
+                    "transitions": len(m.flow.transitions),
+                    "instances": m.evidence.occurrences,
+                }
+                for m in ev.mining.flows
+            ],
+            "transition_recall": ev.spec.transition_recall,
+            "transition_precision": ev.spec.transition_precision,
+            "state_recall": ev.spec.state_recall,
+            "state_precision": ev.spec.state_precision,
+            "truth_coverage": ev.loop.truth_coverage,
+            "mined_coverage": ev.loop.mined_coverage,
+            "coverage_delta": ev.loop.coverage_delta,
+            "truth_localization": ev.loop.truth_localization,
+            "mined_localization": ev.loop.mined_localization,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(ev.corpus.describe())
+    print(ev.mining.describe())
+    print("vs ground truth:")
+    for match in ev.spec.matches:
+        marker = "==" if match.language_equal else "~="
+        print(f"  {match.truth_name} {marker} {match.mined_name}: "
+              f"transitions {match.matched_truth_transitions}/"
+              f"{match.truth_transitions} recalled, "
+              f"{match.matched_mined_transitions}/"
+              f"{match.mined_transitions} precise")
+    for name in ev.spec.unmatched_truth:
+        print(f"  {name}: NOT recovered")
+    for name in ev.spec.unmatched_mined:
+        print(f"  {name}: no ground-truth counterpart")
+    print(f"  transition recall {ev.spec.transition_recall:.1%}, "
+          f"precision {ev.spec.transition_precision:.1%}; "
+          f"state recall {ev.spec.state_recall:.1%}, "
+          f"precision {ev.spec.state_precision:.1%}")
+    print("closed loop (selection driven by mined spec):")
+    print(f"  traced (truth): {', '.join(ev.loop.truth_traced)}")
+    print(f"  traced (mined): {', '.join(ev.loop.mined_traced)}")
+    print(f"  Def-7 coverage: truth {ev.loop.truth_coverage:.1%}, "
+          f"mined {ev.loop.mined_coverage:.1%} "
+          f"(delta {ev.loop.coverage_delta:.1%})")
+    print(f"  localization:   truth {ev.loop.truth_localization:.4%}, "
+          f"mined {ev.loop.mined_localization:.4%}")
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.soc.t2.flows import t2_flows
     from repro.viz import flow_to_dot, interleaved_to_dot
@@ -440,8 +538,16 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     if args.flow.startswith("scenario"):
         from repro.soc.t2.scenarios import scenario
 
-        number = int(args.flow.removeprefix("scenario"))
-        sc = scenario(number)
+        try:
+            number = int(args.flow.removeprefix("scenario"))
+            sc = scenario(number)
+        except (ValueError, KeyError):
+            print(
+                f"unknown scenario {args.flow!r}; choose "
+                "scenario1, scenario2, or scenario3",
+                file=sys.stderr,
+            )
+            return 2
         print(interleaved_to_dot(sc.interleaved()))
         return 0
     print(
@@ -607,6 +713,30 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="emit the counters as JSON")
     profile.set_defaults(func=_cmd_profile)
+
+    mine = sub.add_parser(
+        "mine",
+        help="mine flow specifications from a simulated trace corpus",
+    )
+    mine.add_argument("scenario", type=int, choices=(1, 2, 3))
+    mine.add_argument("--runs", type=int, default=50,
+                      help="corpus size (golden runs to simulate)")
+    mine.add_argument("--seed", type=int, default=0,
+                      help="first corpus seed (seeds are seed..seed+runs-1)")
+    mine.add_argument("--support", type=float, default=0.1,
+                      help="minimum sequence support threshold")
+    mine.add_argument("--buffer", type=int, default=32)
+    mine.add_argument("--instances", type=int, default=1)
+    mine.add_argument("--eval-runs", type=int, default=3,
+                      help="golden runs scored for localization")
+    mine.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for corpus generation "
+                      "(0 = all CPUs)")
+    mine.add_argument("--emit", action="store_true",
+                      help="print the mined flowspec file and exit")
+    mine.add_argument("--json", action="store_true",
+                      help="emit the evaluation as JSON")
+    mine.set_defaults(func=_cmd_mine)
 
     dot = sub.add_parser("dot", help="dump a flow as Graphviz DOT")
     dot.add_argument(

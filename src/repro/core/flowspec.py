@@ -33,7 +33,15 @@ round-trips them back to text.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.core.flow import Flow, Transition
 from repro.core.message import Message
@@ -293,3 +301,91 @@ def format_flowspec(
             f"subgroup {group.name} {group.width} of {group.parent}"
         )
     return "\n".join(lines).rstrip() + "\n"
+
+
+# ----------------------------------------------------------------------
+# diff / equivalence helpers
+# ----------------------------------------------------------------------
+def flow_language(flow: Flow) -> FrozenSet[Tuple[str, ...]]:
+    """The trace language of *flow*: every execution's message-name
+    sequence.
+
+    Flows are DAGs, so the language is finite.  Two flows with the
+    same language admit exactly the same observable message orderings,
+    which is the behavioural notion a mined specification is judged
+    by -- state names are renamings, not behaviour.
+    """
+    return frozenset(
+        tuple(m.name for m in execution.messages)
+        for execution in flow.executions()
+    )
+
+
+def flows_equivalent(a: Flow, b: Flow) -> bool:
+    """Whether two flows admit the same set of message orderings.
+
+    Language equality deliberately ignores state names (a mined flow
+    names its states ``q0, q1, ...``) and message widths/endpoints
+    (those come from the shared catalog, not the flow shape).
+    """
+    return flow_language(a) == flow_language(b)
+
+
+def diff_flows(a: Flow, b: Flow, limit: int = 8) -> List[str]:
+    """Human-readable structural and behavioural differences.
+
+    Returns an empty list when the flows are language-equivalent and
+    have the same state/transition counts; otherwise one line per
+    difference (at most *limit* example traces per direction).
+    """
+    lines: List[str] = []
+    if a.num_states != b.num_states:
+        lines.append(
+            f"states: {a.name} has {a.num_states}, "
+            f"{b.name} has {b.num_states}"
+        )
+    if len(a.transitions) != len(b.transitions):
+        lines.append(
+            f"transitions: {a.name} has {len(a.transitions)}, "
+            f"{b.name} has {len(b.transitions)}"
+        )
+    names_a = {m.name for m in a.messages}
+    names_b = {m.name for m in b.messages}
+    for name in sorted(names_a - names_b):
+        lines.append(f"message {name} only in {a.name}")
+    for name in sorted(names_b - names_a):
+        lines.append(f"message {name} only in {b.name}")
+    lang_a, lang_b = flow_language(a), flow_language(b)
+    for trace in sorted(lang_a - lang_b)[:limit]:
+        lines.append(f"trace only in {a.name}: {' '.join(trace)}")
+    for trace in sorted(lang_b - lang_a)[:limit]:
+        lines.append(f"trace only in {b.name}: {' '.join(trace)}")
+    return lines
+
+
+def diff_flowspecs(a: FlowSpec, b: FlowSpec, limit: int = 8) -> List[str]:
+    """Differences between two flow specifications, one line each.
+
+    Flows are paired by name; an empty result means both specs define
+    the same flow names, language-equivalent flows, and the same
+    sub-group declarations.
+    """
+    lines: List[str] = []
+    only_a = sorted(set(a.flows) - set(b.flows))
+    only_b = sorted(set(b.flows) - set(a.flows))
+    for name in only_a:
+        lines.append(f"flow {name} only in first spec")
+    for name in only_b:
+        lines.append(f"flow {name} only in second spec")
+    for name in sorted(set(a.flows) & set(b.flows)):
+        for line in diff_flows(a.flows[name], b.flows[name], limit=limit):
+            lines.append(f"{name}: {line}")
+    groups_a = {(g.name, g.width, g.parent) for g in a.subgroups}
+    groups_b = {(g.name, g.width, g.parent) for g in b.subgroups}
+    for name, width, parent in sorted(groups_a - groups_b):
+        lines.append(f"subgroup {name} {width} of {parent} only in first spec")
+    for name, width, parent in sorted(groups_b - groups_a):
+        lines.append(
+            f"subgroup {name} {width} of {parent} only in second spec"
+        )
+    return lines

@@ -71,3 +71,9 @@ class FrontierOverflowError(StreamError):
 
 class OrchestrationError(ReproError):
     """Parallel task execution failed (timeout, worker crash, ...)."""
+
+
+class MiningError(ReproError):
+    """Flow-specification mining failed (empty corpus, a mined message
+    missing from the catalog, no sequence above the support
+    threshold, ...)."""

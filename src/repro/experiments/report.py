@@ -48,6 +48,10 @@ _PAPER_NOTES = {
     "Headline": "Paper abstract: 98.96% average utilization, 94.3% "
                 "average coverage, <= 6.11% localization, 78.89% "
                 "average pruning.",
+    "Mining": "No paper counterpart: the paper assumes given flow "
+              "specs. This table scores specs mined from simulated "
+              "trace corpora (AutoFlows++-style) both structurally "
+              "and as drop-in selection inputs.",
 }
 
 
@@ -66,6 +70,7 @@ ARTIFACT_TITLES = {
     "fig7": "Figure 7",
     "reconstruction": "Reconstruction",
     "headline": "Headline",
+    "mining": "Mining",
 }
 
 
@@ -115,6 +120,9 @@ def render_artifact(
     if name == "headline":
         from repro.experiments.headline import format_headline
         return format_headline(instances)
+    if name == "mining":
+        from repro.experiments.mining_eval import format_mining_eval
+        return format_mining_eval(instances)
     raise KeyError(
         f"unknown artifact {name!r}; choose from "
         f"{', '.join(ARTIFACT_TITLES)}"

@@ -1,0 +1,89 @@
+"""Flow-specification mining from trace corpora.
+
+The rest of the library consumes hand-written flow specifications; in
+practice those are stale or missing.  This subsystem closes the loop:
+generate (or ingest) trace corpora with the simulation/stream stack,
+mine candidate :class:`~repro.core.flowspec.FlowSpec` objects from
+them (AutoFlows++-style prefix-tree construction + state merging with
+a hierarchical shared-sub-flow pass), and judge the result both
+structurally (precision/recall against ground truth) and in the
+closed loop (mined specs driving Step 1-3 selection).
+
+Layering: ``corpus`` (sim + runtime) -> ``patterns`` (pure sequence
+mining) -> ``automaton`` (core flow construction) -> ``evaluate``
+(selection + localization).  Everything is deterministic: identical
+corpora yield byte-identical specs for every ``PYTHONHASHSEED`` and
+``jobs`` value.
+"""
+
+from repro.mining.automaton import (
+    MinedFlow,
+    MiningResult,
+    flow_from_sequences,
+    mine_spec,
+    mined_flow_name,
+)
+from repro.mining.corpus import (
+    CorpusEntry,
+    TraceCorpus,
+    corpus_from_tracefiles,
+    corpus_from_traces,
+    corpus_key,
+    generate_corpus,
+    write_corpus,
+)
+from repro.mining.evaluate import (
+    ClosedLoopResult,
+    FlowComparison,
+    ScenarioEvaluation,
+    SpecEvaluation,
+    closed_loop,
+    compare_flows,
+    evaluate_scenario,
+    evaluate_spec,
+    initiating_messages,
+    pair_flows,
+)
+from repro.mining.patterns import (
+    DEFAULT_MIN_SUPPORT,
+    FlowEvidence,
+    InstanceTrace,
+    SequenceStats,
+    cluster_by_first_message,
+    frequent_ngrams,
+    project_instances,
+    shared_ngrams,
+)
+
+__all__ = [
+    "ClosedLoopResult",
+    "CorpusEntry",
+    "DEFAULT_MIN_SUPPORT",
+    "FlowComparison",
+    "FlowEvidence",
+    "InstanceTrace",
+    "MinedFlow",
+    "MiningResult",
+    "ScenarioEvaluation",
+    "SequenceStats",
+    "SpecEvaluation",
+    "TraceCorpus",
+    "closed_loop",
+    "cluster_by_first_message",
+    "compare_flows",
+    "corpus_from_tracefiles",
+    "corpus_from_traces",
+    "corpus_key",
+    "evaluate_scenario",
+    "evaluate_spec",
+    "flow_from_sequences",
+    "frequent_ngrams",
+    "generate_corpus",
+    "initiating_messages",
+    "mine_spec",
+    "mined_flow_name",
+    "pair_flows",
+    "project_instances",
+    "shared_ngrams",
+    "write_corpus",
+]

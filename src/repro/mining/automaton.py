@@ -1,0 +1,240 @@
+"""From mined sequences to flow automata and :class:`FlowSpec` objects.
+
+The construction is prefix-tree + state merging, run to its fixpoint:
+states are identified with the *residual languages* of the mined
+sequence set (the suffixes that may still follow a given prefix), so
+two prefixes after which the future is identical share one state.
+This is the Myhill--Nerode quotient, i.e. the prefix tree merged as
+far as merging can go without changing the language -- the canonical
+minimal DFA.  Because the mined language is finite, the result is
+guaranteed acyclic and therefore a valid Definition-1 flow.
+
+Determinism: states are named ``q0, q1, ...`` in breadth-first
+discovery order with sorted message tie-breaks, so identical sequence
+sets produce byte-identical flows regardless of ``PYTHONHASHSEED``.
+
+The hierarchical pass (:func:`mine_spec`) follows AutoFlows++:
+fragments (n-grams) shared by two or more candidate flows are reported
+as sub-flows -- e.g. a common request/ack handshake -- alongside the
+per-flow automata.
+
+Mined flows re-use :class:`~repro.core.message.Message` objects from a
+design catalog when one is supplied, so widths, endpoints and packing
+sub-groups survive into the emitted spec; the flow *shape* is always
+taken from the corpus alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.flow import Flow, Transition
+from repro.core.flowspec import FlowSpec
+from repro.core.message import Message
+from repro.errors import MiningError
+from repro.mining.corpus import TraceCorpus
+from repro.mining.patterns import (
+    DEFAULT_MIN_SUPPORT,
+    FlowEvidence,
+    cluster_by_first_message,
+    project_instances,
+    shared_ngrams,
+)
+
+#: Width assigned to messages mined from a corpus with no catalog.
+DEFAULT_MESSAGE_WIDTH = 1
+
+
+def flow_from_sequences(
+    name: str,
+    sequences: Sequence[Tuple[str, ...]],
+    catalog: Optional[Mapping[str, Message]] = None,
+) -> Flow:
+    """Build the minimal acyclic flow accepting exactly *sequences*.
+
+    Parameters
+    ----------
+    name:
+        Name of the resulting flow.
+    sequences:
+        Complete message-name sequences (the mined language).
+    catalog:
+        Optional design message catalog; mined message names are
+        looked up here for widths/endpoints.  Unknown names raise
+        :class:`MiningError` when a catalog is given, otherwise
+        messages get :data:`DEFAULT_MESSAGE_WIDTH`.
+    """
+    language: FrozenSet[Tuple[str, ...]] = frozenset(
+        tuple(seq) for seq in sequences
+    )
+    if not language:
+        raise MiningError(f"flow {name!r}: no sequences to build from")
+    if () in language:
+        raise MiningError(
+            f"flow {name!r}: the empty sequence is not a valid execution"
+        )
+
+    def residual(
+        lang: FrozenSet[Tuple[str, ...]], symbol: str
+    ) -> FrozenSet[Tuple[str, ...]]:
+        return frozenset(s[1:] for s in lang if s and s[0] == symbol)
+
+    # Breadth-first over residual languages; the name table doubles as
+    # the visited set.  Finite language => finitely many residuals and
+    # an acyclic transition relation.
+    start = language
+    names: Dict[FrozenSet[Tuple[str, ...]], str] = {start: "q0"}
+    order: List[FrozenSet[Tuple[str, ...]]] = [start]
+    transitions: List[Tuple[str, str, str]] = []
+    queue: List[FrozenSet[Tuple[str, ...]]] = [start]
+    while queue:
+        state = queue.pop(0)
+        symbols = sorted({s[0] for s in state if s})
+        for symbol in symbols:
+            target = residual(state, symbol)
+            if target not in names:
+                names[target] = f"q{len(names)}"
+                order.append(target)
+                queue.append(target)
+            transitions.append((names[state], symbol, names[target]))
+
+    def resolve(symbol: str) -> Message:
+        if catalog is None:
+            return Message(symbol, DEFAULT_MESSAGE_WIDTH)
+        try:
+            return catalog[symbol]
+        except KeyError:
+            raise MiningError(
+                f"flow {name!r}: mined message {symbol!r} is not in "
+                "the design catalog"
+            ) from None
+
+    return Flow(
+        name=name,
+        states=[names[lang] for lang in order],
+        initial=["q0"],
+        stop=[names[lang] for lang in order if () in lang],
+        transitions=[
+            Transition(src, resolve(symbol), dst)
+            for src, symbol, dst in transitions
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class MinedFlow:
+    """One candidate flow with the evidence it was merged from."""
+
+    flow: Flow
+    evidence: FlowEvidence
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Everything one mining pass produced.
+
+    Attributes
+    ----------
+    scenario_name:
+        Name of the corpus the specs were mined from.
+    flows:
+        Candidate flows, ordered by initiating message name.
+    spec:
+        The emitted flow specification (serializable via
+        :func:`~repro.core.flowspec.format_flowspec`).
+    subflows:
+        Message fragments shared by >= 2 candidate flows (the
+        hierarchical, AutoFlows++-style layer).
+    min_support:
+        The support threshold the sequences were mined at.
+    """
+
+    scenario_name: str
+    flows: Tuple[MinedFlow, ...]
+    spec: FlowSpec
+    subflows: Tuple[Tuple[str, ...], ...]
+    min_support: float
+
+    def flow_names(self) -> Tuple[str, ...]:
+        return tuple(m.flow.name for m in self.flows)
+
+    def describe(self) -> str:
+        lines = [
+            f"mined {len(self.flows)} flows from {self.scenario_name} "
+            f"(support >= {self.min_support}):"
+        ]
+        for mined in self.flows:
+            flow = mined.flow
+            lines.append(
+                f"  {flow.name}: {flow.num_states} states, "
+                f"{len(flow.transitions)} transitions, "
+                f"{len(mined.evidence.sequences)} sequences from "
+                f"{mined.evidence.occurrences} instances"
+            )
+        if self.subflows:
+            rendered = ", ".join(
+                " ".join(gram) for gram in self.subflows
+            )
+            lines.append(f"  shared sub-flows: {rendered}")
+        return "\n".join(lines)
+
+
+def mined_flow_name(first_message: str) -> str:
+    """Deterministic name for the candidate flow initiated by
+    *first_message*."""
+    return f"mined_{first_message}"
+
+
+def mine_spec(
+    corpus: TraceCorpus,
+    catalog: Optional[Mapping[str, Message]] = None,
+    min_support: float = DEFAULT_MIN_SUPPORT,
+    subgroups: Sequence[Message] = (),
+    subflow_length: int = 2,
+) -> MiningResult:
+    """Mine a complete flow specification from *corpus*.
+
+    Projection -> clustering -> per-cluster minimal automata -> shared
+    sub-flow detection, emitting a :class:`FlowSpec` whose sub-group
+    declarations are filtered from *subgroups* to those whose parent
+    message actually occurs in a mined flow.
+    """
+    traces = project_instances(corpus)
+    evidence = cluster_by_first_message(traces, min_support=min_support)
+    mined: List[MinedFlow] = []
+    for ev in evidence:
+        flow = flow_from_sequences(
+            mined_flow_name(ev.first_message),
+            [s.names for s in ev.sequences],
+            catalog=catalog,
+        )
+        mined.append(MinedFlow(flow=flow, evidence=ev))
+
+    mined_names = {
+        m.name for entry in mined for m in entry.flow.messages
+    }
+    kept_groups = tuple(
+        g for g in subgroups if g.parent in mined_names
+    )
+    spec = FlowSpec(
+        flows={m.flow.name: m.flow for m in mined},
+        subgroups=kept_groups,
+    )
+    return MiningResult(
+        scenario_name=corpus.scenario_name,
+        flows=tuple(mined),
+        spec=spec,
+        subflows=shared_ngrams(
+            evidence, length=subflow_length, min_support=min_support
+        ),
+        min_support=min_support,
+    )

@@ -1,0 +1,393 @@
+"""Evaluating mined specifications against ground truth.
+
+Two complementary judgements:
+
+* **Structural** (:func:`compare_flows`, :func:`evaluate_spec`):
+  precision/recall of mined states and transitions against the
+  hand-written T2 flows.  Mined state names are arbitrary
+  (``q0, q1, ...``), so matching is behavioural -- a synchronized walk
+  over (truth state, mined state) pairs from the initial states,
+  advancing both sides on equal message names.  A truth transition is
+  *recalled* when some reachable pair advances over it; a mined
+  transition is *precise* when it advances in step with a truth
+  transition.
+* **Closed-loop** (:func:`closed_loop`): the mined spec replaces the
+  ground truth as the *input* to Steps 1-3 -- interleave the mined
+  flows (with the scenario's instance counts), select a traced set
+  under the same buffer width, then score that traced set on the
+  ground-truth product: Definition-7 coverage and path-localization
+  fraction over simulated golden runs, side by side with the
+  ground-truth-driven selection.  This is the question a validation
+  team actually cares about: *is a mined spec good enough to steer the
+  trace buffer?*
+
+Both judgements are deterministic for a fixed corpus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.flow import Flow
+from repro.core.flowspec import flows_equivalent
+from repro.core.indexing import IndexedFlow
+from repro.core.interleave import interleave
+from repro.core.message import Message
+from repro.errors import MiningError
+from repro.mining.automaton import MinedFlow, MiningResult, mine_spec
+from repro.mining.corpus import TraceCorpus, generate_corpus
+from repro.mining.patterns import DEFAULT_MIN_SUPPORT
+from repro.runtime.cache import ArtifactCache
+from repro.selection.localization import PathLocalizer
+from repro.selection.selector import MessageSelector
+from repro.sim.engine import TransactionSimulator
+from repro.soc.t2.scenarios import UsageScenario, scenario
+
+#: Buffer width of the paper's experiments (Table 1 setup).
+BUFFER_WIDTH = 32
+
+#: Seeds used for the localization runs, disjoint from the default
+#: corpus seed range so the evaluation never scores mining on the
+#: exact runs it trained on.
+EVAL_SEED_BASE = 10_000
+
+
+def initiating_messages(flow: Flow) -> Tuple[str, ...]:
+    """Message names on transitions out of *flow*'s initial states."""
+    return tuple(
+        sorted(
+            {
+                t.message.name
+                for state in flow.initial
+                for t in flow.outgoing(state)
+            }
+        )
+    )
+
+
+@dataclass(frozen=True)
+class FlowComparison:
+    """Structural agreement between one truth flow and one mined flow."""
+
+    truth_name: str
+    mined_name: str
+    truth_states: int
+    mined_states: int
+    truth_transitions: int
+    mined_transitions: int
+    matched_truth_states: int
+    matched_mined_states: int
+    matched_truth_transitions: int
+    matched_mined_transitions: int
+    language_equal: bool
+
+    @property
+    def state_recall(self) -> float:
+        return self.matched_truth_states / self.truth_states
+
+    @property
+    def state_precision(self) -> float:
+        return self.matched_mined_states / self.mined_states
+
+    @property
+    def transition_recall(self) -> float:
+        if self.truth_transitions == 0:
+            return 1.0
+        return self.matched_truth_transitions / self.truth_transitions
+
+    @property
+    def transition_precision(self) -> float:
+        if self.mined_transitions == 0:
+            return 1.0
+        return self.matched_mined_transitions / self.mined_transitions
+
+
+def compare_flows(truth: Flow, mined: Flow) -> FlowComparison:
+    """Synchronized-walk comparison of a truth and a mined flow."""
+    matched_truth_states = set()
+    matched_mined_states = set()
+    matched_truth_transitions = set()
+    matched_mined_transitions = set()
+    queue = deque(
+        sorted(
+            (ts, ms)
+            for ts in truth.initial
+            for ms in mined.initial
+        )
+    )
+    visited = set(queue)
+    while queue:
+        ts, ms = queue.popleft()
+        matched_truth_states.add(ts)
+        matched_mined_states.add(ms)
+        for tt in truth.outgoing(ts):
+            for mt in mined.outgoing(ms):
+                if tt.message.name != mt.message.name:
+                    continue
+                matched_truth_transitions.add(tt)
+                matched_mined_transitions.add(mt)
+                pair = (tt.target, mt.target)
+                if pair not in visited:
+                    visited.add(pair)
+                    queue.append(pair)
+    return FlowComparison(
+        truth_name=truth.name,
+        mined_name=mined.name,
+        truth_states=len(truth.states),
+        mined_states=len(mined.states),
+        truth_transitions=len(truth.transitions),
+        mined_transitions=len(mined.transitions),
+        matched_truth_states=len(matched_truth_states),
+        matched_mined_states=len(matched_mined_states),
+        matched_truth_transitions=len(matched_truth_transitions),
+        matched_mined_transitions=len(matched_mined_transitions),
+        language_equal=flows_equivalent(truth, mined),
+    )
+
+
+@dataclass(frozen=True)
+class SpecEvaluation:
+    """Spec-level precision/recall: per-flow matches plus micro-averages.
+
+    Unmatched truth flows count fully against recall; unmatched mined
+    flows count fully against precision.
+    """
+
+    matches: Tuple[FlowComparison, ...]
+    unmatched_truth: Tuple[str, ...]
+    unmatched_mined: Tuple[str, ...]
+    transition_recall: float
+    transition_precision: float
+    state_recall: float
+    state_precision: float
+
+
+def pair_flows(
+    truth_flows: Sequence[Flow], mined_flows: Sequence[MinedFlow]
+) -> Tuple[Dict[str, MinedFlow], Tuple[str, ...], Tuple[str, ...]]:
+    """Pair truth flows with mined flows by initiating message.
+
+    Returns ``(pairs, unmatched_truth, unmatched_mined)`` where
+    *pairs* maps truth flow name -> mined flow.  A mined flow pairs
+    with the (sorted-first) truth flow whose initiating message set
+    contains the cluster's first message.
+    """
+    by_first: Dict[str, MinedFlow] = {
+        m.evidence.first_message: m for m in mined_flows
+    }
+    pairs: Dict[str, MinedFlow] = {}
+    used = set()
+    for truth in sorted(truth_flows, key=lambda f: f.name):
+        for first in initiating_messages(truth):
+            mined = by_first.get(first)
+            if mined is not None and mined.flow.name not in used:
+                pairs[truth.name] = mined
+                used.add(mined.flow.name)
+                break
+    unmatched_truth = tuple(
+        sorted(f.name for f in truth_flows if f.name not in pairs)
+    )
+    unmatched_mined = tuple(
+        sorted(
+            m.flow.name for m in mined_flows if m.flow.name not in used
+        )
+    )
+    return pairs, unmatched_truth, unmatched_mined
+
+
+def evaluate_spec(
+    truth_flows: Sequence[Flow], mining: MiningResult
+) -> SpecEvaluation:
+    """Score a mining result against the ground-truth flows."""
+    pairs, unmatched_truth, unmatched_mined = pair_flows(
+        truth_flows, mining.flows
+    )
+    matches = tuple(
+        compare_flows(truth, pairs[truth.name].flow)
+        for truth in sorted(truth_flows, key=lambda f: f.name)
+        if truth.name in pairs
+    )
+    truth_by_name = {f.name: f for f in truth_flows}
+    mined_by_name = {m.flow.name: m.flow for m in mining.flows}
+
+    truth_t = sum(len(f.transitions) for f in truth_by_name.values())
+    truth_s = sum(len(f.states) for f in truth_by_name.values())
+    mined_t = sum(len(f.transitions) for f in mined_by_name.values())
+    mined_s = sum(len(f.states) for f in mined_by_name.values())
+    hit_truth_t = sum(c.matched_truth_transitions for c in matches)
+    hit_truth_s = sum(c.matched_truth_states for c in matches)
+    hit_mined_t = sum(c.matched_mined_transitions for c in matches)
+    hit_mined_s = sum(c.matched_mined_states for c in matches)
+    return SpecEvaluation(
+        matches=matches,
+        unmatched_truth=unmatched_truth,
+        unmatched_mined=unmatched_mined,
+        transition_recall=hit_truth_t / truth_t if truth_t else 1.0,
+        transition_precision=hit_mined_t / mined_t if mined_t else 1.0,
+        state_recall=hit_truth_s / truth_s if truth_s else 1.0,
+        state_precision=hit_mined_s / mined_s if mined_s else 1.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# closed loop: mined specs drive selection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClosedLoopResult:
+    """Mined-spec-driven selection scored on the ground-truth product."""
+
+    truth_traced: Tuple[str, ...]
+    mined_traced: Tuple[str, ...]
+    truth_coverage: float
+    mined_coverage: float
+    truth_localization: float
+    mined_localization: float
+
+    @property
+    def coverage_delta(self) -> float:
+        """Absolute Definition-7 coverage gap, mined vs ground truth."""
+        return abs(self.truth_coverage - self.mined_coverage)
+
+    @property
+    def localization_delta(self) -> float:
+        return abs(self.truth_localization - self.mined_localization)
+
+
+def mined_instances(
+    sc: UsageScenario, mining: MiningResult
+) -> List[IndexedFlow]:
+    """Indexed instances of the mined flows, mirroring the scenario's
+    instance counts (paired via initiating messages; unpaired mined
+    flows run one instance).  Indices are globally unique, like
+    :meth:`UsageScenario.instances`."""
+    pairs, _, _ = pair_flows(sc.flows, mining.flows)
+    counts: Dict[str, int] = {}
+    for truth in sc.flows:
+        mined = pairs.get(truth.name)
+        if mined is not None:
+            counts[mined.flow.name] = sc.instance_counts.get(
+                truth.name, 1
+            )
+    result: List[IndexedFlow] = []
+    index = 0
+    for entry in mining.flows:
+        for _ in range(counts.get(entry.flow.name, 1)):
+            index += 1
+            result.append(IndexedFlow(entry.flow, index))
+    return result
+
+
+def closed_loop(
+    sc: UsageScenario,
+    mining: MiningResult,
+    buffer_width: int = BUFFER_WIDTH,
+    method: str = "exhaustive",
+    packing: bool = True,
+    eval_runs: int = 3,
+    eval_seed_base: int = EVAL_SEED_BASE,
+) -> ClosedLoopResult:
+    """Run Step 1-3 selection on the mined spec and score it on truth.
+
+    Both selections (ground-truth-driven and mined-spec-driven) use
+    the same buffer width, Step-2 engine, and packing setting.  Both
+    traced sets are then evaluated on the *ground-truth* interleaved
+    flow: Definition-7 coverage, and the mean exact-localization
+    fraction over ``eval_runs`` simulated golden runs.
+    """
+    truth_inter = sc.interleaved()
+    truth_selector = MessageSelector(
+        truth_inter, buffer_width, subgroups=sc.subgroup_pool
+    )
+    truth_sel = truth_selector.select(method=method, packing=packing)
+
+    mined_inter = interleave(mined_instances(sc, mining))
+    mined_selector = MessageSelector(
+        mined_inter, buffer_width, subgroups=mining.spec.subgroups
+    )
+    mined_sel = mined_selector.select(method=method, packing=packing)
+
+    truth_traced = tuple(sorted(truth_sel.traced))
+    mined_traced = tuple(sorted(mined_sel.traced))
+
+    def localization(traced: Tuple[Message, ...]) -> float:
+        localizer = PathLocalizer(truth_inter, traced)
+        simulator = TransactionSimulator(truth_inter, sc.name)
+        fractions = []
+        for seed in range(eval_seed_base, eval_seed_base + eval_runs):
+            trace = simulator.run(seed=seed)
+            observed = [r.message for r in trace.project(traced)]
+            fractions.append(
+                localizer.localize(observed, mode="exact").fraction
+            )
+        return sum(fractions) / len(fractions)
+
+    return ClosedLoopResult(
+        truth_traced=tuple(m.name for m in truth_traced),
+        mined_traced=tuple(m.name for m in mined_traced),
+        truth_coverage=truth_selector.coverage(truth_traced),
+        mined_coverage=truth_selector.coverage(mined_traced),
+        truth_localization=localization(truth_traced),
+        mined_localization=localization(mined_traced),
+    )
+
+
+# ----------------------------------------------------------------------
+# end-to-end per-scenario driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioEvaluation:
+    """Everything mining produced and how it scored for one scenario."""
+
+    number: int
+    corpus: TraceCorpus
+    mining: MiningResult
+    spec: SpecEvaluation
+    loop: ClosedLoopResult
+
+
+def evaluate_scenario(
+    number: int,
+    instances: int = 1,
+    runs: int = 50,
+    base_seed: int = 0,
+    min_support: float = DEFAULT_MIN_SUPPORT,
+    buffer_width: int = BUFFER_WIDTH,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    eval_runs: int = 3,
+) -> ScenarioEvaluation:
+    """Generate a corpus, mine it, and score the result for scenario
+    *number* -- the full spec -> select -> trace -> mine loop."""
+    sc = scenario(number, instances=instances)
+    corpus = generate_corpus(
+        number,
+        instances=instances,
+        runs=runs,
+        base_seed=base_seed,
+        jobs=jobs,
+        cache=cache,
+    )
+    mining = mine_spec(
+        corpus,
+        catalog=sc.catalog,
+        min_support=min_support,
+        subgroups=sc.subgroup_pool,
+    )
+    if not mining.flows:
+        raise MiningError(
+            f"scenario {number}: mining produced no candidate flows"
+        )
+    return ScenarioEvaluation(
+        number=number,
+        corpus=corpus,
+        mining=mining,
+        spec=evaluate_spec(sc.flows, mining),
+        loop=closed_loop(
+            sc,
+            mining,
+            buffer_width=buffer_width,
+            eval_runs=eval_runs,
+        ),
+    )

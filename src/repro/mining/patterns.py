@@ -1,0 +1,231 @@
+"""Sequence mining over trace corpora.
+
+Step one of spec mining is *projection*: a raw trace interleaves
+messages from every concurrently-active flow instance, but indexed
+messages (Definition 3) carry the instance index, so each run splits
+cleanly into per-instance message sequences ordered by cycle.
+
+Step two is *clustering*: instances of the same flow produce the same
+kinds of sequences, and in a message-flow protocol the initiating
+message identifies the protocol -- a PIO read always begins with the
+same request message, a data eviction with the same writeback.  We
+therefore group instance sequences by their first message name; each
+group is the evidence set for one candidate flow.
+
+Step three is *counting*: distinct complete sequences with their
+support (fraction of instance traces exhibiting them), plus frequent
+n-grams.  The n-grams feed the hierarchical pass in
+:mod:`repro.mining.automaton` (sub-flows shared across candidate
+flows), mirroring how AutoFlows++ lifts common fragments into
+sub-specifications.
+
+Everything here iterates in sorted order, so results are independent
+of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import MiningError
+from repro.mining.corpus import TraceCorpus
+
+#: Minimum fraction of a candidate flow's instance traces a complete
+#: sequence must appear in to survive mining.  Delay randomization
+#: does not change per-instance message order in a linear flow, but
+#: branching flows split their evidence across paths -- 10% keeps any
+#: path taken at least occasionally while discarding noise.
+DEFAULT_MIN_SUPPORT = 0.1
+
+
+@dataclass(frozen=True)
+class InstanceTrace:
+    """One flow instance's messages within one run, in cycle order."""
+
+    seed: int
+    index: int
+    names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """A complete message-name sequence with its observed support."""
+
+    names: Tuple[str, ...]
+    count: int
+    support: float
+
+
+@dataclass(frozen=True)
+class FlowEvidence:
+    """All mined evidence for one candidate flow.
+
+    Attributes
+    ----------
+    first_message:
+        The initiating message name the cluster is keyed by.
+    traces:
+        Every projected instance trace in the cluster.
+    sequences:
+        Distinct complete sequences at or above the support threshold,
+        most-supported first (ties broken lexicographically).
+    dropped:
+        Distinct sequences below the threshold (kept for reporting).
+    """
+
+    first_message: str
+    traces: Tuple[InstanceTrace, ...]
+    sequences: Tuple[SequenceStats, ...]
+    dropped: Tuple[SequenceStats, ...]
+
+    @property
+    def occurrences(self) -> int:
+        return len(self.traces)
+
+
+def project_instances(corpus: TraceCorpus) -> Tuple[InstanceTrace, ...]:
+    """Split every run into per-flow-instance message sequences.
+
+    Records within one run are grouped by the instance index of their
+    indexed message and ordered by cycle (simulator records are
+    already cycle-ordered; the grouping preserves that order).
+    """
+    traces: List[InstanceTrace] = []
+    for entry in corpus.entries:
+        per_instance: Dict[int, List[str]] = {}
+        for record in entry.records:
+            per_instance.setdefault(record.message.index, []).append(
+                record.message.message.name
+            )
+        for index in sorted(per_instance):
+            traces.append(
+                InstanceTrace(
+                    seed=entry.seed,
+                    index=index,
+                    names=tuple(per_instance[index]),
+                )
+            )
+    return tuple(traces)
+
+
+def _sequence_stats(
+    sequences: Mapping[Tuple[str, ...], int], total: int
+) -> List[SequenceStats]:
+    stats = [
+        SequenceStats(names=names, count=count, support=count / total)
+        for names, count in sequences.items()
+    ]
+    stats.sort(key=lambda s: (-s.count, s.names))
+    return stats
+
+
+def cluster_by_first_message(
+    traces: Sequence[InstanceTrace],
+    min_support: float = DEFAULT_MIN_SUPPORT,
+) -> Tuple[FlowEvidence, ...]:
+    """Group instance traces into candidate flows and count sequences.
+
+    Clusters are keyed by each trace's first message name -- the
+    initiating message of a flow identifies the protocol.  Within a
+    cluster, distinct complete sequences are counted and split at
+    *min_support*.
+
+    Raises
+    ------
+    MiningError
+        When there are no traces, or when a cluster retains no
+        sequence at the threshold.
+    """
+    if not traces:
+        raise MiningError("no instance traces to cluster")
+    if not 0.0 < min_support <= 1.0:
+        raise MiningError(
+            f"min_support must be in (0, 1], got {min_support}"
+        )
+    clusters: Dict[str, List[InstanceTrace]] = {}
+    for trace in traces:
+        if not trace.names:
+            continue
+        clusters.setdefault(trace.names[0], []).append(trace)
+
+    evidence: List[FlowEvidence] = []
+    for first in sorted(clusters):
+        members = clusters[first]
+        counts: Dict[Tuple[str, ...], int] = {}
+        for trace in members:
+            counts[trace.names] = counts.get(trace.names, 0) + 1
+        stats = _sequence_stats(counts, len(members))
+        kept = tuple(s for s in stats if s.support >= min_support)
+        dropped = tuple(s for s in stats if s.support < min_support)
+        if not kept:
+            raise MiningError(
+                f"candidate flow starting with {first!r} has no "
+                f"sequence above support {min_support} "
+                f"({len(members)} traces)"
+            )
+        evidence.append(
+            FlowEvidence(
+                first_message=first,
+                traces=tuple(members),
+                sequences=kept,
+                dropped=dropped,
+            )
+        )
+    if not evidence:
+        raise MiningError("every instance trace was empty")
+    return tuple(evidence)
+
+
+def frequent_ngrams(
+    sequences: Sequence[SequenceStats],
+    length: int,
+    min_support: float = DEFAULT_MIN_SUPPORT,
+) -> Tuple[Tuple[Tuple[str, ...], int], ...]:
+    """Contiguous *length*-grams over weighted sequences, most frequent
+    first (ties lexicographic).
+
+    Each sequence contributes its occurrence count to every n-gram
+    position it contains; support is measured against the total
+    occurrence mass.
+    """
+    if length < 1:
+        raise MiningError(f"n-gram length must be >= 1, got {length}")
+    total = sum(s.count for s in sequences)
+    if total == 0:
+        return ()
+    counts: Dict[Tuple[str, ...], int] = {}
+    for stat in sequences:
+        for i in range(len(stat.names) - length + 1):
+            gram = stat.names[i : i + length]
+            counts[gram] = counts.get(gram, 0) + stat.count
+    ranked = [
+        (gram, count)
+        for gram, count in counts.items()
+        if count / total >= min_support
+    ]
+    ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+    return tuple(ranked)
+
+
+def shared_ngrams(
+    evidence: Sequence[FlowEvidence],
+    length: int = 2,
+    min_support: float = DEFAULT_MIN_SUPPORT,
+) -> Tuple[Tuple[str, ...], ...]:
+    """N-grams appearing in two or more candidate flows, sorted.
+
+    These are the hierarchical sub-flows of AutoFlows++: fragments
+    (e.g. an ack handshake) shared across otherwise distinct flows.
+    """
+    seen: Dict[Tuple[str, ...], int] = {}
+    for ev in evidence:
+        grams = {
+            gram
+            for gram, _ in frequent_ngrams(
+                ev.sequences, length, min_support=min_support
+            )
+        }
+        for gram in grams:
+            seen[gram] = seen.get(gram, 0) + 1
+    return tuple(sorted(g for g, flows in seen.items() if flows >= 2))

@@ -159,3 +159,94 @@ class TestRoundTrip:
         msg = spec.flow("Mon").message_by_name("reqtot")
         assert msg.source == "DMU"
         assert msg.destination == "SIU"
+
+
+class TestDiffHelpers:
+    def test_language_of_linear_flow(self):
+        from repro.core.flowspec import flow_language
+
+        mon = t2_flows()["Mon"]
+        (trace,) = flow_language(mon)
+        assert trace[0] == "reqtot"
+        assert len(trace) == len(mon.transitions)
+
+    def test_equivalence_ignores_state_names(self):
+        from repro.core.flow import Flow, Transition
+        from repro.core.flowspec import flows_equivalent
+        from repro.core.message import Message
+
+        a = Message("a", 1)
+        one = Flow("F", ["x", "y"], ["x"], ["y"],
+                   [Transition("x", a, "y")])
+        two = Flow("G", ["q0", "q1"], ["q0"], ["q1"],
+                   [Transition("q0", a, "q1")])
+        assert flows_equivalent(one, two)
+
+    def test_flow_equivalent_to_itself(self):
+        from repro.core.flowspec import diff_flows, flows_equivalent
+
+        for flow in t2_flows().values():
+            assert flows_equivalent(flow, flow)
+            assert diff_flows(flow, flow) == []
+
+    def test_diff_reports_structural_and_language_gaps(self):
+        from repro.core.flowspec import diff_flows
+
+        pior = t2_flows()["PIOR"]
+        piow = t2_flows()["PIOW"]
+        lines = diff_flows(pior, piow)
+        assert any("states:" in line for line in lines)
+        assert any("only in PIOR" in line for line in lines)
+        assert any("trace only in" in line for line in lines)
+
+    def test_diff_limit_caps_example_traces(self):
+        from repro.core.flow import Flow, Transition
+        from repro.core.flowspec import diff_flows
+        from repro.core.message import Message
+
+        msgs = [Message(f"m{i}", 1) for i in range(6)]
+        wide = Flow(
+            "Wide", ["s", "t"], ["s"], ["t"],
+            [Transition("s", m, "t") for m in msgs],
+        )
+        narrow = Flow(
+            "Narrow", ["s", "t"], ["s"], ["t"],
+            [Transition("s", msgs[0], "t")],
+        )
+        lines = diff_flows(wide, narrow, limit=2)
+        examples = [l for l in lines if l.startswith("trace only in")]
+        assert len(examples) == 2
+
+    def test_diff_flowspecs(self):
+        from repro.core.flowspec import diff_flowspecs
+
+        catalog = t2_message_catalog()
+        flows = t2_flows(catalog)
+        full = parse(
+            format_flowspec(list(flows.values()), catalog.subgroup_list)
+        )
+        partial = parse(format_flowspec([flows["Mon"]]))
+        lines = diff_flowspecs(full, partial)
+        assert "flow NCUD only in first spec" in lines
+        assert any(line.startswith("subgroup ") for line in lines)
+        assert diff_flowspecs(full, full) == []
+
+    def test_diff_flowspecs_prefixes_common_flow_lines(self):
+        from repro.core.flow import Flow, Transition
+        from repro.core.flowspec import FlowSpec, diff_flowspecs
+        from repro.core.message import Message
+
+        a, b = Message("a", 1), Message("b", 1)
+        one = FlowSpec(
+            flows={"F": Flow("F", ["s", "t"], ["s"], ["t"],
+                             [Transition("s", a, "t")])},
+            subgroups=(),
+        )
+        two = FlowSpec(
+            flows={"F": Flow("F", ["s", "t"], ["s"], ["t"],
+                             [Transition("s", b, "t")])},
+            subgroups=(),
+        )
+        lines = diff_flowspecs(one, two)
+        assert lines
+        assert all(line.startswith("F: ") for line in lines)

@@ -1,0 +1,192 @@
+"""Minimal-automaton construction and spec emission."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.core.flowspec import flow_language, format_flowspec
+from repro.core.message import Message
+from repro.errors import MiningError
+from repro.mining.automaton import (
+    flow_from_sequences,
+    mine_spec,
+    mined_flow_name,
+)
+from repro.mining.corpus import generate_corpus
+from repro.soc.t2.scenarios import scenario
+
+
+class TestFlowFromSequences:
+    def test_single_sequence_yields_linear_flow(self):
+        flow = flow_from_sequences("F", [("a", "b", "c")])
+        assert flow.num_states == 4
+        assert len(flow.transitions) == 3
+        assert flow.initial == frozenset({"q0"})
+        assert flow_language(flow) == {("a", "b", "c")}
+
+    def test_language_is_exactly_the_input(self):
+        sequences = {("a", "b"), ("a", "c", "b"), ("d",)}
+        flow = flow_from_sequences("F", sequences)
+        assert flow_language(flow) == sequences
+
+    def test_shared_prefix_and_suffix_states_merge(self):
+        # L = {ab, ac}: prefixes 'ab' and 'ac' have the same residual
+        # {()} and must share the (stop) state -- 3 states, not 4
+        flow = flow_from_sequences("F", [("a", "b"), ("a", "c")])
+        assert flow.num_states == 3
+        assert len(flow.stop) == 1
+
+    def test_mid_sequence_stop_states(self):
+        # 'a' alone is a complete sequence AND a prefix of 'ab': its
+        # state is a stop state with an outgoing transition
+        flow = flow_from_sequences("F", [("a",), ("a", "b")])
+        (mid,) = {
+            t.target for t in flow.transitions if t.message.name == "a"
+        }
+        assert mid in flow.stop
+        assert flow.outgoing(mid)
+        assert flow_language(flow) == {("a",), ("a", "b")}
+
+    def test_breadth_first_state_naming(self):
+        flow = flow_from_sequences("F", [("a", "b"), ("c", "d")])
+        assert flow.states == frozenset({"q0", "q1", "q2", "q3"})
+        by_label = {t.message.name: t for t in flow.transitions}
+        # 'a' sorts before 'c', so its target is discovered first
+        assert by_label["a"].target == "q1"
+        assert by_label["c"].target == "q2"
+
+    def test_input_order_does_not_matter(self):
+        sequences = [("a", "b", "c"), ("a", "x"), ("d", "b", "c")]
+        first = flow_from_sequences("F", sequences)
+        second = flow_from_sequences("F", list(reversed(sequences)))
+        assert format_flowspec([first]) == format_flowspec([second])
+
+    def test_empty_language_rejected(self):
+        with pytest.raises(MiningError, match="no sequences"):
+            flow_from_sequences("F", [])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(MiningError, match="empty sequence"):
+            flow_from_sequences("F", [()])
+
+    def test_catalog_messages_reused(self):
+        catalog = {"a": Message("a", 9, source="P", destination="Q")}
+        flow = flow_from_sequences("F", [("a",)], catalog=catalog)
+        (message,) = flow.messages
+        assert message.width == 9
+        assert message.source == "P"
+
+    def test_unknown_catalog_message_rejected(self):
+        with pytest.raises(MiningError, match="not in"):
+            flow_from_sequences("F", [("a",)], catalog={})
+
+
+class TestMineSpec:
+    def test_recovers_t2_flow_languages(self):
+        # the headline property: on a clean corpus the mined flows are
+        # language-identical to the hand-written ground truth
+        for number in (1, 2, 3):
+            sc = scenario(number)
+            corpus = generate_corpus(number, runs=50, use_cache=False)
+            result = mine_spec(
+                corpus, catalog=sc.catalog, subgroups=sc.subgroup_pool
+            )
+            mined_languages = {
+                flow_language(m.flow) for m in result.flows
+            }
+            truth_languages = {flow_language(f) for f in sc.flows}
+            assert mined_languages == truth_languages
+
+    def test_flow_naming_and_order(self):
+        corpus = generate_corpus(1, runs=10, use_cache=False)
+        result = mine_spec(corpus)
+        firsts = [m.evidence.first_message for m in result.flows]
+        assert firsts == sorted(firsts)
+        assert result.flow_names() == tuple(
+            mined_flow_name(f) for f in firsts
+        )
+
+    def test_subgroups_filtered_to_mined_parents(self):
+        sc = scenario(1)
+        corpus = generate_corpus(1, runs=10, use_cache=False)
+        result = mine_spec(
+            corpus, catalog=sc.catalog, subgroups=sc.subgroup_pool
+        )
+        mined_names = {
+            m.name for entry in result.flows for m in entry.flow.messages
+        }
+        assert result.spec.subgroups
+        assert all(
+            g.parent in mined_names for g in result.spec.subgroups
+        )
+
+    def test_spec_round_trips_through_flowspec_text(self):
+        from repro.core.flowspec import parse_flowspec
+        import io
+
+        sc = scenario(2)
+        corpus = generate_corpus(2, runs=10, use_cache=False)
+        result = mine_spec(
+            corpus, catalog=sc.catalog, subgroups=sc.subgroup_pool
+        )
+        text = format_flowspec(
+            [m.flow for m in result.flows], result.spec.subgroups
+        )
+        parsed = parse_flowspec(io.StringIO(text))
+        assert set(parsed.flows) == set(result.flow_names())
+        for name, flow in parsed.flows.items():
+            assert flow_language(flow) == flow_language(
+                result.spec.flows[name]
+            )
+
+    def test_describe_lists_flows(self):
+        corpus = generate_corpus(1, runs=5, use_cache=False)
+        text = mine_spec(corpus).describe()
+        assert "mined 3 flows" in text
+        assert "mined_reqtot" in text
+
+
+class TestDeterminism:
+    def test_identical_corpora_identical_specs(self):
+        sc = scenario(1)
+        specs = set()
+        for _ in range(3):
+            corpus = generate_corpus(1, runs=20, use_cache=False)
+            result = mine_spec(corpus, catalog=sc.catalog)
+            specs.add(
+                format_flowspec([m.flow for m in result.flows])
+            )
+        assert len(specs) == 1
+
+    def test_spec_independent_of_hash_seed(self):
+        """Mined spec text must be byte-identical across hash seeds:
+        any set-iteration-order dependence in projection, clustering,
+        or the residual BFS would show up here."""
+        code = (
+            "from repro.core.flowspec import format_flowspec;"
+            "from repro.mining import generate_corpus, mine_spec;"
+            "from repro.soc.t2.scenarios import scenario;"
+            "sc = scenario(1);"
+            "c = generate_corpus(1, runs=15, use_cache=False);"
+            "r = mine_spec(c, catalog=sc.catalog,"
+            " subgroups=sc.subgroup_pool);"
+            "print(format_flowspec([m.flow for m in r.flows],"
+            " r.spec.subgroups), end='')"
+        )
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                env={**os.environ, "PYTHONPATH": src,
+                     "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("1", "2", "33")
+        }
+        assert len(outputs) == 1
+        assert "# repro-flowspec v1" in outputs.pop()

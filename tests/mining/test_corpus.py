@@ -1,0 +1,128 @@
+"""Trace-corpus generation, ingestion, and round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.corpus import (
+    TraceCorpus,
+    corpus_from_tracefiles,
+    corpus_from_traces,
+    generate_corpus,
+    write_corpus,
+)
+from repro.runtime.cache import ArtifactCache
+from repro.sim.engine import TransactionSimulator
+from repro.soc.t2.scenarios import scenario
+
+
+class TestGenerateCorpus:
+    def test_runs_and_seed_order(self):
+        corpus = generate_corpus(1, runs=10, use_cache=False)
+        assert corpus.runs == 10
+        assert [e.seed for e in corpus.entries] == list(range(10))
+        assert corpus.scenario_name == "Scenario 1"
+        assert corpus.total_records > 0
+
+    def test_base_seed_offsets_the_range(self):
+        corpus = generate_corpus(2, runs=3, base_seed=7, use_cache=False)
+        assert [e.seed for e in corpus.entries] == [7, 8, 9]
+
+    def test_matches_direct_simulation(self):
+        corpus = generate_corpus(1, runs=3, use_cache=False)
+        sc = scenario(1)
+        simulator = TransactionSimulator(sc.interleaved(), sc.name)
+        for entry in corpus.entries:
+            assert entry.records == simulator.run(seed=entry.seed).records
+
+    def test_jobs_do_not_change_the_corpus(self, tmp_path):
+        # fresh caches so the comparison is compute-vs-compute, not a
+        # cache hit of the first result
+        serial = generate_corpus(
+            1, runs=12, cache=ArtifactCache(tmp_path / "a")
+        )
+        parallel = generate_corpus(
+            1, runs=12, jobs=2, cache=ArtifactCache(tmp_path / "b")
+        )
+        assert serial == parallel
+
+    def test_cached_across_calls(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        first = generate_corpus(3, runs=4, cache=cache)
+        again = generate_corpus(3, runs=4, cache=cache)
+        assert first is again  # LRU front of the same cache
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(MiningError, match="at least one run"):
+            generate_corpus(1, runs=0, use_cache=False)
+
+    def test_describe_mentions_counts(self):
+        corpus = generate_corpus(1, runs=5, use_cache=False)
+        text = corpus.describe()
+        assert "5 runs" in text
+        assert "flow instances" in text
+
+
+class TestCorpusFromTraces:
+    def test_wraps_and_orders_by_seed(self):
+        sc = scenario(2)
+        simulator = TransactionSimulator(sc.interleaved(), sc.name)
+        traces = [simulator.run(seed=s) for s in (5, 1, 3)]
+        corpus = corpus_from_traces(traces)
+        assert [e.seed for e in corpus.entries] == [1, 3, 5]
+        assert corpus.scenario_name == sc.name
+
+    def test_empty_rejected(self):
+        with pytest.raises(MiningError, match="zero traces"):
+            corpus_from_traces([])
+
+    def test_mixed_scenarios_rejected(self):
+        runs = []
+        for number in (1, 2):
+            sc = scenario(number)
+            runs.append(
+                TransactionSimulator(sc.interleaved(), sc.name).run(seed=0)
+            )
+        with pytest.raises(MiningError, match="mixes scenarios"):
+            corpus_from_traces(runs)
+
+
+class TestTracefileRoundTrip:
+    def test_write_then_read_preserves_entries(self, tmp_path):
+        corpus = generate_corpus(1, runs=4, use_cache=False)
+        paths = write_corpus(corpus, tmp_path / "corpus")
+        assert len(paths) == 4
+        assert all(p.name.endswith(".trace") for p in paths)
+        back = corpus_from_tracefiles(paths, scenario(1).catalog)
+        assert back == corpus
+
+    def test_no_files_rejected(self):
+        with pytest.raises(MiningError, match="zero trace files"):
+            corpus_from_tracefiles([], scenario(1).catalog)
+
+    def test_mixed_scenario_files_rejected(self, tmp_path):
+        paths = []
+        for number in (1, 2):
+            corpus = generate_corpus(number, runs=1, use_cache=False)
+            paths.extend(
+                write_corpus(corpus, tmp_path / f"s{number}")
+            )
+        with pytest.raises(MiningError, match="mix scenarios"):
+            corpus_from_tracefiles(paths, scenario(1).catalog)
+
+
+class TestCorpusAccessors:
+    def test_message_names_and_instances_sorted(self):
+        corpus = generate_corpus(1, runs=2, use_cache=False)
+        names = corpus.message_names()
+        assert names == tuple(sorted(names))
+        indices = corpus.instance_indices()
+        assert indices == tuple(sorted(indices))
+        assert len(indices) == len(scenario(1).instances())
+
+    def test_equality_is_structural(self):
+        a = generate_corpus(1, runs=2, use_cache=False)
+        b = generate_corpus(1, runs=2, use_cache=False)
+        assert a == b
+        assert isinstance(a, TraceCorpus)

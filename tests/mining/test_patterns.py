@@ -1,0 +1,144 @@
+"""Projection, clustering, and n-gram mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MiningError
+from repro.mining.corpus import generate_corpus
+from repro.mining.patterns import (
+    DEFAULT_MIN_SUPPORT,
+    InstanceTrace,
+    SequenceStats,
+    cluster_by_first_message,
+    frequent_ngrams,
+    project_instances,
+    shared_ngrams,
+)
+from repro.soc.t2.scenarios import scenario
+
+
+def _trace(index: int, *names: str, seed: int = 0) -> InstanceTrace:
+    return InstanceTrace(seed=seed, index=index, names=tuple(names))
+
+
+class TestProjection:
+    def test_one_trace_per_instance_per_run(self):
+        corpus = generate_corpus(1, runs=4, use_cache=False)
+        traces = project_instances(corpus)
+        instances = len(scenario(1).instances())
+        assert len(traces) == corpus.runs * instances
+
+    def test_projected_names_are_flow_executions(self):
+        # every per-instance projection of a clean run must spell out
+        # one complete execution of the instance's ground-truth flow
+        sc = scenario(1)
+        corpus = generate_corpus(1, runs=6, use_cache=False)
+        flows_by_index = {
+            inst.index: inst.flow for inst in sc.instances()
+        }
+        for trace in project_instances(corpus):
+            flow = flows_by_index[trace.index]
+            languages = {
+                tuple(m.name for m in e.messages)
+                for e in flow.executions()
+            }
+            assert trace.names in languages
+
+    def test_cycle_order_preserved(self):
+        corpus = generate_corpus(1, runs=1, use_cache=False)
+        (entry,) = corpus.entries
+        for trace in project_instances(corpus):
+            cycles = [
+                r.cycle
+                for r in entry.records
+                if r.message.index == trace.index
+            ]
+            assert cycles == sorted(cycles)
+
+
+class TestClustering:
+    def test_clusters_keyed_and_sorted_by_first_message(self):
+        traces = [
+            _trace(1, "b", "x"),
+            _trace(2, "a", "y"),
+            _trace(3, "a", "y"),
+        ]
+        evidence = cluster_by_first_message(traces)
+        assert [e.first_message for e in evidence] == ["a", "b"]
+        assert evidence[0].occurrences == 2
+        assert evidence[1].occurrences == 1
+
+    def test_support_counts(self):
+        traces = [_trace(i, "a", "b") for i in range(9)]
+        traces.append(_trace(9, "a", "c"))
+        (evidence,) = cluster_by_first_message(traces, min_support=0.05)
+        assert evidence.sequences[0] == SequenceStats(
+            names=("a", "b"), count=9, support=0.9
+        )
+        assert evidence.sequences[1].support == pytest.approx(0.1)
+
+    def test_threshold_drops_rare_sequences(self):
+        traces = [_trace(i, "a", "b") for i in range(19)]
+        traces.append(_trace(19, "a", "c"))
+        (evidence,) = cluster_by_first_message(traces, min_support=0.1)
+        assert [s.names for s in evidence.sequences] == [("a", "b")]
+        assert [s.names for s in evidence.dropped] == [("a", "c")]
+
+    def test_no_traces_rejected(self):
+        with pytest.raises(MiningError, match="no instance traces"):
+            cluster_by_first_message([])
+
+    def test_bad_support_rejected(self):
+        with pytest.raises(MiningError, match="min_support"):
+            cluster_by_first_message([_trace(1, "a")], min_support=0.0)
+        with pytest.raises(MiningError, match="min_support"):
+            cluster_by_first_message([_trace(1, "a")], min_support=1.5)
+
+    def test_all_empty_traces_rejected(self):
+        with pytest.raises(MiningError, match="empty"):
+            cluster_by_first_message([_trace(1), _trace(2)])
+
+    def test_impossible_threshold_reported(self):
+        traces = [_trace(i, "a", str(i)) for i in range(20)]
+        with pytest.raises(MiningError, match="no sequence above"):
+            cluster_by_first_message(traces, min_support=0.5)
+
+    def test_t2_clusters_match_flow_count(self):
+        for number in (1, 2, 3):
+            corpus = generate_corpus(number, runs=10, use_cache=False)
+            evidence = cluster_by_first_message(
+                project_instances(corpus)
+            )
+            assert len(evidence) == len(scenario(number).flows)
+
+
+class TestNgrams:
+    def test_frequent_ngrams_weighted_and_ranked(self):
+        stats = [
+            SequenceStats(("a", "b", "c"), count=3, support=0.75),
+            SequenceStats(("a", "b", "d"), count=1, support=0.25),
+        ]
+        grams = frequent_ngrams(stats, 2, min_support=0.2)
+        assert grams[0] == (("a", "b"), 4)
+        assert (("b", "c"), 3) in grams
+        assert all(count / 4 >= 0.2 for _, count in grams)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(MiningError, match="length"):
+            frequent_ngrams([], 0)
+
+    def test_empty_input(self):
+        assert frequent_ngrams([], 2) == ()
+
+    def test_shared_ngrams_require_two_flows(self):
+        traces = [
+            _trace(1, "a", "h", "k"),
+            _trace(2, "b", "h", "k"),
+            _trace(3, "c", "z"),
+        ]
+        evidence = cluster_by_first_message(traces)
+        assert shared_ngrams(evidence, length=2) == (("h", "k"),)
+
+    def test_default_support_is_ten_percent(self):
+        assert DEFAULT_MIN_SUPPORT == 0.1

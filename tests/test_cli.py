@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import argparse
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -304,3 +306,154 @@ class TestProfileCommand:
         runs = recent_runs(name_prefix="profile:scenario1x1")
         assert runs
         assert "counters" in runs[-1].extra
+
+
+class TestMineCommand:
+    def test_mines_and_scores_a_scenario(self, capsys):
+        assert main(["mine", "1", "--runs", "20",
+                     "--eval-runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mined 3 flows" in out
+        assert "vs ground truth:" in out
+        assert "transition recall" in out
+        assert "closed loop" in out
+        assert "Def-7 coverage" in out
+
+    def test_emit_prints_flowspec(self, capsys):
+        assert main(["mine", "1", "--runs", "10", "--emit"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# repro-flowspec v1")
+        assert "flow mined_" in out
+        assert "transition q0 ->" in out
+
+    def test_emitted_spec_is_analyzable(self, capsys, tmp_path):
+        assert main(["mine", "2", "--runs", "10", "--emit"]) == 0
+        path = tmp_path / "mined.flowspec"
+        path.write_text(capsys.readouterr().out)
+        assert main(["analyze", str(path)]) == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["mine", "1", "--runs", "20", "--eval-runs", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == 1
+        assert payload["transition_recall"] >= 0.9
+        assert payload["coverage_delta"] <= 0.10
+        assert len(payload["flows"]) == 3
+
+    def test_jobs_match_serial(self, capsys):
+        assert main(["mine", "1", "--runs", "16", "--eval-runs", "1",
+                     "--json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["mine", "1", "--runs", "16", "--eval-runs", "1",
+                     "--jobs", "2", "--json"]) == 0
+        assert capsys.readouterr().out == serial
+
+
+class TestDocstringSync:
+    def test_every_subcommand_documented(self):
+        """The module docstring's Commands section must keep pace with
+        the registered subparsers."""
+        import repro.cli as cli
+
+        parser = cli.build_parser()
+        (subparsers,) = [
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        ]
+        for name in subparsers.choices:
+            assert f"``{name}``" in cli.__doc__, (
+                f"command {name!r} missing from the cli module "
+                "docstring"
+            )
+
+
+class TestErrorPaths:
+    """Unknown scenario/flow names: status 2, one short stderr
+    message, never a traceback."""
+
+    def _argparse_rejects(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_select_unknown_scenario(self, capsys):
+        self._argparse_rejects(capsys, ["select", "9"])
+
+    def test_stream_unknown_scenario(self, capsys, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text('# repro-trace v1 scenario="x" seed=0\n')
+        self._argparse_rejects(
+            capsys, ["stream", str(path), "--scenario", "9"]
+        )
+
+    def test_profile_unknown_scenario(self, capsys):
+        self._argparse_rejects(capsys, ["profile", "9"])
+
+    def test_mine_unknown_scenario(self, capsys):
+        self._argparse_rejects(capsys, ["mine", "9"])
+
+    def test_dot_unknown_flow_name(self, capsys):
+        assert main(["dot", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown flow" in err
+        assert "Traceback" not in err
+
+    def test_dot_unknown_scenario_number(self, capsys):
+        assert main(["dot", "scenario9"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown scenario" in err
+
+    def test_dot_malformed_scenario_suffix(self, capsys):
+        assert main(["dot", "scenarioXYZ"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "Traceback" not in err
+
+
+class TestServeDemoSeed:
+    def test_synthetic_sessions_reproducible(self):
+        from repro.experiments.common import scenario_selection
+        from repro.stream.service import synthetic_session_records
+
+        bundle = scenario_selection(1)
+        traced = bundle.with_packing.traced
+        interleaved = bundle.scenario.interleaved()
+        first = synthetic_session_records(interleaved, traced, seed=4)
+        again = synthetic_session_records(interleaved, traced, seed=4)
+        other = synthetic_session_records(interleaved, traced, seed=5)
+        assert first == again
+        assert first != other
+
+    def test_serve_demo_seed_flag_reproducible(self, capsys):
+        import json
+
+        argv = ["serve-demo", "--sessions", "2", "--workers", "1",
+                "--seed", "7", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert first["fractions"] == again["fractions"]
+
+    def test_serve_demo_seed_changes_runs(self, capsys):
+        import json
+
+        base = ["serve-demo", "--sessions", "2", "--workers", "1",
+                "--json"]
+        assert main(base + ["--seed", "0"]) == 0
+        zero = json.loads(capsys.readouterr().out)
+        assert main(base + ["--seed", "100"]) == 0
+        hundred = json.loads(capsys.readouterr().out)
+        assert zero["total_records"] != hundred["total_records"] or (
+            zero["fractions"] != hundred["fractions"]
+        )
