@@ -1,0 +1,205 @@
+"""Trace-compression benchmark -- writes ``BENCH_compress.json``.
+
+For each T2 scenario: build a long concatenated golden stream (the
+corpus runs back to back), encode it into the framed bitstream, decode
+it back, and record compression ratio, encode/decode throughput, and
+the Definition-7 coverage delta the effective-width budget buys over
+the paper's worst-case selection at the same 32x64 geometry.
+
+Correctness doubles as a smoke gate: the run fails when the round trip
+is not lossless, when any ratio drops below ``--min-ratio``, or when
+the coverage delta goes negative on any scenario.  Stdlib only, so CI
+can run it with nothing but the package on ``PYTHONPATH``::
+
+    PYTHONPATH=src python benchmarks/compression_bench.py \
+        --out BENCH_compress.json \
+        --check-against benchmarks/BENCH_compress_baseline.json \
+        --min-ratio 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+
+def _bench_case(
+    number: int, runs: int, records_per_frame: int, repeats: int
+) -> Dict:
+    from repro.compress.decoder import decode_stream
+    from repro.compress.encoder import (
+        encode_records,
+        uncompressed_capture_bits,
+    )
+    from repro.experiments.common import scenario_selection
+    from repro.experiments.compression_eval import (
+        BUFFER_DEPTH,
+        GUARD_BAND,
+        concatenated_stream,
+    )
+    from repro.compress.cost import (
+        EffectiveWidthBudget,
+        cost_model_for_scenario,
+    )
+    from repro.selection.selector import MessageSelector
+    from repro.soc.t2.messages import t2_message_catalog
+    from repro.soc.t2.scenarios import scenario
+
+    sc = scenario(number)
+    stream = concatenated_stream(number, runs=runs)
+    catalog = dict(t2_message_catalog().messages)
+
+    encode_s = min(
+        _timed(lambda: encode_records(
+            stream, scenario=sc.name,
+            records_per_frame=records_per_frame,
+        ))
+        for _ in range(repeats)
+    )
+    encoded = encode_records(
+        stream, scenario=sc.name, records_per_frame=records_per_frame
+    )
+    decode_s = min(
+        _timed(lambda: decode_stream(encoded.data, catalog))
+        for _ in range(repeats)
+    )
+    decoded = decode_stream(encoded.data, catalog)
+    lossless = tuple(decoded.records) == tuple(stream)
+
+    raw_bits = uncompressed_capture_bits(stream)
+    ratio = encoded.ratio_vs(raw_bits)
+
+    # coverage delta: effective-width selection vs the paper's
+    # worst-case width wall, same physical geometry
+    base = scenario_selection(number, 1, 32).with_packing
+    model = cost_model_for_scenario(number)
+    budget = EffectiveWidthBudget(model, 32, BUFFER_DEPTH,
+                                  guard_band=GUARD_BAND)
+    comp = MessageSelector(
+        sc.interleaved(), 32,
+        subgroups=sc.subgroup_pool, budget=budget,
+    ).select(method="exhaustive", packing=True)
+
+    return {
+        "name": f"scenario{number}",
+        "records": len(stream),
+        "encoded_bytes": len(encoded.data),
+        "raw_bits": raw_bits,
+        "ratio": round(ratio, 4),
+        "bits_per_record": round(encoded.encoded_bits / len(stream), 2),
+        "encode_s": round(encode_s, 6),
+        "decode_s": round(decode_s, 6),
+        "encode_records_per_s": (
+            round(len(stream) / encode_s, 1) if encode_s > 0 else None
+        ),
+        "decode_records_per_s": (
+            round(len(stream) / decode_s, 1) if decode_s > 0 else None
+        ),
+        "lossless": lossless,
+        "coverage_base": base.coverage,
+        "coverage_compressed": comp.coverage,
+        "coverage_delta": comp.coverage - base.coverage,
+    }
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenarios", default="1,2,3",
+        help="comma-separated scenario numbers",
+    )
+    parser.add_argument("--runs", type=int, default=50,
+                        help="golden runs concatenated per stream")
+    parser.add_argument("--records-per-frame", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--out", default="BENCH_compress.json")
+    parser.add_argument(
+        "--min-ratio", type=float, default=None,
+        help="fail when any scenario's compression ratio is below this",
+    )
+    parser.add_argument(
+        "--check-against", default=None,
+        help="baseline BENCH_compress.json to compare encode times to",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=10.0,
+        help="fail when encode_s exceeds baseline by this factor "
+        "(encoding is sub-millisecond; the generous default absorbs "
+        "runner noise while catching algorithmic regressions)",
+    )
+    args = parser.parse_args(argv)
+
+    numbers = [int(n) for n in args.scenarios.split(",")]
+    cases = [
+        _bench_case(number, args.runs, args.records_per_frame,
+                    args.repeats)
+        for number in numbers
+    ]
+    payload = {
+        "python": platform.python_version(),
+        "runs": args.runs,
+        "records_per_frame": args.records_per_frame,
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    for case in cases:
+        print(f"{case['name']}: {case['records']} records, "
+              f"ratio {case['ratio']:.2f}x "
+              f"({case['bits_per_record']} bits/record), "
+              f"encode {case['encode_records_per_s']} rec/s, "
+              f"decode {case['decode_records_per_s']} rec/s, "
+              f"coverage {case['coverage_base']:.1%} -> "
+              f"{case['coverage_compressed']:.1%}")
+    print(f"wrote {args.out}")
+
+    status = 0
+    for case in cases:
+        if not case["lossless"]:
+            print(f"FAIL: {case['name']} round trip is not lossless",
+                  file=sys.stderr)
+            status = 1
+        if case["coverage_delta"] < 0:
+            print(f"FAIL: {case['name']} compressed selection lost "
+                  f"coverage ({case['coverage_delta']:.2%})",
+                  file=sys.stderr)
+            status = 1
+    if args.min_ratio is not None:
+        for case in cases:
+            if case["ratio"] < args.min_ratio:
+                print(f"FAIL: {case['name']} ratio {case['ratio']:.2f}x "
+                      f"< required {args.min_ratio:.2f}x",
+                      file=sys.stderr)
+                status = 1
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        by_name = {c["name"]: c for c in baseline.get("cases", ())}
+        for case in cases:
+            base = by_name.get(case["name"])
+            if base is None:
+                continue
+            limit = base["encode_s"] * args.max_slowdown
+            if case["encode_s"] > limit:
+                print(f"FAIL: {case['name']} encoding took "
+                      f"{case['encode_s']:.4f}s, more than "
+                      f"{args.max_slowdown}x the baseline "
+                      f"{base['encode_s']:.4f}s", file=sys.stderr)
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

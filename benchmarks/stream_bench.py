@@ -3,11 +3,14 @@
 Drives N concurrent synthetic debug sessions through the streaming
 service (:func:`repro.stream.run_load_test`) and records the numbers a
 capacity plan needs: aggregate records/sec and p95/max per-feed
-latency.  Stdlib only, so CI can run it with nothing but the package
-on ``PYTHONPATH``::
+latency.  ``--check-against`` turns the run into a regression gate:
+the build fails when throughput falls below the committed baseline by
+more than ``--max-slowdown``.  Stdlib only, so CI can run it with
+nothing but the package on ``PYTHONPATH``::
 
     PYTHONPATH=src python benchmarks/stream_bench.py \
-        --sessions 8 --workers 4 --out BENCH_stream.json
+        --sessions 8 --workers 4 --out BENCH_stream.json \
+        --check-against benchmarks/BENCH_stream_baseline.json
 """
 
 from __future__ import annotations
@@ -32,6 +35,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--instances", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="BENCH_stream.json")
+    parser.add_argument(
+        "--check-against", default=None,
+        help="baseline BENCH_stream.json to compare throughput to",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=20.0,
+        help="fail when records/s falls below baseline divided by this "
+        "factor (the load is sub-millisecond, so the generous default "
+        "absorbs shared-runner noise while catching collapses)",
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments.common import scenario_selection
@@ -66,6 +79,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if set(statuses) != {"closed"}:
         print(f"unexpected session statuses: {statuses}", file=sys.stderr)
         return 1
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        floor = baseline["records_per_s"] / args.max_slowdown
+        if payload["records_per_s"] < floor:
+            print(f"FAIL: {payload['records_per_s']} records/s is below "
+                  f"1/{args.max_slowdown} of the baseline "
+                  f"{baseline['records_per_s']} records/s",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

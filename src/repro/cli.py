@@ -27,6 +27,9 @@ Commands
     Mine candidate flow specifications from a simulated trace corpus
     and score them against ground truth (structural precision/recall
     plus the closed-loop selection comparison).
+``compress``
+    Encode a trace file into the framed compressed bitstream, decode
+    one back (lossless round trip), or print bitstream statistics.
 ``dot``
     Dump a flow (or a scenario's interleaving) as Graphviz DOT.
 ``cache``
@@ -74,21 +77,90 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
+    import json
+
     from repro.selection.selector import MessageSelector
+    from repro.sim.engine import TransactionSimulator
+    from repro.sim.tracebuffer import CompressedTraceBuffer, TraceBuffer
     from repro.soc.t2.scenarios import scenario
 
     sc = scenario(args.scenario, instances=args.instances)
+    budget = None
+    if args.compress:
+        from repro.compress.cost import (
+            EffectiveWidthBudget,
+            cost_model_for_scenario,
+        )
+
+        model = cost_model_for_scenario(
+            args.scenario, instances=args.instances
+        )
+        budget = EffectiveWidthBudget(
+            model, args.buffer, args.depth, guard_band=args.guard_band
+        )
     selector = MessageSelector(
-        sc.interleaved(), args.buffer, subgroups=sc.subgroup_pool
+        sc.interleaved(), args.buffer, subgroups=sc.subgroup_pool,
+        budget=budget,
     )
     result = selector.select(
         method=args.method, packing=not args.no_packing
     )
+    # replay one golden run through the buffer geometry so utilization
+    # reflects overflow, not just entry width
+    records = TransactionSimulator(sc.interleaved(), sc.name).run(
+        seed=0
+    ).records
+    if args.compress:
+        buffer = CompressedTraceBuffer(
+            args.buffer, args.depth, result.traced, scenario=sc.name
+        )
+    else:
+        buffer = TraceBuffer(args.buffer, args.depth, result.traced)
+    buffer.capture(records)
+    stats = buffer.last_stats
+    if args.json:
+        payload = {
+            "scenario": args.scenario,
+            "name": sc.name,
+            "method": result.method,
+            "buffer_width": args.buffer,
+            "buffer_depth": args.depth,
+            "budget_mode": result.budget_mode,
+            "capacity_bits": result.capacity_bits,
+            "cost_bits": result.cost_bits,
+            "guard_band": result.guard_band,
+            "combination": list(result.combination.names()),
+            "packed": [m.name for m in result.packed],
+            "gain": result.gain,
+            "coverage": result.coverage,
+            "utilization": result.utilization,
+            "capture": {
+                "captured": stats.captured,
+                "evicted": stats.evicted,
+                "evicted_frames": stats.evicted_frames,
+                "overwritten_bits": stats.overwritten_bits,
+                "used_bits": stats.used_bits,
+                "capacity_bits": stats.capacity_bits,
+                "utilization": stats.utilization,
+                "overflowed": stats.overflowed,
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"{sc.name}: {sc.description}")
     u = sc.interleaved()
     print(f"interleaved flow: {u.num_states} states, "
           f"{u.num_transitions} transitions, {u.count_paths()} paths")
+    if budget is not None:
+        print(budget.describe())
     print(result.describe())
+    overflow = (
+        f", {stats.evicted} entr(ies) overwritten"
+        if stats.overflowed
+        else ""
+    )
+    print(f"capture (seed 0): {stats.captured} kept, buffer "
+          f"{stats.utilization:.1%} full{overflow}")
     return 0
 
 
@@ -396,6 +468,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from repro import perf
     from repro.selection.selector import MessageSelector
+    from repro.sim.engine import TransactionSimulator
+    from repro.sim.tracebuffer import TraceBuffer
     from repro.soc.t2.scenarios import scenario
 
     sc = scenario(args.scenario, instances=args.instances)
@@ -408,6 +482,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         result = selector.select(
             method=args.method, packing=not args.no_packing
         )
+        # capture one golden run so ring-overwrite pressure
+        # (tracebuffer_evictions / _overwritten_bits) shows up in the
+        # same counter table as the selection stages
+        with perf.timed("capture"):
+            records = TransactionSimulator(u, sc.name).run(seed=0).records
+            TraceBuffer(args.buffer, args.depth, result.traced).capture(
+                records
+            )
     wall = time.perf_counter() - start
     perf.record_profile(
         counters,
@@ -512,6 +594,105 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compress(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.compress import (
+        decode_stream,
+        encode_records,
+        uncompressed_capture_bits,
+    )
+    from repro.sim.tracefile import read_trace_file, write_trace_file
+    from repro.soc.t2.messages import t2_message_catalog
+
+    catalog = dict(t2_message_catalog().messages)
+
+    if args.action == "encode":
+        with open(args.input, encoding="utf-8") as stream:
+            records, scenario_name, seed = read_trace_file(stream, catalog)
+        encoded = encode_records(
+            records,
+            scenario=scenario_name,
+            seed=seed,
+            records_per_frame=args.records_per_frame,
+        )
+        output = args.output or args.input + ".ctrace"
+        with open(output, "wb") as out:
+            out.write(encoded.data)
+        raw_bits = uncompressed_capture_bits(records)
+        print(f"encoded {len(records)} records into {encoded.frame_count} "
+              f"frame(s), {len(encoded.data)} bytes "
+              f"({encoded.ratio_vs(raw_bits):.2f}x vs raw capture)")
+        print(f"wrote {output}")
+        return 0
+
+    with open(args.input, "rb") as stream:
+        data = stream.read()
+    result = decode_stream(data, catalog)
+    for diagnostic in result.diagnostics:
+        print(f"  {diagnostic}", file=sys.stderr)
+
+    if args.action == "decode":
+        if args.output and args.output != "-":
+            with open(args.output, "w", encoding="utf-8") as out:
+                write_trace_file(
+                    out,
+                    result.records,
+                    scenario=result.scenario,
+                    seed=result.seed,
+                )
+            print(f"decoded {len(result.records)} records; "
+                  f"wrote {args.output}")
+        else:
+            write_trace_file(
+                sys.stdout,
+                result.records,
+                scenario=result.scenario,
+                seed=result.seed,
+            )
+        return 0 if not result.diagnostics else 1
+
+    # stats
+    records = result.records
+    raw_bits = uncompressed_capture_bits(records)
+    encoded_bits = len(data) * 8
+    names = sorted({r.message.message.name for r in records})
+    payload = {
+        "input": args.input,
+        "scenario": result.scenario,
+        "seed": result.seed,
+        "records": len(records),
+        "frames_decoded": result.frames_decoded,
+        "records_dropped": result.records_dropped,
+        "diagnostics": len(result.diagnostics),
+        "encoded_bytes": len(data),
+        "encoded_bits": encoded_bits,
+        "raw_capture_bits": raw_bits,
+        "ratio": (raw_bits / encoded_bits) if encoded_bits else 0.0,
+        "bits_per_record": (
+            encoded_bits / len(records) if records else 0.0
+        ),
+        "distinct_messages": names,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.input}: scenario={result.scenario!r} "
+          f"seed={result.seed}")
+    print(f"  records:        {payload['records']} "
+          f"({payload['records_dropped']} dropped)")
+    print(f"  frames decoded: {payload['frames_decoded']}")
+    print(f"  encoded size:   {payload['encoded_bytes']} bytes "
+          f"({payload['bits_per_record']:.1f} bits/record)")
+    print(f"  compression:    {payload['ratio']:.2f}x vs raw capture "
+          f"({raw_bits} bits)")
+    print(f"  messages:       {', '.join(names)}")
+    if result.diagnostics:
+        print(f"  diagnostics:    {len(result.diagnostics)} "
+              "(see stderr)")
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from repro.soc.t2.flows import t2_flows
     from repro.viz import flow_to_dot, interleaved_to_dot
@@ -578,11 +759,23 @@ def build_parser() -> argparse.ArgumentParser:
     select = sub.add_parser("select", help="run message selection")
     select.add_argument("scenario", type=int, choices=(1, 2, 3))
     select.add_argument("--buffer", type=int, default=32)
+    select.add_argument("--depth", type=int, default=64,
+                        help="trace buffer depth in entries")
     select.add_argument("--instances", type=int, default=1)
     select.add_argument(
         "--method", choices=("exhaustive", "knapsack"), default="exhaustive"
     )
     select.add_argument("--no-packing", action="store_true")
+    select.add_argument("--compress", action="store_true",
+                        help="admit combinations by expected encoded "
+                        "bits against the width x depth bit budget "
+                        "instead of worst-case entry width")
+    select.add_argument("--guard-band", type=float, default=0.25,
+                        help="worst-case margin of the compressed "
+                        "budget in [0, 1]")
+    select.add_argument("--json", action="store_true",
+                        help="emit the selection and capture "
+                        "utilization (with overflow) as JSON")
     select.set_defaults(func=_cmd_select)
 
     debug = sub.add_parser("debug", help="replay a debugging case study")
@@ -705,6 +898,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("scenario", type=int, choices=(1, 2, 3))
     profile.add_argument("--buffer", type=int, default=32)
+    profile.add_argument("--depth", type=int, default=64,
+                         help="trace buffer depth for the capture stage")
     profile.add_argument("--instances", type=int, default=1)
     profile.add_argument(
         "--method", choices=("exhaustive", "knapsack"), default="exhaustive"
@@ -737,6 +932,26 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--json", action="store_true",
                       help="emit the evaluation as JSON")
     mine.set_defaults(func=_cmd_mine)
+
+    compress = sub.add_parser(
+        "compress",
+        help="encode/decode/inspect compressed trace bitstreams",
+    )
+    compress.add_argument(
+        "action", choices=("encode", "decode", "stats"),
+        help="encode: trace file -> framed bitstream; decode: bitstream "
+        "-> trace file; stats: bitstream statistics",
+    )
+    compress.add_argument("input", help="input path (text trace for "
+                          "encode, bitstream otherwise)")
+    compress.add_argument("-o", "--output", default=None,
+                          help="output path (encode: default "
+                          "<input>.ctrace; decode: default stdout)")
+    compress.add_argument("--records-per-frame", type=int, default=32,
+                          help="data-frame granularity for encode")
+    compress.add_argument("--json", action="store_true",
+                          help="emit stats as JSON (stats action only)")
+    compress.set_defaults(func=_cmd_compress)
 
     dot = sub.add_parser("dot", help="dump a flow as Graphviz DOT")
     dot.add_argument(

@@ -1,0 +1,87 @@
+"""Trace-buffer compression: codec, framing, and the selection-facing
+cost model.
+
+The paper treats the trace-buffer width as a hard wall: a message
+combination is admissible iff the sum of its widths fits one entry
+(Step 1).  Real post-silicon trace infrastructures stretch that budget
+with on-chip compression; this subsystem models one and feeds it back
+into selection:
+
+* :mod:`repro.compress.framing` -- bit-level primitives: ``BitWriter``
+  / ``BitReader``, nibble varints, and the self-resynchronizing frame
+  format (sync marker, frame header, CRC-16).
+* :mod:`repro.compress.encoder` -- lossless encoding of captured
+  message streams: dictionary message-ID symbols sized by the traced
+  set, varint delta timestamps, run-length suppression of repeated
+  records, sub-group slice packing.
+* :mod:`repro.compress.decoder` -- batch and incremental decode;
+  corrupted frames are skipped (the reader re-synchronizes on the next
+  sync marker) and surfaced as diagnostics.
+* :mod:`repro.compress.cost` -- per-message expected encoded bits
+  estimated from a clean-run corpus (:mod:`repro.mining.corpus`); the
+  ``EffectiveWidthBudget`` replaces the worst-case
+  ``sum(widths) <= W`` admissibility check of Step 1 with a
+  ``width x depth`` bit budget under the cost model, guarded by a
+  configurable worst-case margin.
+
+``decode(encode(trace)) == trace`` is the codec contract,
+property-tested in ``tests/compress/``.
+"""
+
+from repro.compress.framing import (
+    FRAME_DATA,
+    FRAME_HEADER,
+    BitReader,
+    BitWriter,
+    Frame,
+    crc16,
+    read_frames,
+    scan_frames,
+    write_frame,
+)
+from repro.compress.encoder import (
+    EncodedTrace,
+    SymbolTable,
+    TraceEncoder,
+    encode_records,
+    uncompressed_capture_bits,
+)
+from repro.compress.decoder import (
+    DecodeDiagnostic,
+    DecodeResult,
+    IncrementalFrameDecoder,
+    decode_stream,
+)
+from repro.compress.cost import (
+    CompressionCostModel,
+    CostEstimate,
+    EffectiveWidthBudget,
+    WidthBudget,
+    cost_model_for_scenario,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Frame",
+    "FRAME_DATA",
+    "FRAME_HEADER",
+    "crc16",
+    "read_frames",
+    "scan_frames",
+    "write_frame",
+    "EncodedTrace",
+    "SymbolTable",
+    "TraceEncoder",
+    "encode_records",
+    "uncompressed_capture_bits",
+    "DecodeDiagnostic",
+    "DecodeResult",
+    "IncrementalFrameDecoder",
+    "decode_stream",
+    "CompressionCostModel",
+    "CostEstimate",
+    "EffectiveWidthBudget",
+    "WidthBudget",
+    "cost_model_for_scenario",
+]

@@ -1,0 +1,314 @@
+"""Bit-level primitives and the self-resynchronizing frame format.
+
+The codec writes a *framed bitstream*: a sequence of byte-aligned
+frames, each carrying a bit-packed payload behind a sync marker, a
+small header, and a CRC-16.  Frames are the unit of loss -- a
+corrupted byte invalidates exactly the frame it lands in, because the
+reader re-synchronizes by scanning for the next sync marker and every
+data frame is independently decodable (its first timestamp is
+absolute, not a delta).  This mirrors how on-chip trace compressors
+bound error propagation, and it is also the eviction granularity of
+the compressed trace buffer: overflow drops whole frames.
+
+Frame layout (all multi-byte fields big-endian)::
+
+    +------+------+------+---------+---------+-----------+-------+
+    | 0xA5 | 0xC3 | type | seq(16) | len(16) | payload.. | crc16 |
+    +------+------+------+---------+---------+-----------+-------+
+
+``crc16`` (CCITT, init 0xFFFF) covers type, seq, len, and payload.
+Payloads are produced by :class:`BitWriter` (MSB-first bit packing)
+and consumed by :class:`BitReader`; integers of known width are written
+raw, unbounded ones as *nibble varints* (groups of 3 bits, LSB-first,
+with a 1-bit continuation flag -- a delta of 0..7 costs 4 bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import CompressionError
+
+#: Two-byte frame sync marker (chosen for a mixed bit pattern that is
+#: unlikely to appear repeatedly in packed payload data).
+SYNC = b"\xa5\xc3"
+
+#: Frame types.
+FRAME_HEADER = 0  #: stream header: dictionary, scenario label, seed
+FRAME_DATA = 1  #: a batch of encoded records
+
+#: Fixed per-frame overhead in bytes: sync(2) + type(1) + seq(2) +
+#: len(2) + crc(2).
+FRAME_OVERHEAD_BYTES = 9
+
+#: Maximum payload size (the length field is 16 bits).
+MAX_PAYLOAD_BYTES = 0xFFFF
+
+
+class BitWriter:
+    """Packs integers MSB-first into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0  # bits accumulated, MSB-first
+        self._nacc = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far (before padding)."""
+        return len(self._bytes) * 8 + self._nacc
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the *nbits* low bits of *value* (MSB first)."""
+        if nbits < 0:
+            raise CompressionError(f"negative bit count {nbits}")
+        if value < 0 or (nbits < value.bit_length()):
+            raise CompressionError(
+                f"value {value} does not fit in {nbits} bits"
+            )
+        self._acc = (self._acc << nbits) | value
+        self._nacc += nbits
+        while self._nacc >= 8:
+            self._nacc -= 8
+            self._bytes.append((self._acc >> self._nacc) & 0xFF)
+        self._acc &= (1 << self._nacc) - 1
+
+    def write_varint(self, value: int) -> None:
+        """Nibble varint: 3 payload bits per group, LSB-first, with a
+        continuation bit ahead of each group."""
+        if value < 0:
+            raise CompressionError(f"varint value must be >= 0: {value}")
+        while True:
+            group = value & 0x7
+            value >>= 3
+            self.write(1 if value else 0, 1)
+            self.write(group, 3)
+            if not value:
+                return
+
+    def write_zigzag(self, value: int) -> None:
+        """Signed varint via zigzag mapping (0, -1, 1, -2, ...)."""
+        self.write_varint(value << 1 if value >= 0 else ((-value) << 1) - 1)
+
+    def write_bytes(self, data: bytes) -> None:
+        for byte in data:
+            self.write(byte, 8)
+
+    def getvalue(self) -> bytes:
+        """The packed bytes, zero-padded to a whole byte."""
+        out = bytearray(self._bytes)
+        if self._nacc:
+            out.append((self._acc << (8 - self._nacc)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads integers MSB-first from a byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read(self, nbits: int) -> int:
+        if nbits < 0:
+            raise CompressionError(f"negative bit count {nbits}")
+        if nbits > self.bits_remaining:
+            raise CompressionError(
+                f"bitstream exhausted: wanted {nbits} bits, "
+                f"{self.bits_remaining} left"
+            )
+        value = 0
+        pos = self._pos
+        for _ in range(nbits):
+            byte = self._data[pos >> 3]
+            value = (value << 1) | ((byte >> (7 - (pos & 7))) & 1)
+            pos += 1
+        self._pos = pos
+        return value
+
+    def read_varint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            more = self.read(1)
+            value |= self.read(3) << shift
+            shift += 3
+            if not more:
+                return value
+            if shift > 96:  # corrupt stream guard
+                raise CompressionError("runaway varint")
+
+    def read_zigzag(self) -> int:
+        raw = self.read_varint()
+        return (raw >> 1) if not (raw & 1) else -((raw + 1) >> 1)
+
+    def read_bytes(self, count: int) -> bytes:
+        return bytes(self.read(8) for _ in range(count))
+
+
+def varint_bits(value: int) -> int:
+    """Encoded size of ``write_varint(value)`` in bits (cost model)."""
+    if value < 0:
+        raise CompressionError(f"varint value must be >= 0: {value}")
+    groups = 1
+    value >>= 3
+    while value:
+        groups += 1
+        value >>= 3
+    return groups * 4
+
+
+def crc16(data: bytes, crc: int = 0xFFFF) -> int:
+    """CRC-16/CCITT-FALSE over *data*."""
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1)
+            crc &= 0xFFFF
+    return crc
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its type, sequence number, and payload."""
+
+    frame_type: int
+    seq: int
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """On-wire size including sync, header, and CRC."""
+        return FRAME_OVERHEAD_BYTES + len(self.payload)
+
+    @property
+    def size_bits(self) -> int:
+        return self.size_bytes * 8
+
+
+def write_frame(frame_type: int, seq: int, payload: bytes) -> bytes:
+    """Serialize one frame (sync + header + payload + CRC)."""
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise CompressionError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    header = bytes(
+        (frame_type, (seq >> 8) & 0xFF, seq & 0xFF,
+         (len(payload) >> 8) & 0xFF, len(payload) & 0xFF)
+    )
+    body = header + payload
+    crc = crc16(body)
+    return SYNC + body + bytes(((crc >> 8) & 0xFF, crc & 0xFF))
+
+
+def _try_parse(data: bytes, start: int) -> Tuple[Frame, int]:
+    """Parse the frame whose sync marker starts at *start*.
+
+    Returns ``(frame, end_offset)``.  Raises :class:`CompressionError`
+    on CRC mismatch and :class:`IndexError`-free truncation detection
+    via a ``CompressionError`` with ``"incomplete"`` in the message.
+    """
+    if len(data) - start < FRAME_OVERHEAD_BYTES:
+        raise CompressionError("incomplete frame header")
+    base = start + len(SYNC)
+    frame_type = data[base]
+    seq = (data[base + 1] << 8) | data[base + 2]
+    length = (data[base + 3] << 8) | data[base + 4]
+    end = start + FRAME_OVERHEAD_BYTES + length
+    if len(data) < end:
+        raise CompressionError("incomplete frame payload")
+    body = data[base:base + 5 + length]
+    stored = (data[end - 2] << 8) | data[end - 1]
+    if crc16(body) != stored:
+        raise CompressionError(
+            f"frame CRC mismatch at byte {start} "
+            f"(stored {stored:#06x}, computed {crc16(body):#06x})"
+        )
+    return Frame(frame_type, seq, bytes(body[5:])), end
+
+
+def scan_frames(
+    data: bytes, eof: bool = True
+) -> Tuple[List[Frame], int, List[str]]:
+    """Extract complete frames from *data*, resynchronizing past junk.
+
+    Returns ``(frames, consumed, diagnostics)`` where *consumed* is the
+    number of leading bytes fully processed (an incremental caller keeps
+    ``data[consumed:]`` for the next chunk).  With ``eof=False`` a
+    trailing partial frame is left unconsumed; with ``eof=True`` it is
+    reported as a diagnostic and consumed.
+
+    Corruption handling: a sync-marker hit whose frame fails its CRC
+    (or is truncated mid-stream) is skipped one byte at a time until
+    the next plausible sync -- decode is self-resynchronizing.
+    """
+    frames: List[Frame] = []
+    diagnostics: List[str] = []
+    pos = 0
+    skipped_from = None
+    while True:
+        sync_at = data.find(SYNC, pos)
+        if sync_at < 0:
+            # no sync ahead: everything up to the last possible marker
+            # prefix is junk
+            tail = max(len(data) - (len(SYNC) - 1), pos)
+            if eof:
+                tail = len(data)
+            if tail > pos and skipped_from is None:
+                skipped_from = pos
+            pos = tail
+            break
+        if sync_at > pos and skipped_from is None:
+            skipped_from = pos
+        try:
+            frame, end = _try_parse(data, sync_at)
+        except CompressionError as exc:
+            if "incomplete" in str(exc) and not eof:
+                # wait for more bytes; report junk before the marker
+                if skipped_from is not None:
+                    diagnostics.append(
+                        f"skipped {sync_at - skipped_from} byte(s) "
+                        f"before offset {sync_at}"
+                    )
+                    skipped_from = None
+                pos = sync_at
+                break
+            # corrupt or truncated-at-eof: treat the marker as junk and
+            # resume the scan one byte later
+            if skipped_from is None:
+                skipped_from = sync_at
+            if "incomplete" in str(exc) and eof:
+                diagnostics.append(
+                    f"dropped incomplete frame at byte {sync_at}"
+                )
+                skipped_from = None
+                pos = len(data)
+                break
+            diagnostics.append(str(exc))
+            pos = sync_at + 1
+            continue
+        if skipped_from is not None:
+            diagnostics.append(
+                f"skipped {sync_at - skipped_from} byte(s) before "
+                f"offset {sync_at}"
+            )
+            skipped_from = None
+        frames.append(frame)
+        pos = end
+    if skipped_from is not None and pos > skipped_from:
+        diagnostics.append(
+            f"skipped {pos - skipped_from} trailing byte(s)"
+        )
+    return frames, pos, diagnostics
+
+
+def read_frames(data: bytes) -> Iterator[Frame]:
+    """All complete, CRC-valid frames of *data* (junk skipped)."""
+    frames, _, _ = scan_frames(data, eof=True)
+    return iter(frames)

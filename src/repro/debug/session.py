@@ -27,7 +27,7 @@ from repro.debug.rootcause import PruningResult, RootCause, prune_causes
 from repro.errors import DebugSessionError
 from repro.selection.localization import LocalizationResult, PathLocalizer
 from repro.sim.engine import TransactionSimulator
-from repro.sim.tracebuffer import TraceBuffer
+from repro.sim.tracebuffer import CompressedTraceBuffer, TraceBuffer
 from repro.soc.t2.scenarios import UsageScenario
 
 
@@ -106,6 +106,11 @@ class DebugSession:
         The scenario's potential root causes.
     buffer_width, buffer_depth:
         Trace buffer geometry.
+    compress:
+        Capture through a :class:`~repro.sim.tracebuffer.
+        CompressedTraceBuffer` instead of the paper's uncompressed
+        buffer -- required when the traced set (e.g. from an
+        effective-width selection) exceeds the entry width.
     """
 
     def __init__(
@@ -117,11 +122,20 @@ class DebugSession:
         buffer_depth: int = 1024,
         min_delay: int = 1,
         max_delay: int = 64,
+        compress: bool = False,
     ) -> None:
         self.scenario = scenario
         self.traced: Tuple[Message, ...] = tuple(sorted(set(traced)))
         self.causes = tuple(causes)
-        self.buffer = TraceBuffer(buffer_width, buffer_depth, self.traced)
+        if compress:
+            self.buffer = CompressedTraceBuffer(
+                buffer_width, buffer_depth, self.traced,
+                scenario=scenario.name,
+            )
+        else:
+            self.buffer = TraceBuffer(
+                buffer_width, buffer_depth, self.traced
+            )
         self.interleaved = scenario.interleaved()  # memoized on the scenario
         self.simulator = TransactionSimulator(
             self.interleaved,

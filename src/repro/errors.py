@@ -73,6 +73,11 @@ class OrchestrationError(ReproError):
     """Parallel task execution failed (timeout, worker crash, ...)."""
 
 
+class CompressionError(ReproError):
+    """Trace-stream encoding or decoding failed (value too wide for its
+    dictionary slot, malformed frame, corrupt bitstream, ...)."""
+
+
 class MiningError(ReproError):
     """Flow-specification mining failed (empty corpus, a mined message
     missing from the catalog, no sequence above the support

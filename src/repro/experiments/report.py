@@ -52,6 +52,12 @@ _PAPER_NOTES = {
               "specs. This table scores specs mined from simulated "
               "trace corpora (AutoFlows++-style) both structurally "
               "and as drop-in selection inputs.",
+    "Compression": "No paper counterpart: the paper's Step 1 treats "
+                   "the buffer width as a hard wall. This table "
+                   "re-runs selection under a compression-aware "
+                   "width x depth bit budget at the same physical "
+                   "geometry and reports the coverage/localization "
+                   "gained.",
 }
 
 
@@ -71,6 +77,7 @@ ARTIFACT_TITLES = {
     "reconstruction": "Reconstruction",
     "headline": "Headline",
     "mining": "Mining",
+    "compression": "Compression",
 }
 
 
@@ -123,6 +130,11 @@ def render_artifact(
     if name == "mining":
         from repro.experiments.mining_eval import format_mining_eval
         return format_mining_eval(instances)
+    if name == "compression":
+        from repro.experiments.compression_eval import (
+            format_compression_eval,
+        )
+        return format_compression_eval(instances)
     raise KeyError(
         f"unknown artifact {name!r}; choose from "
         f"{', '.join(ARTIFACT_TITLES)}"

@@ -9,10 +9,13 @@ yields six of the seven non-empty subsets.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.message import Message, MessageCombination
 from repro.errors import SelectionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compress.cost import EffectiveWidthBudget
 
 #: Enumerating all subsets of more messages than this is refused --
 #: use the knapsack selector instead (see DESIGN.md, "Additivity").
@@ -23,6 +26,7 @@ def feasible_combinations(
     messages: Iterable[Message],
     buffer_width: int,
     include_empty: bool = False,
+    budget: Optional["EffectiveWidthBudget"] = None,
 ) -> Iterator[MessageCombination]:
     """Lazily enumerate combinations with ``W(M) <= buffer_width``.
 
@@ -38,6 +42,13 @@ def feasible_combinations(
     include_empty:
         Whether to yield the empty combination (excluded by default --
         it is never a useful tracing candidate).
+    budget:
+        Optional compression-aware bit budget
+        (:class:`repro.compress.cost.EffectiveWidthBudget`).  When
+        given, a combination is feasible iff the sum of its expected
+        *encoded* bits fits ``budget.capacity_bits`` -- the per-message
+        cost stays additive (see the cost-model module docs), so the
+        same depth-first pruning applies unchanged.
 
     Raises
     ------
@@ -56,6 +67,12 @@ def feasible_combinations(
             f"enumeration (limit {MAX_EXHAUSTIVE_MESSAGES}); use the "
             "knapsack selector"
         )
+    if budget is None:
+        capacity = buffer_width
+        cost_of = _message_width
+    else:
+        capacity = budget.capacity_bits
+        cost_of = budget.message_cost_bits
     if include_empty:
         yield MessageCombination()
 
@@ -64,21 +81,30 @@ def feasible_combinations(
     ) -> Iterator[MessageCombination]:
         for position in range(start, len(pool)):
             candidate = pool[position]
-            width = used + candidate.width
-            if width > buffer_width:
+            cost = used + cost_of(candidate)
+            if cost > capacity:
                 continue
             combo = chosen + (candidate,)
             yield MessageCombination(combo)
-            yield from extend(position + 1, combo, width)
+            yield from extend(position + 1, combo, cost)
 
     yield from extend(0, (), 0)
 
 
+def _message_width(message: Message) -> int:
+    """Per-message cost of the paper's worst-case width rule."""
+    return message.width
+
+
 def count_feasible_combinations(
-    messages: Iterable[Message], buffer_width: int
+    messages: Iterable[Message],
+    buffer_width: int,
+    budget: Optional["EffectiveWidthBudget"] = None,
 ) -> int:
     """Number of non-empty feasible combinations (for reporting)."""
-    return sum(1 for _ in feasible_combinations(messages, buffer_width))
+    return sum(
+        1 for _ in feasible_combinations(messages, buffer_width, budget=budget)
+    )
 
 
 def widest_feasible(

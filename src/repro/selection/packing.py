@@ -11,11 +11,14 @@ until nothing else fits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.information import InformationModel
 from repro.core.message import Message, MessageCombination
 from repro.errors import SelectionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compress.cost import EffectiveWidthBudget
 
 #: Gain policies for a sub-group relative to its parent message.
 #: ``"proportional"`` scales the parent's contribution by the fraction
@@ -73,6 +76,7 @@ def pack_trace_buffer(
     buffer_width: int,
     subgroups: Iterable[Message],
     policy: str = "proportional",
+    budget: Optional["EffectiveWidthBudget"] = None,
 ) -> PackingResult:
     """Greedily pack *subgroups* into the leftover buffer width.
 
@@ -90,20 +94,34 @@ def pack_trace_buffer(
         skipped.
     policy:
         Gain-credit policy, see :data:`SUBGROUP_POLICIES`.
+    budget:
+        Optional compression-aware bit budget.  When given, leftover
+        space and per-group cost are measured in expected encoded bits
+        against ``budget.capacity_bits`` instead of physical entry
+        width (a packed slice then costs what its encoded occurrences
+        cost, not its raw width).
 
     Returns
     -------
     PackingResult
-        Packed groups, the gain of the union, and the remaining bits.
+        Packed groups, the gain of the union, and the remaining bits
+        (budget bits when a budget is given).
     """
-    if base.total_width > buffer_width:
+    if budget is None:
+        cost_of = lambda m: m.width  # noqa: E731 - tiny local adapter
+        capacity = buffer_width
+    else:
+        cost_of = budget.message_cost_bits
+        capacity = budget.capacity_bits
+    base_cost = sum(cost_of(m) for m in base)
+    if base_cost > capacity:
         raise SelectionError(
-            f"base combination ({base.total_width} bits) exceeds the "
-            f"{buffer_width}-bit trace buffer"
+            f"base combination ({base_cost} bits) exceeds the "
+            f"{capacity}-bit trace buffer budget"
         )
     parents = {m.name: m for m in model.interleaved.messages}
     selected_names: Set[str] = {m.name for m in base}
-    leftover = buffer_width - base.total_width
+    leftover = capacity - base_cost
     packed: List[Message] = []
     gain = model.gain(base)
 
@@ -112,7 +130,7 @@ def pack_trace_buffer(
         best: Optional[Message] = None
         best_gain = 0.0
         for group in candidates:
-            if group.width > leftover:
+            if cost_of(group) > leftover:
                 continue
             if group.name in selected_names:
                 continue
@@ -126,7 +144,7 @@ def pack_trace_buffer(
             break
         packed.append(best)
         selected_names.add(best.name)
-        leftover -= best.width
+        leftover -= cost_of(best)
         gain += best_gain
         candidates.remove(best)
 

@@ -20,9 +20,12 @@ Two equivalent Step-2 engines are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro import perf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compress.cost import EffectiveWidthBudget
 from repro.core.coverage import flow_specification_coverage
 from repro.core.information import InformationModel
 from repro.core.interleave import InterleavedFlow
@@ -59,6 +62,18 @@ class SelectionResult:
         Trace buffer width the selection was made for.
     method:
         Step-2 engine used (``"exhaustive"`` or ``"knapsack"``).
+    budget_mode:
+        Admissibility rule used in Steps 1 and 3: ``"width"`` (the
+        paper's worst-case ``sum(widths) <= W``) or ``"effective"``
+        (compression-aware bit budget,
+        :class:`repro.compress.cost.EffectiveWidthBudget`).
+    capacity_bits:
+        Total bit budget of the effective mode (``0`` in width mode).
+    cost_bits:
+        Estimated encoded bits of the traced set against that budget
+        (``0`` in width mode).
+    guard_band:
+        Worst-case guard band of the effective budget.
     """
 
     combination: MessageCombination
@@ -67,6 +82,10 @@ class SelectionResult:
     coverage: float
     buffer_width: int
     method: str
+    budget_mode: str = "width"
+    capacity_bits: int = 0
+    cost_bits: int = 0
+    guard_band: float = 0.0
 
     @property
     def traced(self) -> MessageCombination:
@@ -80,7 +99,13 @@ class SelectionResult:
 
     @property
     def utilization(self) -> float:
-        """Trace buffer utilization in ``[0, 1]``."""
+        """Trace buffer utilization in ``[0, 1]``.
+
+        Width mode: occupied entry bits over entry width.  Effective
+        mode: estimated encoded bits over the physical bit budget.
+        """
+        if self.budget_mode == "effective" and self.capacity_bits:
+            return self.cost_bits / self.capacity_bits
         return self.total_width / self.buffer_width
 
     def describe(self) -> str:
@@ -90,11 +115,18 @@ class SelectionResult:
             if self.packed
             else ""
         )
+        if self.budget_mode == "effective" and self.capacity_bits:
+            bits = (
+                f"~{self.cost_bits}/{self.capacity_bits} encoded bits, "
+                f"guard band {self.guard_band:.0%}"
+            )
+        else:
+            bits = f"{self.total_width}/{self.buffer_width} bits"
         return (
             f"{{{', '.join(self.combination.names())}}}{packed}: "
             f"gain={self.gain:.4f}, coverage={self.coverage:.2%}, "
             f"utilization={self.utilization:.2%} "
-            f"({self.total_width}/{self.buffer_width} bits)"
+            f"({bits})"
         )
 
 
@@ -112,6 +144,14 @@ class MessageSelector:
     subgroup_policy:
         Gain-credit policy for packed groups
         (:data:`repro.selection.packing.SUBGROUP_POLICIES`).
+    budget:
+        Optional compression-aware bit budget
+        (:class:`repro.compress.cost.EffectiveWidthBudget`).  When
+        given, Steps 1-3 admit combinations by expected *encoded* bits
+        against the buffer's physical ``width x depth`` budget instead
+        of the worst-case per-entry width rule; messages wider than
+        one buffer entry become candidates (the codec spreads them
+        over the bit budget).
     """
 
     def __init__(
@@ -120,6 +160,7 @@ class MessageSelector:
         buffer_width: int,
         subgroups: Iterable[Message] = (),
         subgroup_policy: str = "proportional",
+        budget: Optional["EffectiveWidthBudget"] = None,
     ) -> None:
         if buffer_width <= 0:
             raise SelectionError(
@@ -129,6 +170,7 @@ class MessageSelector:
         self.buffer_width = buffer_width
         self.subgroups: Tuple[Message, ...] = tuple(sorted(set(subgroups)))
         self.subgroup_policy = subgroup_policy
+        self.budget = budget
         with perf.timed("information_model"):
             self.model = InformationModel(interleaved)
         # sub-group -> parent expansion map, shared by every coverage
@@ -160,11 +202,23 @@ class MessageSelector:
                 self.buffer_width,
                 self.subgroups,
                 policy=self.subgroup_policy,
+                budget=self.budget,
             )
             packed = result.packed
             gain = result.gain
         traced = MessageCombination(tuple(combination) + packed)
         coverage = self.coverage(traced)
+        if self.budget is None:
+            budget_fields = {}
+        else:
+            budget_fields = dict(
+                budget_mode=self.budget.mode,
+                capacity_bits=self.budget.capacity_bits,
+                cost_bits=sum(
+                    self.budget.message_cost_bits(m) for m in traced
+                ),
+                guard_band=self.budget.guard_band,
+            )
         return SelectionResult(
             combination=combination,
             packed=packed,
@@ -172,6 +226,7 @@ class MessageSelector:
             coverage=coverage,
             buffer_width=self.buffer_width,
             method=method,
+            **budget_fields,
         )
 
     def evaluate(self, combination: Iterable[Message]) -> Tuple[float, float]:
@@ -194,7 +249,19 @@ class MessageSelector:
     # step 2 engines
     # ------------------------------------------------------------------
     def _candidate_pool(self) -> List[Message]:
-        """Scenario messages that individually fit the buffer."""
+        """Scenario messages that individually fit the buffer.
+
+        Under an effective budget, "fit" means the message's expected
+        encoded bits fit the bit budget -- a message wider than one
+        physical entry is still a candidate.
+        """
+        if self.budget is not None:
+            budget = self.budget
+            return sorted(
+                m
+                for m in self.interleaved.messages
+                if budget.message_cost_bits(m) <= budget.capacity_bits
+            )
         return sorted(
             m for m in self.interleaved.messages if m.width <= self.buffer_width
         )
@@ -212,7 +279,7 @@ class MessageSelector:
         scored = 0
         with perf.timed("select_exhaustive"):
             for combo in feasible_combinations(
-                self._candidate_pool(), self.buffer_width
+                self._candidate_pool(), self.buffer_width, budget=self.budget
             ):
                 scored += 1
                 gain = self.model.gain(combo)
@@ -236,7 +303,8 @@ class MessageSelector:
         return best, best_key[0]
 
     def _select_knapsack(self) -> Tuple[MessageCombination, float]:
-        """Exact 0/1 knapsack: weights = bit widths, values = additive
+        """Exact 0/1 knapsack: weights = bit widths (or expected
+        encoded bits under an effective budget), values = additive
         per-message gain contributions."""
         pool = self._candidate_pool()
         if not pool:
@@ -244,7 +312,12 @@ class MessageSelector:
                 "no message fits the trace buffer "
                 f"({self.buffer_width} bits)"
             )
-        capacity = self.buffer_width
+        if self.budget is not None:
+            capacity = self.budget.capacity_bits
+            cost_of = self.budget.message_cost_bits
+        else:
+            capacity = self.buffer_width
+            cost_of = _message_width
         # dp[c] = best (gain, width, inverted-names, chosen) with width <= c
         empty = (0.0, 0, (), ())
         dp: List[Tuple[float, int, Tuple[str, ...], Tuple[Message, ...]]] = [
@@ -253,11 +326,12 @@ class MessageSelector:
         dp_steps = 0
         with perf.timed("select_knapsack"):
             for item in pool:
-                dp_steps += max(0, capacity - item.width + 1)
-                for c in range(capacity, item.width - 1, -1):
-                    gain, used, _, chosen = dp[c - item.width]
+                item_cost = cost_of(item)
+                dp_steps += max(0, capacity - item_cost + 1)
+                for c in range(capacity, item_cost - 1, -1):
+                    gain, used, _, chosen = dp[c - item_cost]
                     cand_gain = gain + self.model.message_contribution(item)
-                    cand_width = used + item.width
+                    cand_width = used + item_cost
                     cand_chosen = chosen + (item,)
                     cand = (
                         cand_gain,
@@ -276,6 +350,11 @@ class MessageSelector:
         return MessageCombination(chosen), gain
 
 
+def _message_width(message: Message) -> int:
+    """Per-message cost of the paper's worst-case width rule."""
+    return message.width
+
+
 def _inverted_names(messages: Iterable[Message]) -> Tuple[str, ...]:
     """Sort key that prefers lexicographically *smaller* name sets when
     compared with ``>`` (each character's code point is negated)."""
@@ -292,6 +371,7 @@ def select_messages(
     method: str = "knapsack",
     packing: bool = True,
     subgroup_policy: str = "proportional",
+    budget: Optional["EffectiveWidthBudget"] = None,
 ) -> SelectionResult:
     """Functional one-shot wrapper around :class:`MessageSelector`."""
     selector = MessageSelector(
@@ -299,5 +379,6 @@ def select_messages(
         buffer_width,
         subgroups=subgroups,
         subgroup_policy=subgroup_policy,
+        budget=budget,
     )
     return selector.select(method=method, packing=packing)

@@ -21,7 +21,12 @@ from repro.sim.engine import (
     TraceRecord,
     Symptom,
 )
-from repro.sim.tracebuffer import TraceBuffer, CapturedMessage
+from repro.sim.tracebuffer import (
+    CapturedMessage,
+    CaptureStats,
+    CompressedTraceBuffer,
+    TraceBuffer,
+)
 from repro.sim.monitors import SignalMonitor, run_monitors
 from repro.sim.tracefile import write_trace_file, read_trace_file
 from repro.sim.testbench import RegressionTest, regression_suite
@@ -33,6 +38,8 @@ __all__ = [
     "Symptom",
     "TraceBuffer",
     "CapturedMessage",
+    "CaptureStats",
+    "CompressedTraceBuffer",
     "SignalMonitor",
     "run_monitors",
     "write_trace_file",

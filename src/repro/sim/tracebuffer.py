@@ -6,13 +6,29 @@ buffer fits the width; the buffer itself enforces that invariant,
 masks sub-group captures down to their slice of the parent payload, and
 keeps only the most recent *depth* entries (ring-buffer semantics, the
 usual silicon behaviour).
+
+Two capture models are provided:
+
+* :class:`TraceBuffer` -- the paper's uncompressed buffer: one entry
+  per captured message (or beat), ring overwrite past *depth*.
+* :class:`CompressedTraceBuffer` -- the same filtering and masking in
+  front of the :mod:`repro.compress` codec: captures are encoded into
+  framed bitstream bits against the physical ``width x depth`` bit
+  budget, and overflow evicts whole *frames* (oldest first) instead of
+  single entries.
+
+Both models report ring-overwrite pressure -- entries or frames
+evicted, payload bits overwritten -- through their ``last_stats``
+attribute and the :mod:`repro.perf` stage counters, so ``repro
+profile`` shows how much history a given geometry actually retains.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.core.message import IndexedMessage, Message
 from repro.errors import TraceBufferError
 from repro.sim.engine import TraceRecord
@@ -36,6 +52,48 @@ class CapturedMessage:
     def is_partial(self) -> bool:
         """Whether only a slice of the message was captured."""
         return self.captured_as.name != self.message.message.name
+
+
+@dataclass(frozen=True)
+class CaptureStats:
+    """Ring-overwrite accounting of one :meth:`capture` call.
+
+    Attributes
+    ----------
+    captured:
+        Entries that survived in the buffer.
+    evicted:
+        Entries overwritten by the ring (or lost to frame eviction in
+        compressed mode).
+    overwritten_bits:
+        Physical bits of buffer history those evictions destroyed.
+    capacity_bits:
+        The buffer's physical bit budget (``width x depth``).
+    used_bits:
+        Bits the surviving capture occupies.
+    evicted_frames:
+        Whole frames dropped (compressed mode only; ``0`` otherwise).
+    """
+
+    captured: int
+    evicted: int
+    overwritten_bits: int
+    capacity_bits: int
+    used_bits: int
+    evicted_frames: int = 0
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether the capture stream outgrew the buffer."""
+        return self.evicted > 0
+
+    @property
+    def utilization(self) -> float:
+        """Occupied fraction of the physical bit budget, with overflow
+        pinned to 1.0 (the buffer cannot be more than full)."""
+        if self.capacity_bits == 0:
+            return 0.0
+        return min(1.0, self.used_bits / self.capacity_bits)
 
 
 class TraceBuffer:
@@ -75,6 +133,8 @@ class TraceBuffer:
         for m in self.traced:
             if m.parent is not None and m.parent not in self._full:
                 self._partial[m.parent] = m
+        #: Overwrite accounting of the most recent :meth:`capture`.
+        self.last_stats: Optional[CaptureStats] = None
 
     @property
     def utilization(self) -> float:
@@ -137,4 +197,164 @@ class TraceBuffer:
                         value=record.value & mask,
                     )
                 )
-        return tuple(captured[-self.depth:])
+        evicted = max(0, len(captured) - self.depth)
+        kept = tuple(captured[-self.depth:])
+        self.last_stats = CaptureStats(
+            captured=len(kept),
+            evicted=evicted,
+            overwritten_bits=evicted * self.width,
+            capacity_bits=self.width * self.depth,
+            used_bits=len(kept) * self.width,
+        )
+        if evicted:
+            perf.add("tracebuffer_evictions", evicted)
+            perf.add("tracebuffer_overwritten_bits", evicted * self.width)
+        return kept
+
+
+class CompressedTraceBuffer:
+    """A ``width x depth`` buffer capturing *encoded* message streams.
+
+    Same filtering and sub-group masking as :class:`TraceBuffer`, but
+    captures pass through the :mod:`repro.compress` codec and are
+    charged their real encoded bits against the physical
+    ``width * depth`` bit budget.  The traced set may therefore exceed
+    the entry width -- including individual messages wider than one
+    entry, which the uncompressed buffer cannot hold at all.
+
+    Overflow semantics follow the framed bitstream: the buffer evicts
+    the *oldest whole data frames* until the surviving stream (header
+    frame included) fits the budget -- the hardware analogue of
+    dropping sync-delimited compression blocks rather than tearing one
+    mid-record.
+
+    Parameters
+    ----------
+    width, depth:
+        Physical geometry; the bit budget is their product.
+    traced:
+        The traced set -- plain messages and/or sub-groups; unlike
+        :class:`TraceBuffer` there is no per-entry width constraint.
+    records_per_frame:
+        Eviction granularity (records per encoded frame).  Smaller
+        frames lose less history per eviction but pay more framing
+        overhead.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        traced: Iterable[Message],
+        records_per_frame: int = 8,
+        scenario: str = "",
+        seed: int = 0,
+    ) -> None:
+        if width <= 0:
+            raise TraceBufferError(f"width must be positive, got {width}")
+        if depth <= 0:
+            raise TraceBufferError(f"depth must be positive, got {depth}")
+        # deferred so `import repro.sim` stays free of the compress /
+        # mining / runtime stack
+        from repro.compress.encoder import TraceEncoder, slice_widths_for
+
+        self.width = width
+        self.depth = depth
+        self.capacity_bits = width * depth
+        self.traced: Tuple[Message, ...] = tuple(sorted(set(traced)))
+        self._full: Dict[str, Message] = {
+            m.name: m for m in self.traced if m.parent is None
+        }
+        self._partial: Dict[str, Message] = {}
+        for m in self.traced:
+            if m.parent is not None and m.parent not in self._full:
+                self._partial[m.parent] = m
+        self._encoder = TraceEncoder(
+            scenario=scenario,
+            seed=seed,
+            slice_widths=slice_widths_for(self.traced),
+            records_per_frame=records_per_frame,
+        )
+        #: Overwrite accounting of the most recent :meth:`capture`.
+        self.last_stats: Optional[CaptureStats] = None
+        #: Surviving framed bitstream of the most recent capture
+        #: (header frame + un-evicted data frames) -- what a debugger
+        #: would read back off-chip and feed to the decoder.
+        self.last_bitstream: bytes = b""
+
+    def visible_count(self, records: Sequence[TraceRecord]) -> int:
+        """How many of *records* the buffer would capture if its bit
+        budget were unbounded."""
+        return sum(
+            1
+            for r in records
+            if r.message.message.name in self._full
+            or r.message.message.name in self._partial
+        )
+
+    def capture(
+        self, records: Sequence[TraceRecord]
+    ) -> Tuple[CapturedMessage, ...]:
+        """Filter, mask, encode, and ring-evict a record stream."""
+        filtered: List[TraceRecord] = []
+        captured: List[CapturedMessage] = []
+        for record in records:
+            name = record.message.message.name
+            if name in self._full:
+                traced = self._full[name]
+                value = record.value
+            elif name in self._partial:
+                traced = self._partial[name]
+                value = record.value & ((1 << traced.width) - 1)
+            else:
+                continue
+            filtered.append(
+                TraceRecord(
+                    cycle=record.cycle, message=record.message, value=value
+                )
+            )
+            captured.append(
+                CapturedMessage(
+                    cycle=record.cycle,
+                    message=record.message,
+                    captured_as=traced,
+                    value=value,
+                )
+            )
+        encoded = self._encoder.encode(filtered)
+        budget = self.capacity_bits - encoded.header_bits
+        spans = list(encoded.spans)
+        used_bits = sum(s.size_bits for s in spans)
+        evicted_frames = 0
+        evicted_records = 0
+        overwritten_bits = 0
+        while spans and used_bits > budget:
+            oldest = spans.pop(0)
+            used_bits -= oldest.size_bits
+            evicted_frames += 1
+            evicted_records += oldest.record_count
+            overwritten_bits += oldest.size_bits
+        first = spans[0].start if spans else len(captured)
+        kept = tuple(captured[first:])
+        # surviving bitstream: header + un-evicted frames (frames are
+        # laid out sequentially after the header)
+        offset = encoded.header_bits // 8
+        skip = sum(
+            s.size_bits // 8 for s in encoded.spans[:evicted_frames]
+        )
+        self.last_bitstream = (
+            encoded.data[:offset] + encoded.data[offset + skip:]
+        )
+        self.last_stats = CaptureStats(
+            captured=len(kept),
+            evicted=evicted_records,
+            overwritten_bits=overwritten_bits,
+            capacity_bits=self.capacity_bits,
+            used_bits=encoded.header_bits + used_bits,
+            evicted_frames=evicted_frames,
+        )
+        if evicted_records:
+            perf.add("tracebuffer_evictions", evicted_records)
+            perf.add("tracebuffer_overwritten_bits", overwritten_bits)
+            perf.add("tracebuffer_evicted_frames", evicted_frames)
+        return kept

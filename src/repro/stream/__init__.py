@@ -12,7 +12,11 @@ localization (the service layer over Section 5.2).
 """
 
 from repro.stream.incremental import IncrementalLocalizer
-from repro.stream.ingest import IncrementalTraceParser, ParseDiagnostic
+from repro.stream.ingest import (
+    CompressedTraceIngester,
+    IncrementalTraceParser,
+    ParseDiagnostic,
+)
 from repro.stream.service import (
     LoadTestReport,
     SessionOutcome,
@@ -29,6 +33,7 @@ from repro.stream.session import (
 )
 
 __all__ = [
+    "CompressedTraceIngester",
     "IncrementalLocalizer",
     "IncrementalTraceParser",
     "ParseDiagnostic",

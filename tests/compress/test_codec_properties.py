@@ -1,0 +1,171 @@
+"""The codec contract: ``decode(encode(trace)) == trace``, batch and
+incremental, plus graceful degradation under corruption."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.decoder import IncrementalFrameDecoder, decode_stream
+from repro.compress.encoder import encode_records
+from repro.core.message import IndexedMessage, Message
+from repro.sim.engine import TraceRecord
+
+_CATALOG = {
+    "narrow": Message("narrow", 1),
+    "byte": Message("byte", 8),
+    "wide": Message("wide", 42),
+    "parent": Message("parent", 16),
+    "parent_lo": Message("parent_lo", 4, parent="parent"),
+}
+
+
+@st.composite
+def record_streams(draw):
+    count = draw(st.integers(min_value=0, max_value=60))
+    cycle = 0
+    records = []
+    names = sorted(n for n in _CATALOG if _CATALOG[n].parent is None)
+    for _ in range(count):
+        # zero strides and long idle gaps both exercised
+        cycle += draw(st.integers(min_value=0, max_value=5000))
+        message = _CATALOG[draw(st.sampled_from(names))]
+        records.append(
+            TraceRecord(
+                cycle=cycle,
+                message=IndexedMessage(
+                    message, draw(st.integers(min_value=0, max_value=7))
+                ),
+                value=draw(
+                    st.integers(
+                        min_value=0, max_value=(1 << message.width) - 1
+                    )
+                ),
+            )
+        )
+    return records
+
+
+@st.composite
+def runs_heavy_streams(draw):
+    """Streams dominated by constant-stride repeats (RLE path)."""
+    records = []
+    cycle = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        message = _CATALOG[draw(st.sampled_from(["narrow", "byte"]))]
+        value = draw(
+            st.integers(min_value=0, max_value=(1 << message.width) - 1)
+        )
+        stride = draw(st.integers(min_value=0, max_value=9))
+        indexed = IndexedMessage(message, 0)
+        for _ in range(draw(st.integers(min_value=1, max_value=20))):
+            records.append(
+                TraceRecord(cycle=cycle, message=indexed, value=value)
+            )
+            cycle += stride
+        cycle += draw(st.integers(min_value=1, max_value=50))
+    return records
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(record_streams(),
+           st.integers(min_value=1, max_value=17))
+    def test_batch_round_trip(self, records, records_per_frame):
+        encoded = encode_records(
+            records, scenario="PropTest", seed=3,
+            records_per_frame=records_per_frame,
+        )
+        result = decode_stream(encoded.data, _CATALOG)
+        assert list(result.records) == list(records)
+        assert result.scenario == "PropTest"
+        assert result.seed == 3
+        assert result.records_dropped == 0
+        assert result.frames_decoded == encoded.frame_count
+
+    @settings(max_examples=30, deadline=None)
+    @given(runs_heavy_streams())
+    def test_run_length_round_trip(self, records):
+        encoded = encode_records(records, records_per_frame=32)
+        result = decode_stream(encoded.data, _CATALOG)
+        assert list(result.records) == list(records)
+
+    @settings(max_examples=30, deadline=None)
+    @given(record_streams(), st.integers(min_value=1, max_value=64))
+    def test_incremental_equals_batch(self, records, chunk):
+        encoded = encode_records(records, records_per_frame=8)
+        decoder = IncrementalFrameDecoder(_CATALOG)
+        emitted = []
+        for start in range(0, len(encoded.data), chunk):
+            emitted.extend(decoder.feed(encoded.data[start:start + chunk]))
+        emitted.extend(decoder.close())
+        assert emitted == list(records)
+
+    def test_subgroup_slice_packing_is_lossless(self):
+        # traced only through a 4-bit sub-group: the encoder packs the
+        # slice width, but a wider observed value must still round-trip
+        parent = _CATALOG["parent"]
+        sub = _CATALOG["parent_lo"]
+        records = [
+            TraceRecord(5, IndexedMessage(parent, 0), 0x000F),
+            TraceRecord(9, IndexedMessage(parent, 0), 0xBEEF),
+        ]
+        encoded = encode_records(records, traced=[sub])
+        result = decode_stream(encoded.data, _CATALOG)
+        assert list(result.records) == records
+
+
+class TestCorruption:
+    def _stream(self, n=64):
+        message = _CATALOG["byte"]
+        return [
+            TraceRecord(
+                cycle=3 * i, message=IndexedMessage(message, 0),
+                value=i % 251,
+            )
+            for i in range(n)
+        ]
+
+    def test_one_flipped_byte_costs_at_most_one_frame(self):
+        records = self._stream()
+        encoded = encode_records(records, records_per_frame=8)
+        frame_records = max(s.record_count for s in encoded.spans)
+        data = bytearray(encoded.data)
+        # flip a byte inside some data frame past the header
+        data[(encoded.header_bits // 8 + len(data)) // 2] ^= 0xFF
+        result = decode_stream(bytes(data), _CATALOG)
+        assert result.diagnostics  # the loss is reported
+        assert len(result.records) >= len(records) - frame_records
+        # surviving records are a subsequence of the original stream
+        it = iter(records)
+        assert all(r in it for r in result.records)
+
+    def test_seq_gap_reported_when_frame_removed(self):
+        records = self._stream()
+        encoded = encode_records(records, records_per_frame=8)
+        span = encoded.spans[2]
+        start = encoded.header_bits // 8 + sum(
+            s.size_bits // 8 for s in encoded.spans[:2]
+        )
+        data = (
+            encoded.data[:start]
+            + encoded.data[start + span.size_bits // 8:]
+        )
+        result = decode_stream(data, _CATALOG)
+        assert any(d.kind == "gap" for d in result.diagnostics)
+        assert len(result.records) == len(records) - span.record_count
+
+    def test_data_before_header_is_diagnosed(self):
+        records = self._stream(8)
+        encoded = encode_records(records, records_per_frame=8)
+        headerless = encoded.data[encoded.header_bits // 8:]
+        result = decode_stream(headerless, _CATALOG)
+        assert result.records == ()
+        assert any(d.kind == "frame" for d in result.diagnostics)
+
+    def test_unknown_message_skipped_with_diagnostic(self):
+        records = self._stream(4)
+        encoded = encode_records(records, records_per_frame=8)
+        result = decode_stream(encoded.data, {})
+        assert result.records == ()
+        assert result.records_dropped == 4
+        assert all(d.kind == "record" for d in result.diagnostics)

@@ -1,0 +1,145 @@
+"""Cost model and the effective-width selection budget."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.compress.cost import (
+    CompressionCostModel,
+    EffectiveWidthBudget,
+    WidthBudget,
+    cost_model_for_scenario,
+)
+from repro.mining.corpus import generate_corpus
+from repro.selection.combinations import feasible_combinations
+from repro.selection.selector import MessageSelector
+from repro.soc.t2.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def sc3():
+    return scenario(3)
+
+
+@pytest.fixture(scope="module")
+def model(sc3):
+    return CompressionCostModel(generate_corpus(3, runs=10))
+
+
+class TestCostModel:
+    def test_estimates_are_positive_and_ordered(self, sc3, model):
+        for m in sc3.message_pool:
+            est = model.estimate(m)
+            assert est.expected_bits > 0
+            assert est.worst_bits >= 0
+            assert est.effective_bits(0.0) == est.expected_bits
+            assert (
+                est.effective_bits(1.0)
+                >= est.effective_bits(0.5)
+                >= est.effective_bits(0.0)
+            )
+
+    def test_whole_pool_fits_bit_budget_but_not_width_wall(
+        self, sc3, model
+    ):
+        # the point of the model: the full pool's expected per-run
+        # encoded bits fit a 32x64 buffer even though the pool's summed
+        # widths blow the paper's 32-bit entry wall many times over
+        pool = list(sc3.message_pool)
+        assert sum(m.width for m in pool) > 32
+        assert model.expected_run_bits(pool, guard_band=1.0) < 32 * 64
+
+    def test_memoized(self, sc3, model):
+        m = next(iter(sc3.message_pool))
+        assert model.estimate(m) is model.estimate(m)
+
+    def test_scenario_helper_caches(self):
+        a = cost_model_for_scenario(3, runs=10)
+        b = cost_model_for_scenario(3, runs=10)
+        assert a is b
+
+
+class TestBudgets:
+    def test_width_budget_matches_paper_rule(self, sc3):
+        budget = WidthBudget(32)
+        assert budget.capacity_bits == 32
+        wide = [m for m in sc3.message_pool if m.width > 32]
+        assert wide and not any(budget.admits([m]) for m in wide)
+
+    def test_effective_budget_admits_wide_messages(self, sc3, model):
+        budget = EffectiveWidthBudget(model, 32, 64, guard_band=0.25)
+        assert budget.capacity_bits < 32 * 64  # fixed overhead charged
+        for m in sc3.message_pool:
+            assert budget.admits([m])
+            assert budget.message_cost_bits(m) >= 1
+
+    def test_guard_band_shrinks_headroom(self, sc3, model):
+        tight = EffectiveWidthBudget(model, 32, 64, guard_band=1.0)
+        loose = EffectiveWidthBudget(model, 32, 64, guard_band=0.0)
+        for m in sc3.message_pool:
+            assert (
+                tight.message_cost_bits(m) >= loose.message_cost_bits(m)
+            )
+
+
+class TestBudgetedSelection:
+    def test_feasible_combinations_respect_budget(self, sc3, model):
+        budget = EffectiveWidthBudget(model, 32, 8, guard_band=0.25)
+        combos = feasible_combinations(
+            sc3.message_pool, 32, budget=budget
+        )
+        assert combos
+        for combo in combos:
+            cost = sum(budget.message_cost_bits(m) for m in combo)
+            assert cost <= budget.capacity_bits
+
+    def test_exhaustive_and_knapsack_agree(self, sc3, model):
+        budget = EffectiveWidthBudget(model, 32, 64, guard_band=0.25)
+        results = {}
+        for method in ("exhaustive", "knapsack"):
+            selector = MessageSelector(
+                sc3.interleaved(), 32,
+                subgroups=sc3.subgroup_pool, budget=budget,
+            )
+            results[method] = selector.select(
+                method=method, packing=False
+            )
+        assert (
+            results["exhaustive"].combination
+            == results["knapsack"].combination
+        )
+
+    def test_selection_beats_width_wall_and_stays_admissible(
+        self, sc3, model
+    ):
+        base = MessageSelector(
+            sc3.interleaved(), 32, subgroups=sc3.subgroup_pool
+        ).select(method="exhaustive", packing=True)
+        budget = EffectiveWidthBudget(model, 32, 64, guard_band=0.25)
+        comp = MessageSelector(
+            sc3.interleaved(), 32,
+            subgroups=sc3.subgroup_pool, budget=budget,
+        ).select(method="exhaustive", packing=True)
+        assert comp.coverage > base.coverage
+        assert comp.budget_mode == "effective"
+        assert 0 < comp.cost_bits <= comp.capacity_bits
+        assert 0 < comp.utilization <= 1.0
+        # admissible even when every message is priced at its worst
+        # observed per-record cost
+        worst = sum(
+            max(1, math.ceil(model.estimate(m).effective_bits(1.0)))
+            for m in comp.traced
+        )
+        assert worst <= budget.capacity_bits
+
+    def test_describe_mentions_budget(self, sc3, model):
+        budget = EffectiveWidthBudget(model, 32, 64, guard_band=0.25)
+        result = MessageSelector(
+            sc3.interleaved(), 32,
+            subgroups=sc3.subgroup_pool, budget=budget,
+        ).select(method="exhaustive", packing=False)
+        text = result.describe()
+        assert "encoded bits" in text
+        assert "guard band" in text

@@ -1,0 +1,117 @@
+"""Bit-level primitives and the self-resynchronizing frame format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compress.framing import (
+    FRAME_DATA,
+    FRAME_HEADER,
+    FRAME_OVERHEAD_BYTES,
+    BitReader,
+    BitWriter,
+    crc16,
+    read_frames,
+    scan_frames,
+    varint_bits,
+    write_frame,
+)
+from repro.errors import CompressionError
+
+
+class TestBitPacking:
+    def test_round_trip_fields(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0xFFFF, 16)
+        writer.write(0, 1)
+        writer.write(1, 1)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 0b101
+        assert reader.read(16) == 0xFFFF
+        assert reader.read(1) == 0
+        assert reader.read(1) == 1
+
+    def test_value_must_fit_width(self):
+        writer = BitWriter()
+        with pytest.raises(CompressionError):
+            writer.write(8, 3)
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read(8)
+        with pytest.raises(CompressionError):
+            reader.read(1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 48),
+                    max_size=20))
+    def test_varint_round_trip_and_cost(self, values):
+        writer = BitWriter()
+        for v in values:
+            writer.write_varint(v)
+        reader = BitReader(writer.getvalue())
+        for v in values:
+            assert reader.read_varint() == v
+        assert sum(varint_bits(v) for v in values) <= writer.bit_length
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=-(2 ** 40),
+                                max_value=2 ** 40), max_size=20))
+    def test_zigzag_round_trip(self, values):
+        writer = BitWriter()
+        for v in values:
+            writer.write_zigzag(v)
+        reader = BitReader(writer.getvalue())
+        for v in values:
+            assert reader.read_zigzag() == v
+
+
+class TestCrc:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789"
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_detects_flip(self):
+        data = b"hello, trace buffer"
+        assert crc16(data) != crc16(b"hellO, trace buffer")
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        payload = bytes(range(40))
+        data = write_frame(FRAME_DATA, 7, payload)
+        assert len(data) == FRAME_OVERHEAD_BYTES + len(payload)
+        frames = list(read_frames(data))
+        assert len(frames) == 1
+        assert frames[0].frame_type == FRAME_DATA
+        assert frames[0].seq == 7
+        assert frames[0].payload == payload
+
+    def test_resync_past_junk(self):
+        good = write_frame(FRAME_HEADER, 0, b"head")
+        tail = write_frame(FRAME_DATA, 1, b"tail")
+        data = b"\x00garbage\xa5" + good + b"\xff\xfe" + tail
+        frames, consumed, diagnostics = scan_frames(data)
+        assert [f.payload for f in frames] == [b"head", b"tail"]
+        assert consumed == len(data)
+        assert diagnostics  # junk was reported, not silently eaten
+
+    def test_corrupt_crc_skips_one_frame(self):
+        first = bytearray(write_frame(FRAME_DATA, 1, b"aaaa"))
+        second = write_frame(FRAME_DATA, 2, b"bbbb")
+        first[-1] ^= 0xFF  # break the CRC
+        frames, _, diagnostics = scan_frames(bytes(first) + second)
+        assert [f.seq for f in frames] == [2]
+        assert diagnostics
+
+    def test_partial_frame_held_back_until_eof(self):
+        data = write_frame(FRAME_DATA, 1, b"payload")
+        frames, consumed, _ = scan_frames(data[:-3], eof=False)
+        assert frames == []
+        assert consumed == 0  # waiting for the rest
+        frames, consumed, diagnostics = scan_frames(data[:-3], eof=True)
+        assert frames == []
+        assert consumed == len(data) - 3
+        assert diagnostics  # truncated frame is reported at EOF

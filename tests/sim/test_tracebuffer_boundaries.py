@@ -1,0 +1,121 @@
+"""TraceBuffer edge geometry: boundary slice widths, depth-1 rings,
+and the overwrite accounting behind ``repro profile``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+from repro.core.message import IndexedMessage, Message
+from repro.errors import TraceBufferError
+from repro.sim.engine import TraceRecord
+from repro.sim.tracebuffer import TraceBuffer
+
+
+def _rec(message, cycle, value, index=0):
+    return TraceRecord(
+        cycle=cycle, message=IndexedMessage(message, index), value=value
+    )
+
+
+class TestBoundarySliceWidths:
+    def test_one_bit_slice(self):
+        parent = Message("wide_pkt", 16)
+        bit = Message("wide_pkt_v", 1, parent="wide_pkt")
+        buffer = TraceBuffer(8, 16, [bit])
+        kept = buffer.capture(
+            [_rec(parent, 1, 0xFFFE), _rec(parent, 2, 0x0001)]
+        )
+        assert [e.value for e in kept] == [0, 1]
+        assert all(e.captured_as is bit for e in kept)
+        assert all(e.is_partial for e in kept)
+
+    def test_slice_equal_to_full_payload(self):
+        # a sub-group as wide as its parent must pass values through
+        # unmasked -- the mask (1 << 16) - 1 covers every payload bit
+        parent = Message("pkt", 16)
+        full_slice = Message("pkt_all", 16, parent="pkt")
+        buffer = TraceBuffer(16, 16, [full_slice])
+        kept = buffer.capture([_rec(parent, 1, 0xBEEF)])
+        assert kept[0].value == 0xBEEF
+        assert kept[0].is_partial  # still reported as a slice capture
+
+    def test_slice_straddling_msb_keeps_low_bits(self):
+        # mask keeps the slice's low bits; the parent's MSB-side bits
+        # above the slice width must be dropped, never sign-leaked
+        parent = Message("hdr", 13)
+        slice7 = Message("hdr_lo", 7, parent="hdr")
+        buffer = TraceBuffer(8, 4, [slice7])
+        top_heavy = (0b111111 << 7) | 0b0101010
+        kept = buffer.capture([_rec(parent, 3, top_heavy)])
+        assert kept[0].value == 0b0101010
+
+    def test_full_message_filling_entry_width(self):
+        exact = Message("exact32", 32)
+        buffer = TraceBuffer(32, 4, [exact])
+        kept = buffer.capture([_rec(exact, 1, (1 << 32) - 1)])
+        assert kept[0].value == (1 << 32) - 1
+        assert buffer.utilization == 1.0
+
+    def test_traced_set_overflowing_width_rejected(self):
+        with pytest.raises(TraceBufferError):
+            TraceBuffer(8, 4, [Message("m1", 5), Message("m2", 4)])
+
+
+class TestDepthOneBuffer:
+    def test_keeps_only_newest_entry(self):
+        m = Message("m", 4)
+        buffer = TraceBuffer(4, 1, [m])
+        kept = buffer.capture([_rec(m, c, c % 16) for c in range(5)])
+        assert len(kept) == 1
+        assert kept[0].cycle == 4
+
+    def test_overwrite_accounting(self):
+        m = Message("m", 4)
+        buffer = TraceBuffer(4, 1, [m])
+        with perf.collect() as counters:
+            buffer.capture([_rec(m, c, 0) for c in range(5)])
+        stats = buffer.last_stats
+        assert stats.overflowed
+        assert stats.captured == 1
+        assert stats.evicted == 4
+        assert stats.overwritten_bits == 4 * 4
+        assert stats.utilization == 1.0
+        assert counters.get("tracebuffer_evictions") == 4
+        assert counters.get("tracebuffer_overwritten_bits") == 16
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(TraceBufferError):
+            TraceBuffer(4, 0, [Message("m", 4)])
+
+
+class TestCaptureStats:
+    def test_no_overflow_stats(self):
+        m = Message("m", 8)
+        buffer = TraceBuffer(8, 16, [m])
+        buffer.capture([_rec(m, c, c) for c in range(10)])
+        stats = buffer.last_stats
+        assert not stats.overflowed
+        assert stats.captured == 10
+        assert stats.evicted == 0
+        assert stats.used_bits == 10 * 8
+        assert stats.utilization == pytest.approx(10 / 16)
+
+    def test_multibeat_eviction_counts_beats(self):
+        # a 2-beat message occupies two entries; depth 3 retains only
+        # one whole message plus the newer beat of the evicted one
+        wide = Message("wide", 8, beats=2)
+        buffer = TraceBuffer(8, 3, [wide])
+        kept = buffer.capture([_rec(wide, 0, 0xABCD),
+                               _rec(wide, 10, 0x1234)])
+        assert len(kept) == 3
+        stats = buffer.last_stats
+        assert stats.evicted == 1
+        assert stats.overwritten_bits == 8
+
+    def test_no_collector_no_error(self):
+        # perf counters are a no-op outside a collect block
+        m = Message("m", 2)
+        buffer = TraceBuffer(2, 1, [m])
+        buffer.capture([_rec(m, c, 0) for c in range(3)])
+        assert buffer.last_stats.evicted == 2

@@ -1,0 +1,100 @@
+"""CLI surface of the compression subsystem: ``repro compress
+{encode,decode,stats}`` and the ``select --compress/--json`` flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sim.engine import TransactionSimulator
+from repro.sim.tracefile import write_trace_file
+from repro.soc.t2.scenarios import scenario
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    sc = scenario(1)
+    trace = TransactionSimulator(sc.interleaved(), sc.name).run(seed=4)
+    path = tmp_path_factory.mktemp("traces") / "run.trace"
+    with open(path, "w", encoding="utf-8") as stream:
+        write_trace_file(
+            stream, trace.records, scenario=sc.name, seed=4
+        )
+    return path
+
+
+class TestCompressCommand:
+    def test_encode_decode_round_trip(self, trace_file, tmp_path, capsys):
+        encoded = tmp_path / "run.ctrace"
+        assert main(["compress", "encode", str(trace_file),
+                     "-o", str(encoded)]) == 0
+        assert "encoded" in capsys.readouterr().out
+        decoded = tmp_path / "back.trace"
+        assert main(["compress", "decode", str(encoded),
+                     "-o", str(decoded)]) == 0
+        assert decoded.read_text() == trace_file.read_text()
+
+    def test_stats_text_and_json(self, trace_file, tmp_path, capsys):
+        encoded = tmp_path / "run.ctrace"
+        main(["compress", "encode", str(trace_file), "-o", str(encoded)])
+        capsys.readouterr()
+        assert main(["compress", "stats", str(encoded)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 1" in out
+        assert "compression" in out
+        assert main(["compress", "stats", str(encoded), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] > 0
+        assert payload["records_dropped"] == 0
+        assert payload["ratio"] > 0
+        assert payload["frames_decoded"] >= 1
+
+    def test_default_output_name(self, trace_file, capsys):
+        assert main(["compress", "encode", str(trace_file)]) == 0
+        expected = trace_file.with_suffix(".ctrace")
+        produced = trace_file.parent / (trace_file.name + ".ctrace")
+        assert produced.exists() or expected.exists()
+        capsys.readouterr()
+
+
+class TestSelectCompress:
+    def test_compress_improves_coverage(self, capsys):
+        assert main(["select", "3", "--json"]) == 0
+        base = json.loads(capsys.readouterr().out)
+        assert main(["select", "3", "--compress", "--json"]) == 0
+        comp = json.loads(capsys.readouterr().out)
+        assert base["budget_mode"] == "width"
+        assert comp["budget_mode"] == "effective"
+        assert comp["coverage"] > base["coverage"]
+        assert comp["cost_bits"] <= comp["capacity_bits"]
+        assert 0 < comp["guard_band"] < 1
+
+    def test_json_exposes_capture_stats(self, capsys):
+        assert main(["select", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        capture = payload["capture"]
+        assert capture["captured"] >= 0
+        assert capture["capacity_bits"] > 0
+        assert 0 <= capture["utilization"] <= 1
+        assert isinstance(capture["overflowed"], bool)
+
+    def test_guard_band_flag(self, capsys):
+        assert main(["select", "3", "--compress",
+                     "--guard-band", "0.5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["guard_band"] == 0.5
+
+    def test_text_mode_mentions_budget(self, capsys):
+        assert main(["select", "3", "--compress"]) == 0
+        out = capsys.readouterr().out
+        assert "effective-width budget" in out
+        assert "capture (seed 0)" in out
+
+
+class TestProfileCapture:
+    def test_profile_reports_capture_stage(self, capsys):
+        assert main(["profile", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "capture" in out
