@@ -40,6 +40,13 @@ Commands
 ``serve-demo``
     Drive N concurrent synthetic debug sessions through the streaming
     service and print throughput plus telemetry.
+``serve``
+    Run the networked debug service: an asyncio TCP server speaking
+    the length-prefixed binary wire protocol, with sharded sessions,
+    admission control, and an optional HTTP metrics port.
+``loadgen``
+    Replay simulator-produced trace files against a running ``serve``
+    instance from worker processes and report throughput/latency.
 ``profile``
     Run interleaving + selection for a scenario under the stage
     counters of :mod:`repro.perf` and print them (states expanded,
@@ -462,11 +469,100 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import (
+        DebugServer,
+        MetricsRegistry,
+        ServeContext,
+        ServerConfig,
+    )
+
+    context = ServeContext.from_scenario(
+        args.scenario,
+        instances=args.instances,
+        buffer_width=args.buffer,
+        mode=args.mode,
+        max_frontier=args.max_frontier,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        max_sessions=args.max_sessions,
+        max_queue_depth=args.queue_depth,
+        max_inflight=args.inflight,
+        idle_timeout_s=args.idle_timeout,
+        idle_sweep_s=args.idle_sweep,
+        metrics_port=args.metrics_port,
+    )
+    server = DebugServer(context, config, MetricsRegistry())
+
+    def on_ready(ready: DebugServer) -> None:
+        print(
+            f"{context.name}: listening on {ready.host}:{ready.port} "
+            f"({config.shards} shard(s), mode={context.mode})",
+            flush=True,
+        )
+        if ready.metrics_port is not None:
+            print(
+                f"metrics: http://{ready.host}:{ready.metrics_port}/metrics",
+                flush=True,
+            )
+
+    asyncio.run(server.run(duration=args.duration, on_ready=on_ready))
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server import ServeContext
+    from repro.server.loadgen import run_network_load_test
+
+    context = ServeContext.from_scenario(
+        args.scenario, instances=args.instances, buffer_width=args.buffer
+    )
+    report = run_network_load_test(
+        args.host,
+        args.port,
+        context,
+        sessions=args.sessions,
+        processes=args.processes,
+        threads=args.threads,
+        chunk_records=args.chunk,
+        seed=args.seed,
+        mode=args.mode,
+    )
+    summary = report.as_dict()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 1 if report.failures else 0
+    inner = report.report
+    print(f"{context.name}: {inner.sessions} networked session(s) "
+          f"against {args.host}:{args.port} "
+          f"({args.processes} process(es) x {args.threads} thread(s))")
+    print(f"  records fed:      {inner.total_records}")
+    print(f"  wall time:        {inner.wall_s:.3f}s")
+    print(f"  throughput:       {inner.records_per_s:.0f} records/s")
+    print(f"  p50 feed latency: {report.p50_feed_latency_s * 1e3:.3f}ms")
+    print(f"  p95 feed latency: {inner.p95_feed_latency_s * 1e3:.3f}ms")
+    print(f"  p99 feed latency: {report.p99_feed_latency_s * 1e3:.3f}ms")
+    print(f"  retries:          {report.retries} "
+          f"(recoveries: {report.recoveries})")
+    print(f"  session statuses: {summary['statuses']}")
+    for failure in report.failures:
+        print(f"  FAILED {failure}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
     import time
 
     from repro import perf
+    from repro.runtime.cache import default_cache
     from repro.selection.selector import MessageSelector
     from repro.sim.engine import TransactionSimulator
     from repro.sim.tracebuffer import TraceBuffer
@@ -496,10 +592,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         f"profile:scenario{args.scenario}x{args.instances}:{args.method}",
         wall_time_s=wall,
     )
+    cache_stats = default_cache().stats.as_dict()
     if args.json:
         payload = counters.as_dict()
         payload["wall_time_s"] = round(wall, 6)
         payload["result"] = result.describe()
+        payload["cache"] = cache_stats
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"{sc.name}: profile (method={args.method}, "
@@ -509,6 +607,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(result.describe())
     print(counters.format())
     print(f"{'total wall time':<24}  {wall:>13.4f}s")
+    print(f"{'artifact cache':<24}  "
+          f"{cache_stats['hits']:>7} hit(s) / "
+          f"{cache_stats['misses']} miss(es)")
     return 0
 
 
@@ -891,6 +992,66 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="emit the load-test report as JSON")
     serve.set_defaults(func=_cmd_serve_demo)
+
+    served = sub.add_parser(
+        "serve",
+        help="run the networked debug service (wire protocol over TCP)",
+    )
+    served.add_argument("--scenario", type=int, choices=(1, 2, 3),
+                        default=1)
+    served.add_argument("--instances", type=int, default=1)
+    served.add_argument("--buffer", type=int, default=32)
+    served.add_argument("--mode", choices=("prefix", "exact", "window"),
+                        default="prefix")
+    served.add_argument("--host", default="127.0.0.1")
+    served.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral, printed on start)")
+    served.add_argument("--shards", type=int, default=2,
+                        help="worker shards (sessions are routed by "
+                        "consistent hash)")
+    served.add_argument("--max-sessions", type=int, default=64,
+                        help="admission control: open-session cap")
+    served.add_argument("--queue-depth", type=int, default=64,
+                        help="per-shard queued-request cap before "
+                        "RETRY_LATER")
+    served.add_argument("--inflight", type=int, default=32,
+                        help="per-connection in-flight request cap")
+    served.add_argument("--idle-timeout", type=float, default=300.0,
+                        help="seconds before an idle session is evicted")
+    served.add_argument("--idle-sweep", type=float, default=10.0,
+                        help="seconds between idle-eviction sweeps")
+    served.add_argument("--max-frontier", type=int, default=4096)
+    served.add_argument("--metrics-port", type=int, default=None,
+                        help="also serve JSON metrics over HTTP on "
+                        "this port (0 = ephemeral)")
+    served.add_argument("--duration", type=float, default=None,
+                        help="serve for N seconds then drain "
+                        "(default: until SIGINT/SIGTERM)")
+    served.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay simulated trace files against a running server",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--scenario", type=int, choices=(1, 2, 3),
+                         default=1)
+    loadgen.add_argument("--instances", type=int, default=1)
+    loadgen.add_argument("--buffer", type=int, default=32)
+    loadgen.add_argument("--mode", choices=("prefix", "exact", "window"),
+                         default="prefix")
+    loadgen.add_argument("--sessions", type=int, default=8)
+    loadgen.add_argument("--processes", type=int, default=2,
+                         help="worker processes (0 = inline threads)")
+    loadgen.add_argument("--threads", type=int, default=2,
+                         help="concurrent sessions per process")
+    loadgen.add_argument("--chunk", type=int, default=16,
+                         help="trace records per wire chunk")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     profile = sub.add_parser(
         "profile",

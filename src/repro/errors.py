@@ -69,6 +69,32 @@ class FrontierOverflowError(StreamError):
     limit."""
 
 
+class ProtocolError(ReproError):
+    """A debug-service wire frame is malformed (bad magic, unsupported
+    version, CRC mismatch, oversized payload, undecodable body)."""
+
+
+class ServerError(ReproError):
+    """The debug server replied with a structured ERROR frame.
+
+    Attributes
+    ----------
+    code:
+        Machine-readable error code (``"unknown-session"``,
+        ``"chunk-gap"``, ``"bad-request"``, ...).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.detail = message
+
+
+class ServerUnavailableError(ReproError):
+    """The client exhausted its retry budget (connection refused/reset
+    or RETRY_LATER backpressure) without completing the request."""
+
+
 class OrchestrationError(ReproError):
     """Parallel task execution failed (timeout, worker crash, ...)."""
 

@@ -122,6 +122,23 @@ def collect() -> Iterator[PerfCounters]:
         _ACTIVE.remove(counters)
 
 
+def activate(counters: PerfCounters) -> PerfCounters:
+    """Activate *counters* without a ``with`` block (long-lived
+    collections, e.g. a debug server's process-lifetime counters).
+    Pair every call with :func:`deactivate`."""
+    _ACTIVE.append(counters)
+    return counters
+
+
+def deactivate(counters: PerfCounters) -> None:
+    """Deactivate a collection started by :func:`activate` (no-op when
+    it is not active)."""
+    try:
+        _ACTIVE.remove(counters)
+    except ValueError:
+        pass
+
+
 @contextmanager
 def timed(stage: str) -> Iterator[None]:
     """Time the block and add it to stage *stage* of every active

@@ -236,6 +236,23 @@ class PathLocalizer:
             )
         return LocalizationResult(consistent_paths=count, total_paths=self._total)
 
+    def warm(self) -> "PathLocalizer":
+        """Eagerly build every lazily-constructed table (the visibility
+        -split adjacency, the topological index, the stop-path counts,
+        and the initial frontier's invisible closure).
+
+        All of these are built on first use anyway; a long-lived host
+        that shares one localizer across many sessions (e.g. a debug
+        -server shard) calls this once at startup so the cost lands
+        there instead of inside the first request's latency.  Returns
+        ``self`` so construction and warming chain.
+        """
+        self._split_adjacency()
+        self._topological_position()
+        self.interleaved.paths_to_stop_ids()
+        self.initial_frontier()
+        return self
+
     # ------------------------------------------------------------------
     # stepwise DP hooks (prefix/exact modes)
     # ------------------------------------------------------------------

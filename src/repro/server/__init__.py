@@ -1,0 +1,78 @@
+"""Networked post-silicon debug service.
+
+The paper's debug loop -- select observable messages, capture a
+failing run's trace, localize the failure to a small set of consistent
+flow paths -- runs here as a long-lived, shared service: validators
+stream trace chunks at a central debug server as runs fail, instead of
+shipping whole trace files around.
+
+The pieces:
+
+* :mod:`repro.server.protocol` -- the length-prefixed, versioned,
+  CRC-validated binary wire format (the CRC machinery is
+  :mod:`repro.compress.framing`'s, shared with on-chip trace frames).
+* :mod:`repro.server.server` -- the asyncio TCP server: sessions are
+  routed by consistent hash onto worker shards, admission control
+  answers overload with structured ``RETRY_LATER`` (never a deadlock,
+  never a dropped accepted session), idle sessions are evicted, and
+  SIGINT/SIGTERM drain gracefully.
+* :mod:`repro.server.client` -- the synchronous client: timeouts,
+  retry with exponential backoff and jitter, and a streaming feed that
+  replays its history if the server loses the session.
+* :mod:`repro.server.metrics` -- the pull-based metrics plane served
+  on the ``STATS`` frame and over HTTP.
+* :mod:`repro.server.loadgen` -- the multi-process load generator
+  replaying simulator-produced trace files.
+
+``repro serve`` and ``repro loadgen`` are the CLI front ends.
+"""
+
+from repro.server.client import (
+    DebugClient,
+    FeedReply,
+    RetryPolicy,
+    SessionFeed,
+)
+from repro.server.loadgen import (
+    NetworkLoadReport,
+    NetworkTransport,
+    run_network_load_test,
+)
+from repro.server.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.server.protocol import (
+    FrameAssembler,
+    WireFrame,
+    encode_frame,
+)
+from repro.server.server import (
+    DebugServer,
+    ServeContext,
+    ServerConfig,
+    ServerThread,
+)
+
+__all__ = [
+    "Counter",
+    "DebugClient",
+    "DebugServer",
+    "FeedReply",
+    "FrameAssembler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NetworkLoadReport",
+    "NetworkTransport",
+    "RetryPolicy",
+    "ServeContext",
+    "ServerConfig",
+    "ServerThread",
+    "SessionFeed",
+    "WireFrame",
+    "encode_frame",
+    "run_network_load_test",
+]

@@ -1,0 +1,359 @@
+"""Synchronous client for the debug service.
+
+:class:`DebugClient` speaks the wire protocol over one TCP connection
+with a configurable timeout and a retry policy -- exponential backoff
+with jitter -- applied to connection failures *and* to structured
+``RETRY_LATER`` backpressure replies.  Both are safe to retry: a
+``RETRY_LATER`` promises the request had no effect, and feeds are
+idempotent on the server (per-session chunk indices de-duplicate a
+retransmit whose original response was lost).
+
+:class:`SessionFeed` is the streaming API: it remembers every chunk it
+has fed, so when the server loses the session -- an idle eviction, or
+a kill-and-restart mid-stream -- the feed transparently re-opens and
+replays from chunk zero.  Localization is a pure function of the fed
+prefix, so replay converges to the exact same snapshot with zero data
+loss; the soak test kills the server mid-stream and pins that down.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import (
+    ProtocolError,
+    ServerError,
+    ServerUnavailableError,
+)
+from repro.selection.localization import LocalizationResult
+from repro.server import protocol
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter.
+
+    ``delay(attempt)`` is ``base * 2**attempt`` capped at ``max_delay``,
+    plus a uniform jitter fraction of that value -- the standard recipe
+    for keeping a retrying fleet from thundering back in lockstep.
+    """
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    timeout_s: float = 10.0
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        backoff = min(
+            self.base_delay_s * (2.0 ** attempt), self.max_delay_s
+        )
+        return backoff * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class FeedReply:
+    """Server acknowledgement of one fed chunk."""
+
+    session_id: str
+    chunk_index: int
+    consumed: int
+    records: int
+    status: str
+    observed_length: int
+    frontier_size: int
+    duplicate: bool
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    """Server-side localization snapshot (batch-identical)."""
+
+    session_id: str
+    result: LocalizationResult
+    status: str
+    observed_length: int
+
+
+@dataclass(frozen=True)
+class CloseReply:
+    """Final session accounting."""
+
+    session_id: str
+    status: str
+    records: int
+    result: LocalizationResult
+
+
+class DebugClient:
+    """One connection to a :class:`~repro.server.server.DebugServer`.
+
+    Thread-compatible, not thread-safe: share sessions across threads
+    by giving each thread its own client.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: Optional[socket.socket] = None
+        self._assembler = protocol.FrameAssembler()
+        self._seq = 0
+        self.retries = 0  # lifetime retry count (load-gen reporting)
+
+    # -- connection management -----------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.policy.timeout_s
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._assembler = protocol.FrameAssembler()
+        return self._sock
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        self._disconnect()
+
+    def __enter__(self) -> "DebugClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------
+    def request(
+        self, frame_type: int, payload: bytes = b""
+    ) -> Tuple[int, Dict[str, object]]:
+        """Send one request, applying the retry policy; returns the
+        decoded ``(response_type, payload)`` for OK/ERROR replies.
+
+        Raises
+        ------
+        ServerUnavailableError
+            After ``max_attempts`` connection failures / RETRY_LATERs.
+        """
+        last_reason = "no attempts made"
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(self.policy.delay(attempt - 1, self._rng))
+            try:
+                response = self._roundtrip(frame_type, payload)
+            except (OSError, ProtocolError, EOFError) as exc:
+                self._disconnect()
+                last_reason = f"{type(exc).__name__}: {exc}"
+                continue
+            if response.frame_type == protocol.RETRY_LATER:
+                body = protocol.decode_json(response.payload)
+                last_reason = f"RETRY_LATER ({body.get('reason')})"
+                continue
+            return response.frame_type, protocol.decode_json(
+                response.payload
+            )
+        raise ServerUnavailableError(
+            f"request failed after {self.policy.max_attempts} attempt(s); "
+            f"last: {last_reason}"
+        )
+
+    def _roundtrip(
+        self, frame_type: int, payload: bytes
+    ) -> protocol.WireFrame:
+        sock = self._connect()
+        self._seq = (self._seq + 1) & 0xFFFFFFFF
+        seq = self._seq
+        sock.sendall(protocol.encode_frame(frame_type, seq, payload))
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                raise EOFError("connection closed by server")
+            for frame in self._assembler.feed(data):
+                if frame.seq == seq:
+                    return frame
+                # stale response from a timed-out predecessor: drop it
+
+    @staticmethod
+    def _checked(
+        frame_type: int, body: Dict[str, object]
+    ) -> Dict[str, object]:
+        if frame_type == protocol.ERROR:
+            raise ServerError(
+                str(body.get("error", "unknown")),
+                str(body.get("message", "")),
+            )
+        return body
+
+    # -- session API ---------------------------------------------------
+    def open_session(
+        self,
+        session_id: Optional[str] = None,
+        mode: Optional[str] = None,
+        transport: str = "text",
+    ) -> str:
+        request: Dict[str, object] = {"transport": transport}
+        if session_id is not None:
+            request["session_id"] = session_id
+        if mode is not None:
+            request["mode"] = mode
+        frame_type, body = self.request(
+            protocol.OPEN_SESSION, protocol.encode_json(request)
+        )
+        return str(self._checked(frame_type, body)["session_id"])
+
+    def feed(
+        self,
+        session_id: str,
+        chunk_index: int,
+        data: bytes,
+        eof: bool = False,
+    ) -> FeedReply:
+        frame_type, body = self.request(
+            protocol.FEED_CHUNK,
+            protocol.encode_feed_payload(session_id, chunk_index, data, eof),
+        )
+        body = self._checked(frame_type, body)
+        return FeedReply(
+            session_id=str(body["session_id"]),
+            chunk_index=int(body["chunk_index"]),  # type: ignore[arg-type]
+            consumed=int(body["consumed"]),  # type: ignore[arg-type]
+            records=int(body["records"]),  # type: ignore[arg-type]
+            status=str(body["status"]),
+            observed_length=int(body["observed_length"]),  # type: ignore[arg-type]
+            frontier_size=int(body["frontier_size"]),  # type: ignore[arg-type]
+            duplicate=bool(body["duplicate"]),
+        )
+
+    def snapshot(self, session_id: str) -> SnapshotReply:
+        frame_type, body = self.request(
+            protocol.SNAPSHOT,
+            protocol.encode_json({"session_id": session_id}),
+        )
+        body = self._checked(frame_type, body)
+        return SnapshotReply(
+            session_id=str(body["session_id"]),
+            result=LocalizationResult(
+                consistent_paths=int(body["consistent_paths"]),  # type: ignore[arg-type]
+                total_paths=int(body["total_paths"]),  # type: ignore[arg-type]
+            ),
+            status=str(body["status"]),
+            observed_length=int(body["observed_length"]),  # type: ignore[arg-type]
+        )
+
+    def close_session(self, session_id: str) -> CloseReply:
+        frame_type, body = self.request(
+            protocol.CLOSE_SESSION,
+            protocol.encode_json({"session_id": session_id}),
+        )
+        body = self._checked(frame_type, body)
+        return CloseReply(
+            session_id=str(body["session_id"]),
+            status=str(body["status"]),
+            records=int(body["records"]),  # type: ignore[arg-type]
+            result=LocalizationResult(
+                consistent_paths=int(body["consistent_paths"]),  # type: ignore[arg-type]
+                total_paths=int(body["total_paths"]),  # type: ignore[arg-type]
+            ),
+        )
+
+    def stats(self) -> Dict[str, object]:
+        frame_type, body = self.request(protocol.STATS)
+        return self._checked(frame_type, body)
+
+    def ping(self) -> Dict[str, object]:
+        frame_type, body = self.request(protocol.PING)
+        return self._checked(frame_type, body)
+
+
+class SessionFeed:
+    """A replaying streaming feed over one server session.
+
+    Every chunk fed is remembered; when the server no longer knows the
+    session (``unknown-session`` after an eviction or a restart), the
+    feed re-opens it and replays the full history before applying the
+    new chunk.  Replay preserves chunk indices from zero, so server-
+    side idempotency holds across the recovery too.
+    """
+
+    def __init__(
+        self,
+        client: DebugClient,
+        session_id: Optional[str] = None,
+        mode: Optional[str] = None,
+        transport: str = "text",
+    ) -> None:
+        self.client = client
+        self.mode = mode
+        self.transport = transport
+        self._history: list = []  # [(bytes, eof)]
+        self.session_id = client.open_session(
+            session_id=session_id, mode=mode, transport=transport
+        )
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    def _reopen_and_replay(self) -> None:
+        self.recoveries += 1
+        self.session_id = self.client.open_session(
+            session_id=self.session_id,
+            mode=self.mode,
+            transport=self.transport,
+        )
+        for index, (data, eof) in enumerate(self._history):
+            self.client.feed(self.session_id, index, data, eof=eof)
+
+    def _recovering(self, operation):
+        try:
+            return operation()
+        except ServerError as exc:
+            if exc.code != "unknown-session":
+                raise
+        self._reopen_and_replay()
+        return operation()
+
+    # ------------------------------------------------------------------
+    def feed(self, data: bytes, eof: bool = False) -> FeedReply:
+        index = len(self._history)
+        self._history.append((data, eof))
+        return self._recovering(
+            lambda: self.client.feed(self.session_id, index, data, eof=eof)
+        )
+
+    def feed_chunks(
+        self, chunks: Iterable[bytes], eof: bool = True
+    ) -> Tuple[FeedReply, ...]:
+        """Feed every chunk in order (``eof`` marks the last one)."""
+        materialized = list(chunks)
+        replies = []
+        for i, chunk in enumerate(materialized):
+            is_last = eof and i == len(materialized) - 1
+            replies.append(self.feed(chunk, eof=is_last))
+        return tuple(replies)
+
+    def snapshot(self) -> SnapshotReply:
+        return self._recovering(
+            lambda: self.client.snapshot(self.session_id)
+        )
+
+    def close(self) -> CloseReply:
+        return self._recovering(
+            lambda: self.client.close_session(self.session_id)
+        )

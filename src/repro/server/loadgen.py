@@ -1,0 +1,310 @@
+"""Multi-process load generator for the debug service.
+
+Replays simulator-produced trace files against a running
+:class:`~repro.server.server.DebugServer` and reports throughput and
+latency in the **same shapes** as the in-process
+``repro.stream.service.run_load_test`` -- both delegate to
+:func:`repro.stream.workload.drive_session`, so their numbers are
+directly comparable (``benchmarks/server_bench.py`` gates on exactly
+that ratio).
+
+The workload is faithful to the paper's setting: each session is one
+seeded failing run of the simulator, projected onto the traced message
+set, rendered to the Figure-4 trace-file text, and streamed over the
+wire in chunks cut at record-line boundaries.  Chunks are pre-rendered
+in the parent so worker processes need nothing but bytes; workers use
+the ``spawn`` start method (the parent often hosts an in-process
+:class:`~repro.server.server.ServerThread` whose event loop must not
+be forked).
+
+``processes=0`` runs every session inline on threads in the calling
+process -- the deterministic path the tests use.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.selection.localization import LocalizationResult
+from repro.server.client import DebugClient, RetryPolicy, SessionFeed
+from repro.sim.tracefile import write_trace_file
+from repro.stream.workload import (
+    LoadTestReport,
+    SessionOutcome,
+    SessionTransport,
+    build_report,
+    drive_session,
+    percentile,
+)
+
+#: One pre-rendered session workload: ``(session_id, chunk bytes...)``.
+SessionJob = Tuple[str, Tuple[bytes, ...]]
+
+
+class NetworkTransport(SessionTransport):
+    """Adapts :class:`SessionFeed` to the workload driver's transport
+    surface.  Chunks are raw bytes; recovery (reopen + replay after a
+    server restart) is inherited from the feed, so a driven session
+    survives the server dying mid-stream."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[object] = None,
+    ) -> None:
+        self.client = DebugClient(host, port, policy=policy, rng=rng)  # type: ignore[arg-type]
+        self._feeds: Dict[str, SessionFeed] = {}
+
+    def open(
+        self, session_id: Optional[str] = None, mode: Optional[str] = None
+    ) -> str:
+        feed = SessionFeed(self.client, session_id=session_id, mode=mode)
+        self._feeds[feed.session_id] = feed
+        return feed.session_id
+
+    def feed(self, session_id: str, chunk: object) -> int:
+        return self._feeds[session_id].feed(bytes(chunk)).consumed  # type: ignore[arg-type]
+
+    def snapshot(self, session_id: str) -> LocalizationResult:
+        return self._feeds[session_id].snapshot().result
+
+    def close(self, session_id: str) -> str:
+        return self._feeds.pop(session_id).close().status
+
+    @property
+    def retries(self) -> int:
+        return self.client.retries
+
+    @property
+    def recoveries(self) -> int:
+        return sum(f.recoveries for f in self._feeds.values())
+
+    def disconnect(self) -> None:
+        self.client.close()
+
+
+# ----------------------------------------------------------------------
+# workload construction (parent process)
+def render_session_chunks(
+    context: "object",
+    seed: int,
+    chunk_records: int = 16,
+    scenario_name: str = "loadgen",
+) -> Tuple[bytes, ...]:
+    """One session's wire chunks: a seeded simulated run projected onto
+    the traced set, rendered to trace-file text, split at record-line
+    boundaries (header rides in the first chunk; every chunk ends on a
+    newline, so text parsing never waits on EOF)."""
+    from repro.stream.service import synthetic_session_records
+
+    records = synthetic_session_records(
+        context.interleaved,  # type: ignore[attr-defined]
+        context.traced,  # type: ignore[attr-defined]
+        seed,
+        scenario_name=scenario_name,
+    )
+    buffer = io.StringIO()
+    write_trace_file(
+        buffer, records, scenario=scenario_name, seed=seed
+    )
+    lines = buffer.getvalue().splitlines(keepends=True)
+    if chunk_records < 1:
+        raise ReproError(
+            f"chunk_records must be >= 1, got {chunk_records}"
+        )
+    chunks = [
+        "".join(lines[i : i + chunk_records]).encode("utf-8")
+        for i in range(0, len(lines), chunk_records)
+    ]
+    return tuple(chunks) if chunks else (b"",)
+
+
+def build_session_jobs(
+    context: "object",
+    sessions: int,
+    seed: int = 0,
+    chunk_records: int = 16,
+    scenario_name: str = "loadgen",
+) -> Tuple[SessionJob, ...]:
+    """Pre-render every session's chunks (seeds ``seed..seed+n-1``)."""
+    if sessions < 1:
+        raise ReproError(f"sessions must be >= 1, got {sessions}")
+    return tuple(
+        (
+            f"lg-{seed + i:04d}",
+            render_session_chunks(
+                context, seed + i, chunk_records, scenario_name
+            ),
+        )
+        for i in range(sessions)
+    )
+
+
+# ----------------------------------------------------------------------
+# worker (runs in a spawned process, or inline when processes=0)
+def _drive_jobs(
+    host: str,
+    port: int,
+    jobs: Sequence[SessionJob],
+    mode: str,
+    threads: int,
+    policy: RetryPolicy,
+) -> List[Dict[str, object]]:
+    """Drive *jobs* on a thread pool, one transport per thread-session
+    (clients are not thread-safe).  Returns plain dicts so the result
+    crosses process boundaries without pickling repro objects."""
+
+    def one(job: SessionJob) -> Dict[str, object]:
+        session_id, chunks = job
+        transport = NetworkTransport(host, port, policy=policy)
+        try:
+            outcome = drive_session(
+                transport, chunks, session_id=session_id, mode=mode
+            )
+            return {
+                "session_id": outcome.session_id,
+                "consistent_paths": outcome.result.consistent_paths,
+                "total_paths": outcome.result.total_paths,
+                "status": outcome.status,
+                "records": outcome.records,
+                "latencies": list(outcome.feed_latencies_s),
+                "retries": transport.retries,
+                "recoveries": transport.recoveries,
+            }
+        except ReproError as exc:
+            return {
+                "session_id": session_id,
+                "failure": f"{type(exc).__name__}: {exc}",
+                "retries": transport.retries,
+                "recoveries": transport.recoveries,
+            }
+        finally:
+            transport.disconnect()
+
+    if threads <= 1 or len(jobs) <= 1:
+        return [one(job) for job in jobs]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return list(pool.map(one, jobs))
+
+
+def _warm_worker(_index: int) -> int:
+    """Force the spawned worker's imports before the timed window --
+    interpreter start-up is not part of the server's throughput."""
+    import repro.server.client  # noqa: F401
+
+    return _index
+
+
+@dataclass(frozen=True)
+class NetworkLoadReport:
+    """A :class:`LoadTestReport` plus wire-level accounting."""
+
+    report: LoadTestReport
+    retries: int
+    recoveries: int
+    failures: Tuple[str, ...]
+    p50_feed_latency_s: float
+    p99_feed_latency_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = self.report.as_dict()
+        payload["retries"] = self.retries
+        payload["recoveries"] = self.recoveries
+        payload["failures"] = list(self.failures)
+        payload["p50_feed_latency_s"] = round(self.p50_feed_latency_s, 6)
+        payload["p99_feed_latency_s"] = round(self.p99_feed_latency_s, 6)
+        return payload
+
+
+def run_network_load_test(
+    host: str,
+    port: int,
+    context: "object",
+    sessions: int = 8,
+    processes: int = 2,
+    threads: int = 2,
+    chunk_records: int = 16,
+    seed: int = 0,
+    mode: str = "prefix",
+    policy: Optional[RetryPolicy] = None,
+    scenario_name: str = "loadgen",
+) -> NetworkLoadReport:
+    """Replay *sessions* simulated trace files against ``host:port``.
+
+    Sessions are dealt round-robin over *processes* worker processes
+    (``processes=0`` → inline in this process), each driving up to
+    *threads* sessions concurrently.  The wall clock covers the full
+    networked span, so ``records_per_s`` is end-to-end throughput.
+    """
+    jobs = build_session_jobs(
+        context, sessions, seed, chunk_records, scenario_name
+    )
+    if policy is None:
+        policy = RetryPolicy()
+    if processes <= 0:
+        started = perf_counter()
+        rows = _drive_jobs(host, port, jobs, mode, threads, policy)
+        wall_s = perf_counter() - started
+    else:
+        shares: List[List[SessionJob]] = [[] for _ in range(processes)]
+        for i, job in enumerate(jobs):
+            shares[i % processes].append(job)
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=processes) as pool:
+            pool.map(_warm_worker, range(processes))
+            started = perf_counter()
+            parts = pool.starmap(
+                _drive_jobs,
+                [
+                    (host, port, share, mode, threads, policy)
+                    for share in shares
+                    if share
+                ],
+            )
+            wall_s = perf_counter() - started
+        rows = [row for part in parts for row in part]
+
+    outcomes: List[SessionOutcome] = []
+    failures: List[str] = []
+    retries = 0
+    recoveries = 0
+    for row in rows:
+        retries += int(row.get("retries", 0))  # type: ignore[arg-type]
+        recoveries += int(row.get("recoveries", 0))  # type: ignore[arg-type]
+        if "failure" in row:
+            failures.append(f"{row['session_id']}: {row['failure']}")
+            continue
+        outcomes.append(
+            SessionOutcome(
+                session_id=str(row["session_id"]),
+                result=LocalizationResult(
+                    consistent_paths=int(row["consistent_paths"]),  # type: ignore[arg-type]
+                    total_paths=int(row["total_paths"]),  # type: ignore[arg-type]
+                ),
+                status=str(row["status"]),
+                records=int(row["records"]),  # type: ignore[arg-type]
+                feed_latencies_s=tuple(row["latencies"]),  # type: ignore[arg-type]
+            )
+        )
+    latencies = sorted(
+        latency for o in outcomes for latency in o.feed_latencies_s
+    )
+    workers = (processes if processes > 0 else 1) * max(threads, 1)
+    return NetworkLoadReport(
+        report=build_report(
+            outcomes, workers, chunk_records, mode, wall_s
+        ),
+        retries=retries,
+        recoveries=recoveries,
+        failures=tuple(failures),
+        p50_feed_latency_s=percentile(latencies, 0.50),
+        p99_feed_latency_s=percentile(latencies, 0.99),
+    )

@@ -1,0 +1,261 @@
+"""The debug service's wire protocol: length-prefixed, versioned,
+CRC-validated binary frames.
+
+Every request and response travels as one frame (all multi-byte fields
+big-endian)::
+
+    +------+------+---------+------+--------+---------+-----------+-------+
+    | 0x52 | 0x70 | version | type | seq(32)| len(32) | payload.. | crc16 |
+    +------+------+---------+------+--------+---------+-----------+-------+
+
+``crc16`` is the CRC-16/CCITT of :mod:`repro.compress.framing` -- the
+same machinery that guards on-chip trace frames guards the wire --
+computed over ``version..payload``.  ``seq`` is a request-scoped
+correlation id: responses echo the request's ``seq``, so a client may
+pipeline.  The length prefix makes framing trivial to parse
+incrementally; unlike the self-resynchronizing compressed-trace format,
+TCP already guarantees ordering, so any malformed byte is a **fatal**
+protocol error for the connection (the peer replies ``ERROR`` where it
+can and closes).
+
+Request payloads are compact JSON (UTF-8) except ``FEED_CHUNK``, whose
+payload is binary so compressed-trace bytes never pay a base64 tax::
+
+    u8 sid_len | sid (UTF-8) | u32 chunk_index | u8 flags | data...
+
+``chunk_index`` makes feeds idempotent: the server tracks the next
+expected index per session, acknowledges duplicates without
+re-applying them (a retry after a lost response cannot double-feed),
+and rejects gaps with a structured ``chunk-gap`` error.  Flag bit 0
+marks end-of-stream (the server flushes a trailing partial line).
+
+Response payloads are always JSON.  ``ERROR`` carries ``{"error":
+code, "message": text}``; ``RETRY_LATER`` -- the backpressure reply --
+carries ``{"reason": ..., "retry_after_s": hint}`` and promises the
+request had **no effect**, so retrying is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compress.framing import crc16
+from repro.errors import ProtocolError
+
+#: Protocol magic ("Rp") and the one supported version.
+MAGIC = b"Rp"
+PROTOCOL_VERSION = 1
+
+#: Fixed sizes: magic(2) + version(1) + type(1) + seq(4) + len(4), and
+#: the trailing CRC-16.
+HEADER_BYTES = 12
+TRAILER_BYTES = 2
+
+#: Default cap on payload size; both sides enforce it *from the header*
+#: so an oversized frame is rejected before its body is buffered.
+DEFAULT_MAX_PAYLOAD = 1 << 20
+
+# Request frame types.
+OPEN_SESSION = 0x01
+FEED_CHUNK = 0x02
+SNAPSHOT = 0x03
+CLOSE_SESSION = 0x04
+STATS = 0x05
+PING = 0x06
+
+# Response frame types.
+OK = 0x81
+ERROR = 0x82
+RETRY_LATER = 0x83
+
+REQUEST_TYPES = frozenset(
+    (OPEN_SESSION, FEED_CHUNK, SNAPSHOT, CLOSE_SESSION, STATS, PING)
+)
+RESPONSE_TYPES = frozenset((OK, ERROR, RETRY_LATER))
+
+#: Feed flags.
+FLAG_EOF = 0x01
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """One decoded wire frame."""
+
+    frame_type: int
+    seq: int
+    payload: bytes
+    version: int = PROTOCOL_VERSION
+
+
+def encode_frame(
+    frame_type: int,
+    seq: int,
+    payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+    max_payload: int = DEFAULT_MAX_PAYLOAD,
+) -> bytes:
+    """Serialize one frame (magic + header + payload + CRC)."""
+    if not 0 <= frame_type <= 0xFF:
+        raise ProtocolError(f"frame type {frame_type} out of range")
+    if not 0 <= seq <= 0xFFFFFFFF:
+        raise ProtocolError(f"sequence number {seq} out of range")
+    if len(payload) > max_payload:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{max_payload}-byte limit"
+        )
+    body = (
+        bytes((version, frame_type))
+        + seq.to_bytes(4, "big")
+        + len(payload).to_bytes(4, "big")
+        + payload
+    )
+    return MAGIC + body + crc16(body).to_bytes(2, "big")
+
+
+class FrameAssembler:
+    """Incrementally reassembles frames from a TCP byte stream.
+
+    :meth:`feed` buffers arbitrary chunks and returns every frame that
+    completed.  A partial frame simply waits for more bytes; bad magic,
+    an unsupported version, an oversized declared length, or a CRC
+    mismatch raise :class:`~repro.errors.ProtocolError` -- the stream
+    is not trusted past the first corruption.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD) -> None:
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes awaiting a frame boundary (0 = clean cut)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[WireFrame]:
+        self._buffer.extend(data)
+        frames: List[WireFrame] = []
+        while True:
+            frame = self._try_next()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _try_next(self) -> Optional[WireFrame]:
+        buf = self._buffer
+        if len(buf) < HEADER_BYTES:
+            if buf and not MAGIC.startswith(bytes(buf[:2])):
+                raise ProtocolError(
+                    f"bad frame magic {bytes(buf[:2])!r}"
+                )
+            return None
+        if bytes(buf[:2]) != MAGIC:
+            raise ProtocolError(f"bad frame magic {bytes(buf[:2])!r}")
+        version = buf[2]
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} "
+                f"(this side speaks {PROTOCOL_VERSION})"
+            )
+        length = int.from_bytes(buf[8:12], "big")
+        if length > self.max_payload:
+            raise ProtocolError(
+                f"declared payload of {length} bytes exceeds the "
+                f"{self.max_payload}-byte limit"
+            )
+        end = HEADER_BYTES + length + TRAILER_BYTES
+        if len(buf) < end:
+            return None
+        body = bytes(buf[2 : HEADER_BYTES + length])
+        stored = int.from_bytes(buf[HEADER_BYTES + length : end], "big")
+        computed = crc16(body)
+        if stored != computed:
+            raise ProtocolError(
+                f"frame CRC mismatch (stored {stored:#06x}, "
+                f"computed {computed:#06x})"
+            )
+        frame = WireFrame(
+            frame_type=buf[3],
+            seq=int.from_bytes(buf[4:8], "big"),
+            payload=bytes(buf[HEADER_BYTES : HEADER_BYTES + length]),
+            version=version,
+        )
+        del buf[:end]
+        return frame
+
+
+# ----------------------------------------------------------------------
+# payload codecs
+def encode_json(obj: Dict[str, object]) -> bytes:
+    """Compact, key-sorted JSON payload bytes."""
+    return json.dumps(
+        obj, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> Dict[str, object]:
+    """Parse a JSON payload; :class:`ProtocolError` on anything else."""
+    if not payload:
+        return {}
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable JSON payload: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"JSON payload must be an object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def encode_feed_payload(
+    session_id: str, chunk_index: int, data: bytes, eof: bool = False
+) -> bytes:
+    """Binary ``FEED_CHUNK`` payload (see module docstring layout)."""
+    sid = session_id.encode("utf-8")
+    if not sid or len(sid) > 0xFF:
+        raise ProtocolError(
+            f"session id must encode to 1..255 bytes, got {len(sid)}"
+        )
+    if not 0 <= chunk_index <= 0xFFFFFFFF:
+        raise ProtocolError(f"chunk index {chunk_index} out of range")
+    flags = FLAG_EOF if eof else 0
+    return (
+        bytes((len(sid),))
+        + sid
+        + chunk_index.to_bytes(4, "big")
+        + bytes((flags,))
+        + data
+    )
+
+
+def decode_feed_payload(payload: bytes) -> Tuple[str, int, bool, bytes]:
+    """Parse a ``FEED_CHUNK`` payload into
+    ``(session_id, chunk_index, eof, data)``."""
+    if len(payload) < 1:
+        raise ProtocolError("empty FEED_CHUNK payload")
+    sid_len = payload[0]
+    if sid_len == 0 or len(payload) < 1 + sid_len + 5:
+        raise ProtocolError("truncated FEED_CHUNK payload")
+    try:
+        sid = payload[1 : 1 + sid_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"undecodable session id: {exc}") from None
+    base = 1 + sid_len
+    chunk_index = int.from_bytes(payload[base : base + 4], "big")
+    flags = payload[base + 4]
+    return sid, chunk_index, bool(flags & FLAG_EOF), payload[base + 5 :]
+
+
+# ----------------------------------------------------------------------
+# structured replies (shared client/server shapes)
+def error_payload(code: str, message: str) -> bytes:
+    return encode_json({"error": code, "message": message})
+
+
+def retry_later_payload(reason: str, retry_after_s: float) -> bytes:
+    return encode_json(
+        {"reason": reason, "retry_after_s": round(retry_after_s, 4)}
+    )

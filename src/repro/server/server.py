@@ -1,0 +1,969 @@
+"""The asyncio debug server: sharded sessions behind the wire protocol.
+
+Architecture::
+
+                    +-- shard 0: queue -> 1-thread executor -> SessionManager
+    TCP conns ------+-- shard 1: queue -> 1-thread executor -> SessionManager
+     (asyncio)      +-- ...          (consistent-hash routed by session id)
+
+* **Sharding** -- every session id maps onto one shard via a
+  consistent-hash ring (:class:`HashRing`), so all of a session's
+  operations serialize through that shard's single worker thread:
+  per-session ordering holds with zero per-request locking in the
+  server itself (the :class:`~repro.stream.session.SessionManager`'s
+  own locks cover the cross-thread idle sweep).
+* **Admission control** -- three independent limits answer overload
+  with a structured ``RETRY_LATER`` frame instead of stalling or
+  dropping accepted work: a global open-session cap, a per-shard queue
+  depth cap, and a per-connection in-flight cap.  A ``RETRY_LATER``
+  always means the request had no effect.
+* **Idle eviction** -- a sweeper task periodically retires sessions
+  nobody fed (running on each shard's executor, so it serializes with
+  that shard's operations).
+* **Graceful drain** -- SIGINT/SIGTERM stop the accept loop, let every
+  queued operation finish and its response flush, then retire the
+  remaining sessions through their managers (telemetry intact).
+
+The metrics plane (:mod:`repro.server.metrics`) is wired in here:
+request/feed counters and latency histograms update on the serving
+path; per-shard manager stats, runtime-cache hit rates, ``repro.perf``
+stage counters, and compressed-transport ratios are sampled at scrape
+time -- over the ``STATS`` frame or the plain-HTTP
+``--metrics-port`` listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import codecs
+import json
+import signal
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro import perf
+from repro.core.interleave import InterleavedFlow
+from repro.core.message import Message
+from repro.errors import ProtocolError, SelectionError, StreamError
+from repro.server import protocol
+from repro.server.metrics import MetricsRegistry, runtime_cache_collector
+from repro.stream.ingest import CompressedTraceIngester, IncrementalTraceParser
+from repro.stream.session import SessionLimits, SessionManager
+
+#: Session transports: text trace-file chunks, or framed compressed
+#: bitstream chunks (decoded by :class:`CompressedTraceIngester`).
+TRANSPORTS = ("text", "ctrace")
+
+
+@dataclass(frozen=True)
+class ServeContext:
+    """What the server serves: one usage scenario's analysis context."""
+
+    name: str
+    interleaved: InterleavedFlow
+    traced: Tuple[Message, ...]
+    catalog: Mapping[str, Message]
+    mode: str = "prefix"
+    max_frontier: Optional[int] = 4096
+
+    @classmethod
+    def from_scenario(
+        cls,
+        number: int,
+        instances: int = 1,
+        buffer_width: int = 32,
+        mode: str = "prefix",
+        max_frontier: Optional[int] = 4096,
+    ) -> "ServeContext":
+        """Build the context for a T2 scenario (cached selection)."""
+        from repro.experiments.common import scenario_selection
+
+        bundle = scenario_selection(
+            number, instances=instances, buffer_width=buffer_width
+        )
+        sc = bundle.scenario
+        return cls(
+            name=sc.name,
+            interleaved=sc.interleaved(),
+            traced=tuple(bundle.with_packing.traced),
+            catalog=dict(sc.catalog.messages),
+            mode=mode,
+            max_frontier=max_frontier,
+        )
+
+    @classmethod
+    def from_components(
+        cls,
+        interleaved: InterleavedFlow,
+        traced: Tuple[Message, ...],
+        catalog: Optional[Mapping[str, Message]] = None,
+        name: str = "custom",
+        mode: str = "prefix",
+        max_frontier: Optional[int] = 4096,
+    ) -> "ServeContext":
+        if catalog is None:
+            catalog = {m.name: m for m in interleaved.messages}
+        return cls(
+            name=name,
+            interleaved=interleaved,
+            traced=tuple(traced),
+            catalog=dict(catalog),
+            mode=mode,
+            max_frontier=max_frontier,
+        )
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Operational knobs of one :class:`DebugServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    shards: int = 2
+    max_sessions: int = 64
+    max_queue_depth: int = 64
+    max_inflight: int = 32
+    max_payload_bytes: int = protocol.DEFAULT_MAX_PAYLOAD
+    idle_timeout_s: float = 300.0
+    idle_sweep_s: float = 10.0
+    retry_after_s: float = 0.05
+    metrics_port: Optional[int] = None
+
+
+class HashRing:
+    """Consistent hashing of session ids onto shard indices.
+
+    Each shard owns ``replicas`` points on a 32-bit ring (CRC-32 of a
+    shard-replica label -- deterministic across processes and hash
+    seeds); a session id lands on the first point at or after its own
+    hash.  Adding a shard therefore remaps only ~1/N of the id space,
+    and the spread is even without any coordination.
+    """
+
+    def __init__(self, shards: int, replicas: int = 32) -> None:
+        if shards < 1:
+            raise StreamError(f"shards must be >= 1, got {shards}")
+        points: List[Tuple[int, int]] = []
+        for index in range(shards):
+            for replica in range(replicas):
+                label = f"shard-{index}#{replica}".encode("ascii")
+                points.append((zlib.crc32(label) & 0xFFFFFFFF, index))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_for(self, session_id: str) -> int:
+        key = zlib.crc32(session_id.encode("utf-8")) & 0xFFFFFFFF
+        position = bisect.bisect_left(self._hashes, key)
+        if position == len(self._hashes):
+            position = 0
+        return self._shards[position]
+
+
+class _ServerSession:
+    """Server-side per-session state outside the manager: the ingest
+    pipeline and the idempotency cursor (touched only by the owning
+    shard's worker thread)."""
+
+    __slots__ = (
+        "session_id", "transport", "parser", "ingester", "decoder",
+        "next_chunk", "records", "wire_bytes", "raw_bits", "last_status",
+        "observed_length", "frontier_size",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        transport: str,
+        catalog: Mapping[str, Message],
+    ) -> None:
+        self.session_id = session_id
+        self.transport = transport
+        self.parser = IncrementalTraceParser(catalog)
+        self.ingester = (
+            CompressedTraceIngester(catalog, parser=self.parser)
+            if transport == "ctrace"
+            else None
+        )
+        # chunk payloads may split a multi-byte character; decode
+        # incrementally so a torn codepoint survives the chunk boundary
+        self.decoder = codecs.getincrementaldecoder("utf-8")("replace")
+        self.next_chunk = 0
+        self.records = 0
+        self.wire_bytes = 0
+        self.raw_bits = 0
+        self.last_status = "active"
+        self.observed_length = 0
+        self.frontier_size = 0
+
+
+class _Shard:
+    """One shard: manager + session wrappers + serialized work lane."""
+
+    def __init__(
+        self, index: int, context: ServeContext, config: ServerConfig
+    ) -> None:
+        self.index = index
+        self.manager = SessionManager(
+            context.interleaved,
+            context.traced,
+            mode=context.mode,
+            limits=SessionLimits(
+                max_sessions=config.max_sessions,
+                max_frontier=context.max_frontier,
+                idle_timeout_s=config.idle_timeout_s,
+            ),
+        )
+        # every shard owns a manager over the same scenario; warming at
+        # construction builds the shared DP tables before the listener
+        # accepts, so no first request on any shard pays for them
+        self.manager.warm()
+        self.sessions: Dict[str, _ServerSession] = {}
+        self.queue: "asyncio.Queue[Tuple[Callable[[], Tuple[int, bytes]], asyncio.Future]]" = (
+            asyncio.Queue()
+        )
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard{index}"
+        )
+
+    def sweep(self) -> Tuple[str, ...]:
+        """Evict idle sessions and drop their ingest state (runs on the
+        shard executor, serialized with regular operations)."""
+        evicted = self.manager.evict_idle()
+        live = set(self.manager.session_ids())
+        for sid in list(self.sessions):
+            if sid not in live:
+                del self.sessions[sid]
+        return evicted
+
+    def close_all(self) -> int:
+        """Retire every remaining session (drain path)."""
+        closed = 0
+        for sid in self.manager.session_ids():
+            try:
+                self.manager.close(sid)
+                closed += 1
+            except StreamError:
+                pass
+        self.sessions.clear()
+        return closed
+
+    def stats(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"shard": self.index}
+        payload.update(self.manager.stats())
+        payload["queue_depth"] = self.queue.qsize()
+        return payload
+
+
+class _Connection:
+    """Per-connection bookkeeping (owned by the event loop)."""
+
+    __slots__ = ("writer", "write_lock", "inflight", "assembler")
+
+    def __init__(self, writer: asyncio.StreamWriter, max_payload: int) -> None:
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.inflight = 0
+        self.assembler = protocol.FrameAssembler(max_payload=max_payload)
+
+
+class DebugServer:
+    """The networked post-silicon debug service (one scenario)."""
+
+    def __init__(
+        self,
+        context: ServeContext,
+        config: Optional[ServerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.context = context
+        self.config = config if config is not None else ServerConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.ring = HashRing(self.config.shards)
+        self._shards: List[_Shard] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._consumers: List[asyncio.Task] = []
+        self._sweeper: Optional[asyncio.Task] = None
+        self._connections: set = set()
+        self._draining = False
+        self._stopped = False
+        self._started_at = 0.0
+        self._session_counter = 0
+        self._perf = perf.PerfCounters()
+        self.host = self.config.host
+        self.port = self.config.port
+        self.metrics_port = self.config.metrics_port
+        self._wire_counters()
+
+    # -- metrics wiring ------------------------------------------------
+    def _wire_counters(self) -> None:
+        reg = self.registry
+        self._c_requests = reg.counter("requests_total")
+        self._c_feeds = reg.counter("feeds_total")
+        self._c_records = reg.counter("records_fed_total")
+        self._c_opens = reg.counter("opens_total")
+        self._c_closes = reg.counter("closes_total")
+        self._c_retry = reg.counter("retry_later_total")
+        self._c_errors = reg.counter("error_replies_total")
+        self._c_protocol = reg.counter("protocol_errors_total")
+        self._c_connections = reg.counter("connections_total")
+        self._c_bytes_in = reg.counter("wire_bytes_in")
+        self._c_bytes_out = reg.counter("wire_bytes_out")
+        self._c_cbytes = reg.counter("compressed_wire_bytes")
+        self._c_craw = reg.counter("compressed_raw_bits")
+        self._h_feed = reg.histogram("feed_latency_s")
+        self._h_request = reg.histogram("request_latency_s")
+        reg.add_collector("server", self._server_stats)
+        reg.add_collector(
+            "shards", lambda: {"shards": [s.stats() for s in self._shards]}
+        )
+        reg.add_collector("runtime_cache", runtime_cache_collector)
+        reg.add_collector("perf", self._perf.as_dict)
+
+    def _server_stats(self) -> Dict[str, object]:
+        wire_bytes = self._c_cbytes.value
+        raw_bits = self._c_craw.value
+        return {
+            "scenario": self.context.name,
+            "mode": self.context.mode,
+            "host": self.host,
+            "port": self.port,
+            "shards": len(self._shards),
+            "uptime_s": round(
+                time.monotonic() - self._started_at if self._started_at else 0.0,
+                3,
+            ),
+            "draining": self._draining,
+            "open_connections": len(self._connections),
+            "open_sessions": sum(len(s.manager) for s in self._shards),
+            "max_sessions": self.config.max_sessions,
+            "compression_ratio": (
+                round(raw_bits / (wire_bytes * 8), 4) if wire_bytes else 0.0
+            ),
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start shard consumers and the sweeper; returns the
+        bound ``(host, port)`` (port 0 resolves to an ephemeral one)."""
+        if self._server is not None:
+            raise StreamError("server already started")
+        loop = asyncio.get_running_loop()
+        self._shards = [
+            _Shard(i, self.context, self.config)
+            for i in range(self.config.shards)
+        ]
+        perf.activate(self._perf)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._consumers = [
+            loop.create_task(self._consume(shard)) for shard in self._shards
+        ]
+        self._sweeper = loop.create_task(self._sweep_loop())
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics,
+                self.config.host,
+                self.config.metrics_port,
+            )
+            msock = self._metrics_server.sockets[0].getsockname()
+            self.metrics_port = msock[1]
+        self._started_at = time.monotonic()
+        return self.host, self.port
+
+    async def stop(self, drain: bool = True, abort: bool = False) -> None:
+        """Stop serving.
+
+        ``drain=True`` (the graceful path) finishes every queued
+        operation, flushes its response, and retires remaining sessions
+        through their managers.  ``abort=True`` simulates a crash:
+        connections are torn down immediately and queued work is
+        dropped -- the client-retry soak test drives this path.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+        if abort:
+            for connection in list(self._connections):
+                transport = connection.writer.transport
+                if transport is not None:
+                    transport.abort()
+        elif drain:
+            for shard in self._shards:
+                try:
+                    await asyncio.wait_for(shard.queue.join(), timeout=30.0)
+                except asyncio.TimeoutError:  # pragma: no cover - defensive
+                    pass
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+        for task in self._consumers:
+            task.cancel()
+        await asyncio.gather(
+            *self._consumers,
+            *((self._sweeper,) if self._sweeper else ()),
+            return_exceptions=True,
+        )
+        if not abort:
+            loop = asyncio.get_running_loop()
+            for shard in self._shards:
+                await loop.run_in_executor(shard.executor, shard.close_all)
+        for connection in list(self._connections):
+            try:
+                connection.writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        for shard in self._shards:
+            shard.executor.shutdown(wait=True)
+        perf.deactivate(self._perf)
+
+    async def run(
+        self,
+        duration: Optional[float] = None,
+        on_ready: Optional[Callable[["DebugServer"], None]] = None,
+    ) -> None:
+        """Start, serve until SIGINT/SIGTERM (or *duration* seconds),
+        then drain gracefully."""
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        installed: List[signal.Signals] = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            if duration is None:
+                await stop_event.wait()
+            else:
+                try:
+                    await asyncio.wait_for(stop_event.wait(), duration)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.stop(drain=True)
+
+    # -- background tasks ----------------------------------------------
+    async def _consume(self, shard: _Shard) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            fn, future = await shard.queue.get()
+            try:
+                result = await loop.run_in_executor(shard.executor, fn)
+            except Exception as exc:  # noqa: BLE001 - reply, don't die
+                result = (
+                    protocol.ERROR,
+                    protocol.error_payload("internal", str(exc)),
+                )
+            if not future.cancelled():
+                future.set_result(result)
+            shard.queue.task_done()
+
+    async def _sweep_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.idle_sweep_s)
+            for shard in self._shards:
+                await loop.run_in_executor(shard.executor, shard.sweep)
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer, self.config.max_payload_bytes)
+        self._connections.add(connection)
+        self._c_connections.inc()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                self._c_bytes_in.inc(len(data))
+                try:
+                    frames = connection.assembler.feed(data)
+                except ProtocolError as exc:
+                    self._c_protocol.inc()
+                    await self._send(
+                        connection,
+                        protocol.ERROR,
+                        0,
+                        protocol.error_payload("protocol", str(exc)),
+                    )
+                    break
+                for frame in frames:
+                    await self._accept_frame(connection, frame)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    async def _accept_frame(
+        self, connection: _Connection, frame: protocol.WireFrame
+    ) -> None:
+        """Admission-check one request and hand it to its shard."""
+        self._c_requests.inc()
+        if frame.frame_type not in protocol.REQUEST_TYPES:
+            self._c_protocol.inc()
+            await self._send(
+                connection,
+                protocol.ERROR,
+                frame.seq,
+                protocol.error_payload(
+                    "bad-request",
+                    f"unknown request type {frame.frame_type:#04x}",
+                ),
+            )
+            return
+        # metrics/health requests are served inline: they must work
+        # even when every shard queue is saturated
+        if frame.frame_type == protocol.STATS:
+            await self._send(
+                connection,
+                protocol.OK,
+                frame.seq,
+                protocol.encode_json(self.registry.snapshot()),
+            )
+            return
+        if frame.frame_type == protocol.PING:
+            await self._send(
+                connection,
+                protocol.OK,
+                frame.seq,
+                protocol.encode_json(
+                    {"version": protocol.PROTOCOL_VERSION,
+                     "scenario": self.context.name}
+                ),
+            )
+            return
+        if self._draining:
+            await self._retry_later(connection, frame.seq, "draining")
+            return
+        if connection.inflight >= self.config.max_inflight:
+            await self._retry_later(connection, frame.seq, "inflight-cap")
+            return
+        try:
+            shard, op, is_feed = self._route(frame)
+        except ProtocolError as exc:
+            self._c_protocol.inc()
+            await self._send(
+                connection,
+                protocol.ERROR,
+                frame.seq,
+                protocol.error_payload("protocol", str(exc)),
+            )
+            return
+        except StreamError as exc:
+            await self._retry_later(connection, frame.seq, str(exc))
+            return
+        if shard.queue.qsize() >= self.config.max_queue_depth:
+            await self._retry_later(connection, frame.seq, "queue-full")
+            return
+        connection.inflight += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await shard.queue.put((op, future))
+        asyncio.get_running_loop().create_task(
+            self._respond(connection, frame.seq, future, is_feed)
+        )
+
+    async def _respond(
+        self,
+        connection: _Connection,
+        seq: int,
+        future: "asyncio.Future",
+        is_feed: bool,
+    ) -> None:
+        started = time.perf_counter()
+        try:
+            frame_type, payload = await future
+        finally:
+            connection.inflight -= 1
+        elapsed = time.perf_counter() - started
+        self._h_request.observe(elapsed)
+        if is_feed:
+            self._h_feed.observe(elapsed)
+        if frame_type == protocol.ERROR:
+            self._c_errors.inc()
+        await self._send(connection, frame_type, seq, payload)
+
+    async def _retry_later(
+        self, connection: _Connection, seq: int, reason: str
+    ) -> None:
+        self._c_retry.inc()
+        await self._send(
+            connection,
+            protocol.RETRY_LATER,
+            seq,
+            protocol.retry_later_payload(reason, self.config.retry_after_s),
+        )
+
+    async def _send(
+        self, connection: _Connection, frame_type: int, seq: int,
+        payload: bytes,
+    ) -> None:
+        data = protocol.encode_frame(
+            frame_type, seq, payload,
+            max_payload=self.config.max_payload_bytes,
+        )
+        self._c_bytes_out.inc(len(data))
+        async with connection.write_lock:
+            try:
+                connection.writer.write(data)
+                await connection.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                pass
+
+    # -- request routing and shard-thread operations -------------------
+    def _route(
+        self, frame: protocol.WireFrame
+    ) -> Tuple[_Shard, Callable[[], Tuple[int, bytes]], bool]:
+        """Build the shard-thread operation for one request.
+
+        Raises :class:`ProtocolError` for malformed payloads and
+        :class:`StreamError` for global-capacity refusals (mapped to
+        ``RETRY_LATER`` by the caller).
+        """
+        if frame.frame_type == protocol.FEED_CHUNK:
+            sid, chunk_index, eof, data = protocol.decode_feed_payload(
+                frame.payload
+            )
+            shard = self._shards[self.ring.shard_for(sid)]
+            return (
+                shard,
+                lambda: self._op_feed(shard, sid, chunk_index, eof, data),
+                True,
+            )
+        body = protocol.decode_json(frame.payload)
+        if frame.frame_type == protocol.OPEN_SESSION:
+            sid = body.get("session_id")
+            if sid is None:
+                self._session_counter += 1
+                sid = f"g{self._session_counter:06d}"
+            if not isinstance(sid, str) or not sid:
+                raise ProtocolError("session_id must be a non-empty string")
+            mode = body.get("mode")
+            transport = body.get("transport", "text")
+            if transport not in TRANSPORTS:
+                raise ProtocolError(
+                    f"unknown transport {transport!r}; choose "
+                    f"{' or '.join(TRANSPORTS)}"
+                )
+            open_sessions = sum(len(s.manager) for s in self._shards)
+            if open_sessions >= self.config.max_sessions:
+                raise StreamError("session-table-full")
+            shard = self._shards[self.ring.shard_for(sid)]
+            return (
+                shard,
+                lambda: self._op_open(shard, sid, mode, str(transport)),
+                False,
+            )
+        sid = body.get("session_id")
+        if not isinstance(sid, str) or not sid:
+            raise ProtocolError("session_id must be a non-empty string")
+        shard = self._shards[self.ring.shard_for(sid)]
+        if frame.frame_type == protocol.SNAPSHOT:
+            return shard, lambda: self._op_snapshot(shard, sid), False
+        return shard, lambda: self._op_close(shard, sid), False
+
+    def _op_open(
+        self, shard: _Shard, sid: str, mode: Optional[object],
+        transport: str,
+    ) -> Tuple[int, bytes]:
+        try:
+            shard.manager.open(
+                sid, mode=mode if mode is None else str(mode)
+            )
+        except StreamError as exc:
+            if "table full" in str(exc):
+                return (
+                    protocol.RETRY_LATER,
+                    protocol.retry_later_payload(
+                        "session-table-full", self.config.retry_after_s
+                    ),
+                )
+            return (
+                protocol.ERROR,
+                protocol.error_payload("session-exists", str(exc)),
+            )
+        except SelectionError as exc:
+            return (
+                protocol.ERROR,
+                protocol.error_payload("bad-request", str(exc)),
+            )
+        shard.sessions[sid] = _ServerSession(
+            sid, transport, self.context.catalog
+        )
+        self._c_opens.inc()
+        return (
+            protocol.OK,
+            protocol.encode_json(
+                {
+                    "session_id": sid,
+                    "shard": shard.index,
+                    "transport": transport,
+                    "mode": shard.manager.session(sid).mode,
+                }
+            ),
+        )
+
+    def _op_feed(
+        self, shard: _Shard, sid: str, chunk_index: int, eof: bool,
+        data: bytes,
+    ) -> Tuple[int, bytes]:
+        session = shard.sessions.get(sid)
+        if session is None:
+            return self._unknown_session(shard, sid)
+        if chunk_index < session.next_chunk:
+            # a retransmit of an already-applied chunk (the response
+            # was lost); acknowledge without re-feeding
+            return (
+                protocol.OK,
+                protocol.encode_json(
+                    {
+                        "session_id": sid,
+                        "chunk_index": chunk_index,
+                        "duplicate": True,
+                        "consumed": 0,
+                        "records": 0,
+                        "status": session.last_status,
+                        "observed_length": session.observed_length,
+                        "frontier_size": session.frontier_size,
+                    }
+                ),
+            )
+        if chunk_index > session.next_chunk:
+            return (
+                protocol.ERROR,
+                protocol.error_payload(
+                    "chunk-gap",
+                    f"expected chunk {session.next_chunk}, "
+                    f"got {chunk_index}",
+                ),
+            )
+        if session.transport == "ctrace":
+            records = list(session.ingester.feed(data))
+            if eof:
+                records.extend(session.ingester.close())
+            session.wire_bytes += len(data)
+            self._c_cbytes.inc(len(data))
+            if records:
+                from repro.compress.encoder import uncompressed_capture_bits
+
+                added_bits = uncompressed_capture_bits(records)
+                session.raw_bits += added_bits
+                self._c_craw.inc(added_bits)
+        else:
+            text = session.decoder.decode(data, final=eof)
+            records = list(session.parser.feed(text))
+            if eof:
+                records.extend(session.parser.close())
+        try:
+            outcome = shard.manager.feed(sid, records, drop_invisible=True)
+        except StreamError:
+            return self._unknown_session(shard, sid)
+        session.next_chunk = chunk_index + 1
+        session.records += outcome.consumed
+        session.last_status = outcome.status
+        session.observed_length = outcome.observed_length
+        session.frontier_size = outcome.frontier_size
+        self._c_feeds.inc()
+        self._c_records.inc(outcome.consumed)
+        return (
+            protocol.OK,
+            protocol.encode_json(
+                {
+                    "session_id": sid,
+                    "chunk_index": chunk_index,
+                    "duplicate": False,
+                    "consumed": outcome.consumed,
+                    "records": len(records),
+                    "status": outcome.status,
+                    "observed_length": outcome.observed_length,
+                    "frontier_size": outcome.frontier_size,
+                }
+            ),
+        )
+
+    def _op_snapshot(self, shard: _Shard, sid: str) -> Tuple[int, bytes]:
+        try:
+            result = shard.manager.snapshot(sid)
+            session = shard.manager.session(sid)
+            status = session.status
+            observed = session.localizer.observed_length
+        except StreamError:
+            return self._unknown_session(shard, sid)
+        return (
+            protocol.OK,
+            protocol.encode_json(
+                {
+                    "session_id": sid,
+                    "consistent_paths": result.consistent_paths,
+                    "total_paths": result.total_paths,
+                    "fraction": result.fraction,
+                    "status": status,
+                    "observed_length": observed,
+                }
+            ),
+        )
+
+    def _op_close(self, shard: _Shard, sid: str) -> Tuple[int, bytes]:
+        try:
+            record = shard.manager.close(sid)
+        except StreamError:
+            return self._unknown_session(shard, sid)
+        shard.sessions.pop(sid, None)
+        self._c_closes.inc()
+        extra = record.extra
+        return (
+            protocol.OK,
+            protocol.encode_json(
+                {
+                    "session_id": sid,
+                    "status": str(extra["status"]),
+                    "records": extra["records"],
+                    "observed_length": extra["observed_length"],
+                    "consistent_paths": extra["consistent_paths"],
+                    "total_paths": extra["total_paths"],
+                    "fraction": extra["fraction"],
+                }
+            ),
+        )
+
+    def _unknown_session(self, shard: _Shard, sid: str) -> Tuple[int, bytes]:
+        shard.sessions.pop(sid, None)
+        return (
+            protocol.ERROR,
+            protocol.error_payload(
+                "unknown-session",
+                f"session {sid!r} is not open on this server "
+                "(closed, evicted, or lost to a restart)",
+            ),
+        )
+
+    # -- metrics plane -------------------------------------------------
+    async def _handle_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+        except Exception:
+            writer.close()
+            return
+        body = json.dumps(
+            self.registry.snapshot(), indent=2, sort_keys=True
+        ).encode("utf-8")
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode("ascii")
+            + b"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+
+
+class ServerThread:
+    """Runs a :class:`DebugServer` on a background event-loop thread.
+
+    The blocking-world adapter used by tests, ``benchmarks/
+    server_bench.py``, and anything else that wants a live server
+    without owning an event loop.  ``stop(abort=True)`` simulates a
+    crash (connections torn down, queued work dropped) -- the
+    client-retry soak test kills and restarts a server this way.
+    """
+
+    def __init__(
+        self,
+        context: ServeContext,
+        config: Optional[ServerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.server = DebugServer(context, config=config, registry=registry)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._release: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        if self._thread is not None:
+            raise StreamError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise StreamError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._release = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._release.wait()
+
+    def stop(self, drain: bool = True, abort: bool = False) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if self._thread is None or self._loop is None:
+            return
+        if self._thread.is_alive() and self._startup_error is None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain=drain, abort=abort), self._loop
+            )
+            future.result(timeout=60.0)
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._release.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

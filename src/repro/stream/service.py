@@ -5,7 +5,11 @@ SessionManager` -- stdlib only.
 task opens a session, feeds its record chunks in order, snapshots, and
 closes.  Per-session ordering is guaranteed by construction (a
 session's chunks never leave its task); cross-session isolation is the
-manager's job and is what the load test below exercises.
+manager's job and is what the load test below exercises.  The worker
+loop itself lives in :mod:`repro.stream.workload` -- the same
+:func:`~repro.stream.workload.drive_session` drives the networked
+sessions of :mod:`repro.server.loadgen`, so in-process and wire-level
+numbers are directly comparable.
 
 :func:`run_load_test` is the reusable synthetic workload behind
 ``python -m repro serve-demo`` and ``benchmarks/stream_bench.py``: N
@@ -15,68 +19,34 @@ aggregate records/sec plus p95/max per-feed latency.
 
 from __future__ import annotations
 
-import math
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.core.interleave import InterleavedFlow
 from repro.core.message import Message
 from repro.errors import StreamError
-from repro.selection.localization import LocalizationResult
 from repro.sim.engine import TraceRecord, TransactionSimulator
 from repro.stream.incremental import Observable
 from repro.stream.session import SessionLimits, SessionManager
+from repro.stream.workload import (
+    InProcessTransport,
+    LoadTestReport,
+    SessionOutcome,
+    build_report,
+    chunked,
+    drive_session,
+)
+from repro.stream.workload import percentile as _percentile  # noqa: F401
 
-
-@dataclass(frozen=True)
-class SessionOutcome:
-    """Everything one driven session produced."""
-
-    session_id: str
-    result: LocalizationResult
-    status: str
-    records: int
-    feed_latencies_s: Tuple[float, ...]
-
-
-@dataclass(frozen=True)
-class LoadTestReport:
-    """Aggregate numbers from one synthetic multi-session run."""
-
-    sessions: int
-    workers: int
-    chunk_size: int
-    mode: str
-    total_records: int
-    wall_s: float
-    records_per_s: float
-    p95_feed_latency_s: float
-    max_feed_latency_s: float
-    outcomes: Tuple[SessionOutcome, ...]
-
-    def as_dict(self) -> Dict[str, object]:
-        """JSON-ready summary (per-session payloads reduced to the
-        numbers dashboards plot)."""
-        return {
-            "sessions": self.sessions,
-            "workers": self.workers,
-            "chunk_size": self.chunk_size,
-            "mode": self.mode,
-            "total_records": self.total_records,
-            "wall_s": round(self.wall_s, 6),
-            "records_per_s": round(self.records_per_s, 3),
-            "p95_feed_latency_s": round(self.p95_feed_latency_s, 6),
-            "max_feed_latency_s": round(self.max_feed_latency_s, 6),
-            "statuses": {
-                status: sum(1 for o in self.outcomes if o.status == status)
-                for status in sorted({o.status for o in self.outcomes})
-            },
-            "fractions": [
-                round(o.result.fraction, 8) for o in self.outcomes
-            ],
-        }
+__all__ = [
+    "LoadTestReport",
+    "SessionOutcome",
+    "StreamService",
+    "chunked",
+    "run_load_test",
+    "synthetic_session_records",
+]
 
 
 class StreamService:
@@ -106,26 +76,11 @@ class StreamService:
         drop_invisible: bool = False,
     ) -> SessionOutcome:
         """Open, feed every chunk in order, snapshot, close (synchronous)."""
-        sid = self.manager.open(session_id, mode=mode)
-        latencies: List[float] = []
-        records = 0
-        try:
-            for chunk in chunks:
-                started = time.perf_counter()
-                outcome = self.manager.feed(
-                    sid, chunk, drop_invisible=drop_invisible
-                )
-                latencies.append(time.perf_counter() - started)
-                records += outcome.consumed
-            result = self.manager.snapshot(sid)
-        finally:
-            record = self.manager.close(sid)
-        return SessionOutcome(
-            session_id=sid,
-            result=result,
-            status=str(record.extra["status"]),
-            records=records,
-            feed_latencies_s=tuple(latencies),
+        return drive_session(
+            InProcessTransport(self.manager, drop_invisible=drop_invisible),
+            chunks,
+            session_id=session_id,
+            mode=mode,
         )
 
     def submit_session(
@@ -155,17 +110,6 @@ class StreamService:
 
 
 # ----------------------------------------------------------------------
-def chunked(
-    records: Sequence[Observable], size: int
-) -> List[Tuple[Observable, ...]]:
-    """Split *records* into feed-sized chunks (last one may be short)."""
-    if size < 1:
-        raise StreamError(f"chunk size must be >= 1, got {size}")
-    return [
-        tuple(records[i : i + size]) for i in range(0, len(records), size)
-    ]
-
-
 def synthetic_session_records(
     interleaved: InterleavedFlow,
     traced: Iterable[Message],
@@ -218,27 +162,10 @@ def run_load_test(
         ]
         outcomes = tuple(f.result() for f in futures)
     wall = time.perf_counter() - started
-    latencies = sorted(
-        latency for o in outcomes for latency in o.feed_latencies_s
-    )
-    total_records = sum(o.records for o in outcomes)
-    return LoadTestReport(
-        sessions=sessions,
+    return build_report(
+        outcomes,
         workers=workers,
         chunk_size=chunk_size,
         mode=mode,
-        total_records=total_records,
         wall_s=wall,
-        records_per_s=total_records / wall if wall > 0 else 0.0,
-        p95_feed_latency_s=_percentile(latencies, 0.95),
-        max_feed_latency_s=latencies[-1] if latencies else 0.0,
-        outcomes=outcomes,
     )
-
-
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[min(rank, len(sorted_values)) - 1]

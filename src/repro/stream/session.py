@@ -20,9 +20,20 @@ carried frontier.  Every session's lifecycle ends in a
 through the process-wide telemetry ring, same as the batch
 orchestrators.
 
-All public methods are thread-safe behind one manager lock: the DP
-advances are pure Python (GIL-bound), so finer locking would buy
-nothing while costing correctness review.
+Locking discipline (the multi-shard service sweeps idle sessions from
+a different thread than the one feeding them):
+
+* the *manager* lock guards the session table (``open``/``close``/
+  ``evict_idle`` mutation, lookups, id allocation, the stats counters),
+* a *per-session* lock guards that session's localizer state, so two
+  sessions feed concurrently and an eviction sweep cannot retire a
+  session mid-feed.
+
+The manager lock is *never* held while waiting on a session lock
+(lookups release it first); retiring a session nests the manager lock
+inside the session lock, so that is the one nesting order and the pair
+cannot deadlock.  ``feed``/``snapshot`` drop the manager lock before
+the DP advance -- a long chunk on one session never blocks the table.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.interleave import InterleavedFlow
 from repro.core.message import Message
@@ -82,6 +93,15 @@ class StreamSession:
         self.last_active = opened_at
         self.feeds = 0
         self.records = 0
+        #: Serializes this session's localizer mutations against the
+        #: eviction sweep; acquired only after (never while waiting
+        #: for) the manager lock.
+        self.lock = threading.Lock()
+        #: Set exactly once, under ``lock``, when the session leaves
+        #: the table -- feeds racing an eviction see it and fail with
+        #: an "unknown session" error instead of mutating a retired
+        #: localizer.
+        self.retired = False
 
     @property
     def mode(self) -> str:
@@ -121,11 +141,22 @@ class SessionManager:
         self._lock = threading.RLock()
         self._sessions: Dict[str, StreamSession] = {}
         self._next_id = 0
+        self._opened = 0
+        self._retired: Dict[str, int] = {CLOSED: 0, EVICTED: 0, OVERFLOW: 0}
+        self._feeds = 0
+        self._records = 0
 
     # ------------------------------------------------------------------
     @property
     def shared_localizer(self) -> PathLocalizer:
         return self._shared
+
+    def warm(self) -> "SessionManager":
+        """Pre-build the shared localizer's lazy DP tables so the first
+        ``open``/``feed`` doesn't pay for them.  Hosts that keep a
+        manager per shard call this at startup; returns ``self``."""
+        self._shared.warm()
+        return self
 
     def session_ids(self) -> Tuple[str, ...]:
         with self._lock:
@@ -139,6 +170,19 @@ class SessionManager:
         with self._lock:
             return len(self._sessions)
 
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters (for the service metrics plane)."""
+        with self._lock:
+            return {
+                "open_sessions": len(self._sessions),
+                "opened": self._opened,
+                "closed": self._retired[CLOSED],
+                "evicted": self._retired[EVICTED],
+                "overflowed": self._retired[OVERFLOW],
+                "feeds": self._feeds,
+                "records": self._records,
+            }
+
     # ------------------------------------------------------------------
     def open(
         self, session_id: Optional[str] = None, mode: Optional[str] = None
@@ -148,8 +192,8 @@ class SessionManager:
         Evicts idle sessions first; raises :class:`~repro.errors.
         StreamError` when the table is still full or the id is taken.
         """
+        self.evict_idle()
         with self._lock:
-            self.evict_idle()
             if len(self._sessions) >= self.limits.max_sessions:
                 raise StreamError(
                     f"session table full ({self.limits.max_sessions}); "
@@ -168,6 +212,7 @@ class SessionManager:
             self._sessions[session_id] = StreamSession(
                 session_id, localizer, self._clock()
             )
+            self._opened += 1
             return session_id
 
     def feed(
@@ -187,6 +232,9 @@ class SessionManager:
         """
         with self._lock:
             session = self._get(session_id)
+        with session.lock:
+            if session.retired:
+                raise StreamError(f"unknown session {session_id!r}")
             session.last_active = self._clock()
             if session.status == OVERFLOW:
                 return self._outcome(session, consumed=0)
@@ -203,32 +251,54 @@ class SessionManager:
             except FrontierOverflowError:
                 session.status = OVERFLOW
             session.records += consumed
-            return self._outcome(session, consumed=consumed)
+            session.last_active = self._clock()
+            outcome = self._outcome(session, consumed=consumed)
+        with self._lock:
+            self._feeds += 1
+            self._records += consumed
+        return outcome
 
     def snapshot(self, session_id: str) -> LocalizationResult:
         """The session's current localization (batch-identical)."""
         with self._lock:
-            return self._get(session_id).localizer.snapshot()
+            session = self._get(session_id)
+        with session.lock:
+            if session.retired:
+                raise StreamError(f"unknown session {session_id!r}")
+            return session.localizer.snapshot()
 
     def close(self, session_id: str) -> RunRecord:
         """Close a session, emitting its telemetry record."""
         with self._lock:
             session = self._get(session_id)
-            return self._retire(session, CLOSED)
+        with session.lock:
+            if session.retired:
+                raise StreamError(f"unknown session {session_id!r}")
+            return self._retire_locked(session, CLOSED)
 
     def evict_idle(self, now: Optional[float] = None) -> Tuple[str, ...]:
         """Retire sessions idle for longer than ``idle_timeout_s``."""
+        if now is None:
+            now = self._clock()
         with self._lock:
-            if now is None:
-                now = self._clock()
-            idle = [
+            candidates = [
                 s
                 for s in self._sessions.values()
                 if now - s.last_active > self.limits.idle_timeout_s
             ]
-            for session in idle:
-                self._retire(session, EVICTED)
-            return tuple(s.session_id for s in idle)
+        evicted: List[str] = []
+        for session in candidates:
+            with session.lock:
+                # re-check under the session lock: a feed racing the
+                # sweep may have refreshed last_active (or a close may
+                # have retired the session already)
+                if session.retired:
+                    continue
+                if now - session.last_active <= self.limits.idle_timeout_s:
+                    continue
+                self._retire_locked(session, EVICTED)
+                evicted.append(session.session_id)
+        return tuple(evicted)
 
     # ------------------------------------------------------------------
     def _get(self, session_id: str) -> StreamSession:
@@ -246,7 +316,10 @@ class SessionManager:
             frontier_size=session.localizer.frontier_size,
         )
 
-    def _retire(self, session: StreamSession, status: str) -> RunRecord:
+    def _retire_locked(
+        self, session: StreamSession, status: str
+    ) -> RunRecord:
+        """Retire *session* (caller holds ``session.lock``)."""
         result = session.localizer.snapshot()
         final = status if session.status == ACTIVE else session.status
         record = RunRecord(
@@ -268,6 +341,9 @@ class SessionManager:
             },
         )
         session.status = final
-        del self._sessions[session.session_id]
+        session.retired = True
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+            self._retired[final] = self._retired.get(final, 0) + 1
         record_run(record)
         return record

@@ -1,0 +1,182 @@
+"""Client retry behavior: deterministic backoff, convergence under
+backpressure, and the restart soak -- the server is killed and
+restarted mid-stream and a retrying client recovers with zero data
+loss (the final snapshot equals the batch answer)."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerUnavailableError
+from repro.selection.localization import localize_trace
+from repro.server import (
+    DebugClient,
+    RetryPolicy,
+    ServerConfig,
+    SessionFeed,
+)
+from repro.server.loadgen import render_session_chunks
+from repro.stream.service import synthetic_session_records
+from tests.server.conftest import start_server
+
+
+def test_backoff_is_exponential_capped_and_jittered():
+    policy = RetryPolicy(
+        base_delay_s=0.1, max_delay_s=0.5, jitter=0.5
+    )
+    rng = random.Random(0)
+    delays = [policy.delay(attempt, rng) for attempt in range(6)]
+    # base doubles each attempt until the cap
+    assert 0.1 <= delays[0] <= 0.15
+    assert 0.2 <= delays[1] <= 0.30
+    assert all(0.5 <= d <= 0.75 for d in delays[3:])
+    # same seed -> same schedule (deterministic for tests)
+    replay_rng = random.Random(0)
+    assert delays == [
+        policy.delay(attempt, replay_rng) for attempt in range(6)
+    ]
+
+
+def test_zero_jitter_is_deterministic():
+    policy = RetryPolicy(base_delay_s=0.05, max_delay_s=1.0, jitter=0.0)
+    rng = random.Random(123)
+    assert policy.delay(0, rng) == pytest.approx(0.05)
+    assert policy.delay(2, rng) == pytest.approx(0.20)
+
+
+def test_connection_refused_exhausts_into_unavailable():
+    # nothing listens on this port: every attempt fails to connect
+    client = DebugClient(
+        "127.0.0.1",
+        1,  # reserved port, connect() always refused
+        policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+    )
+    with pytest.raises(ServerUnavailableError, match="2 attempt"):
+        client.ping()
+    assert client.retries == 1
+
+
+def test_retry_converges_when_capacity_frees(context):
+    handle = start_server(
+        context, ServerConfig(shards=1, max_sessions=1)
+    )
+    try:
+        holder = DebugClient(handle.host, handle.port)
+        holder.open_session("hog")
+
+        def release():
+            time.sleep(0.15)
+            holder.close_session("hog")
+
+        releaser = threading.Thread(target=release)
+        releaser.start()
+        patient = DebugClient(
+            handle.host,
+            handle.port,
+            policy=RetryPolicy(max_attempts=10, base_delay_s=0.05),
+            rng=random.Random(0),
+        )
+        # blocked at first, admitted once the hog closes
+        assert patient.open_session("patient") == "patient"
+        assert patient.retries >= 1
+        releaser.join()
+        patient.close_session("patient")
+        patient.close()
+        holder.close()
+    finally:
+        handle.thread.stop()
+
+
+# ----------------------------------------------------------------------
+def test_restart_soak_recovers_with_zero_data_loss(context):
+    """Kill the server mid-stream, restart on the same port; the
+    SessionFeed replays its history and the final snapshot equals the
+    batch localization of the full trace."""
+    records = synthetic_session_records(
+        context.interleaved, context.traced, seed=21
+    )
+    chunks = render_session_chunks(context, seed=21, chunk_records=1)
+    assert len(chunks) >= 4
+    batch = localize_trace(
+        context.interleaved,
+        context.traced,
+        tuple(r.message for r in records),
+        mode=context.mode,
+    )
+
+    first = start_server(context, ServerConfig(shards=2))
+    port = first.port
+    client = DebugClient(
+        first.host,
+        port,
+        policy=RetryPolicy(max_attempts=20, base_delay_s=0.05),
+        rng=random.Random(7),
+    )
+    feed = SessionFeed(client, session_id="soak")
+    half = len(chunks) // 2
+    for chunk in chunks[:half]:
+        feed.feed(chunk)
+
+    # hard-kill: connections reset, all session state lost
+    first.thread.stop(drain=False, abort=True)
+    second = start_server(
+        context, ServerConfig(shards=2, port=port)
+    )
+    try:
+        for i, chunk in enumerate(chunks[half:]):
+            feed.feed(chunk, eof=(half + i == len(chunks) - 1))
+        snap = feed.snapshot()
+        assert feed.recoveries >= 1
+        assert client.retries >= 1
+        assert snap.observed_length == len(records)
+        assert (
+            snap.result.consistent_paths,
+            snap.result.total_paths,
+        ) == (batch.consistent_paths, batch.total_paths)
+        close = feed.close()
+        assert close.records == len(records)
+        client.close()
+    finally:
+        second.thread.stop()
+
+
+def test_eviction_triggers_transparent_replay(context):
+    """An idle-evicted session is transparently reopened and replayed
+    by the feed -- same guarantee as the restart, smaller hammer."""
+    handle = start_server(
+        context,
+        ServerConfig(shards=1, idle_timeout_s=0.05, idle_sweep_s=0.02),
+    )
+    try:
+        chunks = render_session_chunks(context, seed=22, chunk_records=2)
+        client = DebugClient(handle.host, handle.port)
+        feed = SessionFeed(client, session_id="evictee")
+        feed.feed(chunks[0])
+        # outlive the idle timeout so the sweeper retires the session
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if handle.server._shards[0].manager.stats()["evicted"]:
+                break
+            time.sleep(0.02)
+        reply = feed.feed(chunks[1])
+        assert feed.recoveries == 1
+        # replay restored chunk 0's records before applying chunk 1
+        snapshot = feed.snapshot()
+        assert snapshot.observed_length >= reply.consumed
+        expected = sum(
+            1
+            for r in render_session_chunks(
+                context, seed=22, chunk_records=2
+            )[:2]
+            for line in r.decode().splitlines()
+            if line and not line.startswith("#")
+        )
+        assert snapshot.observed_length == expected
+        feed.close()
+        client.close()
+    finally:
+        handle.thread.stop()

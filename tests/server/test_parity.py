@@ -1,0 +1,122 @@
+"""Acceptance: networked snapshot parity.
+
+For every prefix of a simulator-produced trace file fed over the wire,
+the server's ``SNAPSHOT`` must be byte-identical (the same
+``consistent_paths/total_paths`` integers) to batch
+:func:`~repro.selection.localization.localize_trace` on the visible
+prefix AND to an in-process
+:class:`~repro.stream.incremental.IncrementalLocalizer` -- across all
+three usage scenarios.  The wire adds framing, sharding, thread
+hand-offs, and an incremental UTF-8/line parser; none of that may
+change a single path count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.selection.localization import PathLocalizer, localize_trace
+from repro.server import DebugClient, ServeContext, ServerConfig
+from repro.server.loadgen import render_session_chunks
+from repro.stream import IncrementalLocalizer
+from repro.stream.service import synthetic_session_records
+from tests.server.conftest import start_server
+
+
+@pytest.mark.parametrize("scenario", (1, 2, 3))
+def test_wire_snapshots_match_batch_and_incremental(scenario):
+    context = ServeContext.from_scenario(
+        scenario, instances=1, buffer_width=16
+    )
+    records = synthetic_session_records(
+        context.interleaved, context.traced, seed=11
+    )
+    chunks = render_session_chunks(
+        context, seed=11, chunk_records=3, scenario_name="loadgen"
+    )
+    incremental = IncrementalLocalizer(
+        mode=context.mode,
+        max_frontier=context.max_frontier,
+        localizer=PathLocalizer(context.interleaved, context.traced),
+    )
+    handle = start_server(context, ServerConfig(shards=2))
+    try:
+        with DebugClient(handle.host, handle.port) as client:
+            sid = client.open_session(f"parity-{scenario}")
+            fed = 0
+            for index, chunk in enumerate(chunks):
+                client.feed(
+                    sid, index, chunk, eof=(index == len(chunks) - 1)
+                )
+                wire = client.snapshot(sid)
+                # the in-process incremental localizer follows the
+                # exact same record prefix
+                incremental.feed(
+                    r.message for r in records[fed : wire.observed_length]
+                )
+                fed = wire.observed_length
+                inc = incremental.snapshot()
+                batch = localize_trace(
+                    context.interleaved,
+                    context.traced,
+                    tuple(r.message for r in records[:fed]),
+                    mode=context.mode,
+                )
+                assert (
+                    wire.result.consistent_paths,
+                    wire.result.total_paths,
+                ) == (batch.consistent_paths, batch.total_paths), (
+                    f"scenario {scenario}, prefix {fed}: wire != batch"
+                )
+                assert (
+                    inc.consistent_paths,
+                    inc.total_paths,
+                ) == (batch.consistent_paths, batch.total_paths), (
+                    f"scenario {scenario}, prefix {fed}: "
+                    "incremental != batch"
+                )
+            assert fed == len(records)
+            close = client.close_session(sid)
+            assert close.result.consistent_paths == incremental.snapshot().consistent_paths
+    finally:
+        handle.thread.stop()
+
+
+def test_ctrace_transport_parity(context):
+    """The compressed-bitstream transport localizes identically to the
+    text transport for the same underlying records."""
+    from repro.compress.encoder import encode_records
+
+    records = synthetic_session_records(
+        context.interleaved, context.traced, seed=7
+    )
+    encoded = encode_records(
+        records, scenario="parity", seed=7, traced=context.traced
+    )
+    batch = localize_trace(
+        context.interleaved,
+        context.traced,
+        tuple(r.message for r in records),
+        mode=context.mode,
+    )
+    handle = start_server(context, ServerConfig(shards=2))
+    try:
+        with DebugClient(handle.host, handle.port) as client:
+            sid = client.open_session("ct", transport="ctrace")
+            blob = encoded.data
+            step = max(1, len(blob) // 5)
+            pieces = [
+                blob[i : i + step] for i in range(0, len(blob), step)
+            ]
+            for index, piece in enumerate(pieces):
+                client.feed(
+                    sid, index, piece, eof=(index == len(pieces) - 1)
+                )
+            wire = client.snapshot(sid)
+            assert (
+                wire.result.consistent_paths,
+                wire.result.total_paths,
+            ) == (batch.consistent_paths, batch.total_paths)
+            client.close_session(sid)
+    finally:
+        handle.thread.stop()
