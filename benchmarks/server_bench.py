@@ -137,6 +137,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for latency in outcome.feed_latencies_s
     )
     wire = networked.as_dict()
+    # the per-session fractions array is diagnostic noise in a
+    # committed baseline (it bloats every diff); the aggregate
+    # percentiles carry the regression signal
+    wire.pop("fractions", None)
     protocol_errors = metrics["counters"]["protocol_errors_total"]
     payload = {
         "scenario": args.scenario,

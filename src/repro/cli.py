@@ -563,6 +563,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from repro import perf
     from repro.runtime.cache import default_cache
+    from repro.selection import kernels
+    from repro.selection.localization import PathLocalizer
     from repro.selection.selector import MessageSelector
     from repro.sim.engine import TransactionSimulator
     from repro.sim.tracebuffer import TraceBuffer
@@ -586,6 +588,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             TraceBuffer(args.buffer, args.depth, result.traced).capture(
                 records
             )
+        # replay the captured run through the localization engine so
+        # the kernel stage counters (localize_kernel_*,
+        # localize_table_*) land in the same table
+        with perf.timed("localize"):
+            localizer = PathLocalizer(
+                u, result.traced, engine=args.engine
+            ).warm()
+            observed = [
+                r.message
+                for r in records
+                if localizer.is_visible(r.message)
+            ]
+            frontier = localizer.advance_many(
+                localizer.initial_frontier(), observed
+            ).frontier
+            localizer.prefix_count(frontier)
     wall = time.perf_counter() - start
     perf.record_profile(
         counters,
@@ -593,11 +611,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         wall_time_s=wall,
     )
     cache_stats = default_cache().stats.as_dict()
+    table_stats = kernels.default_registry().stats()
     if args.json:
         payload = counters.as_dict()
         payload["wall_time_s"] = round(wall, 6)
         payload["result"] = result.describe()
         payload["cache"] = cache_stats
+        payload["engine"] = localizer.engine
+        payload["localize_tables"] = table_stats
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"{sc.name}: profile (method={args.method}, "
@@ -610,6 +631,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"{'artifact cache':<24}  "
           f"{cache_stats['hits']:>7} hit(s) / "
           f"{cache_stats['misses']} miss(es)")
+    print(f"{'localize engine':<24}  {localizer.engine:>14} "
+          f"({table_stats['backend']} backend)")
+    print(f"{'localize tables':<24}  "
+          f"{table_stats['hits']:>7} hit(s) / "
+          f"{table_stats['misses']} miss(es), "
+          f"{table_stats['bytes']:,} bytes")
     return 0
 
 
@@ -1066,6 +1093,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("exhaustive", "knapsack"), default="exhaustive"
     )
     profile.add_argument("--no-packing", action="store_true")
+    profile.add_argument(
+        "--engine", choices=("dense", "reference"), default=None,
+        help="localization engine for the replay stage (default: "
+        "REPRO_LOCALIZE_ENGINE, else dense)"
+    )
     profile.add_argument("--json", action="store_true",
                          help="emit the counters as JSON")
     profile.set_defaults(func=_cmd_profile)

@@ -29,6 +29,26 @@ Collections nest: every active collector receives every increment, so
 an outer campaign-level collection still sees the counters of inner
 per-scenario ones.  The active-collector stack is process-global and
 not thread-isolated -- profiling is a single-threaded activity here.
+
+Localization-kernel counter registry (reported by
+:mod:`repro.selection.kernels` and the dense engine seam in
+:mod:`repro.selection.localization`):
+
+* ``localize_kernel_batches`` / ``localize_kernel_symbols`` -- batched
+  ``advance_many`` invocations and symbols they consumed;
+* ``localize_kernel_edges`` -- product edges touched by the gather/
+  scatter kernels (visible step plus closure expansion);
+* ``localize_kernel_promotions`` -- steps the int64-overflow guard
+  promoted to the exact pure-Python kernels;
+* ``localize_step_memo_hits`` / ``localize_step_memo_misses`` -- the
+  content-keyed per-step memo shared across sessions;
+* ``localize_table_hits`` / ``localize_table_misses`` /
+  ``localize_table_compiles`` / ``localize_table_bytes`` -- the
+  cross-shard :class:`~repro.selection.kernels.TableRegistry`;
+* ``localize_window_memo_hits`` -- reused window-mode count tables;
+* ``localize_dp_steps`` -- the reference engine's dict-walk steps
+  (kept for before/after comparisons);
+* timed stage ``localize_compile`` -- table compilation wall time.
 """
 
 from __future__ import annotations

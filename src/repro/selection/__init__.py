@@ -9,12 +9,25 @@
   with sub-message groups.
 * :mod:`repro.selection.localization` -- path localization of observed
   traces (Section 5.2).
+* :mod:`repro.selection.kernels` -- the dense localization engine:
+  compiled transition operators, the invisible-closure matrix, and the
+  content-addressed table registry shared across sessions and shards.
 """
 
 from repro.selection.combinations import feasible_combinations
 from repro.selection.selector import MessageSelector, SelectionResult, select_messages
 from repro.selection.packing import pack_trace_buffer, PackingResult
-from repro.selection.localization import PathLocalizer, LocalizationResult
+from repro.selection.localization import (
+    AdvanceOutcome,
+    LocalizationResult,
+    PathLocalizer,
+)
+from repro.selection.kernels import (
+    CompiledTables,
+    TableRegistry,
+    default_registry,
+    resolve_engine_name,
+)
 
 __all__ = [
     "feasible_combinations",
@@ -25,4 +38,9 @@ __all__ = [
     "PackingResult",
     "PathLocalizer",
     "LocalizationResult",
+    "AdvanceOutcome",
+    "CompiledTables",
+    "TableRegistry",
+    "default_registry",
+    "resolve_engine_name",
 ]

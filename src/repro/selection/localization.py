@@ -31,11 +31,25 @@ count exact (each path maps to exactly one automaton state sequence --
 no double counting when the window could match at several offsets);
 the failure table can be grown online (:func:`kmp_extend`) and handed
 back to :meth:`PathLocalizer.window_count`.
+
+Two engines implement the forward DP.  The **dense** engine (the
+default) compiles the CSR adjacency into per-message transition
+operators and an invisible-closure matrix (:mod:`repro.selection.
+kernels`) so advancing is a handful of vectorized gather/scatter-add
+calls per symbol and a whole chunk can be consumed in one
+:meth:`PathLocalizer.advance_many` invocation; compiled tables are
+shared across sessions and server shards through a content-addressed
+registry.  The **reference** engine is the historical dict walk, kept
+as the escape hatch (``REPRO_LOCALIZE_ENGINE=reference``) and as the
+equality oracle -- both produce bit-identical frontiers and counts on
+every prefix.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -53,11 +67,17 @@ from repro import perf
 from repro.core.execution import underlying_message
 from repro.core.interleave import InterleavedFlow
 from repro.core.message import IndexedMessage, Message
-from repro.errors import SelectionError
+from repro.errors import FrontierOverflowError, SelectionError
+from repro.selection import kernels
 from repro.selection.packing import expand_subgroups
 
 #: The localization modes :meth:`PathLocalizer.localize` understands.
 MODES = ("prefix", "exact", "window")
+
+#: Identical windows whose composed-DP memo tables stay cached per
+#: localizer (repeated SNAPSHOTs on idle sessions hit, a scan of many
+#: distinct windows stays bounded).
+_WINDOW_MEMO_SLOTS = 16
 
 
 @dataclass(frozen=True)
@@ -131,6 +151,28 @@ class DPFrontier:
 
 
 @dataclass(frozen=True)
+class AdvanceOutcome:
+    """What one :meth:`PathLocalizer.advance_many` call did.
+
+    Attributes
+    ----------
+    frontier:
+        The frontier after every symbol of the batch was consumed.
+    consumed:
+        Symbols consumed (the whole batch on a normal return; on the
+        error paths the partial count travels on the exception).
+    peak_size:
+        The largest intermediate frontier size observed while stepping
+        through the batch (the per-record peak a bounded session must
+        account for even when the final frontier shrank again).
+    """
+
+    frontier: DPFrontier
+    consumed: int
+    peak_size: int
+
+
+@dataclass(frozen=True)
 class _Adjacency:
     """Edges split by trace-buffer visibility, indexed by state ID.
 
@@ -153,10 +195,25 @@ class PathLocalizer:
     traced:
         The traced message set (Step 2 selection plus packed groups;
         sub-groups are expanded to their parents for visibility).
+    engine:
+        ``"dense"`` (compiled kernels, the default) or ``"reference"``
+        (the historical dict walk); omitted, the
+        ``REPRO_LOCALIZE_ENGINE`` environment variable decides.  Both
+        engines produce bit-identical frontiers and counts.
+    registry:
+        The :class:`~repro.selection.kernels.TableRegistry` the dense
+        engine resolves its compiled tables from; omitted, the
+        process-wide shared registry -- which is what lets every
+        session and server shard over the same ``(scenario, visible
+        set)`` reuse one read-only table set.
     """
 
     def __init__(
-        self, interleaved: InterleavedFlow, traced: Iterable[Message]
+        self,
+        interleaved: InterleavedFlow,
+        traced: Iterable[Message],
+        engine: Optional[str] = None,
+        registry: Optional["kernels.TableRegistry"] = None,
     ) -> None:
         self.interleaved = interleaved
         expanded = expand_subgroups(traced, interleaved.messages)
@@ -164,6 +221,19 @@ class PathLocalizer:
         self._total = interleaved.count_paths()
         self._adjacency: Optional[_Adjacency] = None
         self._topo_position: Optional[List[int]] = None
+        self._initial_frontier: Optional[DPFrontier] = None
+        self.engine = kernels.resolve_engine_name(engine)
+        self._registry = (
+            registry if registry is not None else kernels.default_registry()
+        )
+        self._tables: Optional[kernels.CompiledTables] = None
+        # memoized window-mode composed-DP tables, LRU-keyed by the
+        # observed window; the lock only guards the cache (the shared
+        # localizer is fed from many session threads), never the DP
+        self._window_memo: "OrderedDict[Tuple[object, ...], Dict[Tuple[int, int], int]]" = (
+            OrderedDict()
+        )
+        self._window_memo_lock = threading.Lock()
         # message-ID views of the traced set: visibility per message ID,
         # and the instance IDs of each plain (un-indexed) message
         table = interleaved.indexed_messages
@@ -226,9 +296,9 @@ class PathLocalizer:
         if mode == "window":
             count = self.window_count(observation)
         else:
-            frontier = self.initial_frontier()
-            for item in observation:
-                frontier = self.advance_frontier(frontier, item)
+            frontier = self.advance_many(
+                self.initial_frontier(), observation
+            ).frontier
             count = (
                 self.prefix_count(frontier)
                 if mode == "prefix"
@@ -246,24 +316,44 @@ class PathLocalizer:
         -server shard) calls this once at startup so the cost lands
         there instead of inside the first request's latency.  Returns
         ``self`` so construction and warming chain.
+
+        On the dense engine this *delegates to the table registry*:
+        the compiled operators and closure matrix are resolved by
+        content hash, so the second shard (or session manager) warming
+        the same ``(scenario, visible set)`` gets the first one's
+        tables back instead of compiling again.
         """
         self._split_adjacency()
         self._topological_position()
         self.interleaved.paths_to_stop_ids()
         self.initial_frontier()
+        if self.engine == "dense":
+            self._compiled_tables()
         return self
 
     # ------------------------------------------------------------------
     # stepwise DP hooks (prefix/exact modes)
     # ------------------------------------------------------------------
     def initial_frontier(self) -> DPFrontier:
-        """The frontier before any symbol has been observed."""
-        matched = {sid: 1 for sid in self.interleaved.initial_ids}
-        return DPFrontier(
-            matched=matched,
-            closed=self._invisible_closure(matched),
-            length=0,
-        )
+        """The frontier before any symbol has been observed.
+
+        Computed once and cached: it only depends on the scenario and
+        the traced set, and its invisible-closure walk is as expensive
+        as a wide DP step -- a per-session cost that matters when a
+        server shard opens thousands of short sessions.  Frontiers are
+        treated as immutable everywhere, so sharing the instance is
+        safe.
+        """
+        cached = self._initial_frontier
+        if cached is None:
+            matched = {sid: 1 for sid in self.interleaved.initial_ids}
+            cached = DPFrontier(
+                matched=matched,
+                closed=self._invisible_closure(matched),
+                length=0,
+            )
+            self._initial_frontier = cached
+        return cached
 
     def advance_frontier(
         self, frontier: DPFrontier, symbol: object
@@ -274,6 +364,168 @@ class PathLocalizer:
         not in the traced set (the buffer could never have captured
         it) -- the same guard the batch API applies up front.
         """
+        if self.engine == "dense":
+            return self.advance_many(frontier, (symbol,)).frontier
+        return self._advance_reference(frontier, symbol)
+
+    def advance_many(
+        self,
+        frontier: DPFrontier,
+        symbols: Sequence[object],
+        max_frontier: Optional[int] = None,
+    ) -> AdvanceOutcome:
+        """Consume a whole batch of observed *symbols*, oldest first.
+
+        On the dense engine the frontier is scattered into a weight
+        vector once, every symbol is one kernel step, and the sparse
+        frontier maps are harvested once at the end -- so a FEED chunk
+        costs chunk-many gather/scatter calls instead of chunk-many
+        dict walks.  The reference engine replays
+        :meth:`advance_frontier` per symbol; both produce bit-identical
+        outcomes.
+
+        ``max_frontier`` bounds every *intermediate* frontier: the
+        batch stops *before* the first symbol whose frontier would
+        exceed it and raises :class:`~repro.errors.
+        FrontierOverflowError`.  Untraced symbols raise
+        :class:`~repro.errors.SelectionError` as always.  Both
+        exceptions carry the partial progress -- ``.frontier`` (the
+        last consistent frontier), ``.consumed`` and ``.peak_size`` --
+        so a streaming caller can keep the valid prefix of the batch.
+        """
+        items = list(symbols)
+        if self.engine != "dense":
+            return self._advance_many_reference(items, frontier, max_frontier)
+        return self._advance_many_dense(items, frontier, max_frontier)
+
+    def _advance_many_reference(
+        self,
+        items: List[object],
+        frontier: DPFrontier,
+        max_frontier: Optional[int],
+    ) -> AdvanceOutcome:
+        consumed = 0
+        peak = frontier.size
+        for symbol in items:
+            try:
+                advanced = self._advance_reference(frontier, symbol)
+            except SelectionError as exc:
+                raise _attach_progress(exc, frontier, consumed, peak)
+            if max_frontier is not None and advanced.size > max_frontier:
+                raise _attach_progress(
+                    FrontierOverflowError(
+                        f"frontier grew to {advanced.size} states, over "
+                        f"max_frontier={max_frontier}"
+                    ),
+                    frontier,
+                    consumed,
+                    peak,
+                )
+            frontier = advanced
+            consumed += 1
+            peak = max(peak, advanced.size)
+        return AdvanceOutcome(frontier=frontier, consumed=consumed, peak_size=peak)
+
+    def _advance_many_dense(
+        self,
+        items: List[object],
+        frontier: DPFrontier,
+        max_frontier: Optional[int],
+    ) -> AdvanceOutcome:
+        tables = self._compiled_tables()
+        consumed = 0
+        peak = frontier.size
+        length = frontier.length
+        dead = frontier.is_dead
+        vec = None  # dense closure vector, scattered lazily
+        step: Optional[kernels._StepResult] = None
+        died = False  # a consumed symbol killed the frontier
+
+        def snap() -> DPFrontier:
+            """The current frontier, materialized back to sparse maps."""
+            if died:
+                return DPFrontier(matched={}, closed={}, length=length)
+            if step is None:
+                return frontier  # nothing consumed yet (length unchanged)
+            return DPFrontier(
+                matched=tables.harvest(step.matched),
+                closed=tables.harvest(step.closed),
+                length=length,
+            )
+
+        try:
+            for symbol in items:
+                if not self.is_visible(symbol):
+                    raise _attach_progress(
+                        SelectionError(
+                            f"observed message {symbol!r} is not in the "
+                            "traced set"
+                        ),
+                        snap(),
+                        consumed,
+                        peak,
+                    )
+                if dead:
+                    # dead frontiers stay dead; only validation remains
+                    died = True
+                    step = None
+                    length += 1
+                    consumed += 1
+                    continue
+                if vec is None:
+                    vec = tables.scatter(frontier.closed)
+                result = tables.advance(vec, self._operator(tables, symbol))
+                if max_frontier is not None and result.size > max_frontier:
+                    raise _attach_progress(
+                        FrontierOverflowError(
+                            f"frontier grew to {result.size} states, over "
+                            f"max_frontier={max_frontier}"
+                        ),
+                        snap(),
+                        consumed,
+                        peak,
+                    )
+                step = result
+                vec = result.closed
+                length += 1
+                consumed += 1
+                peak = max(peak, result.size)
+                dead = result.size == 0
+            return AdvanceOutcome(
+                frontier=snap(), consumed=consumed, peak_size=peak
+            )
+        finally:
+            if perf.enabled():
+                perf.add("localize_kernel_batches")
+                perf.add("localize_kernel_symbols", consumed)
+
+    def _operator(
+        self, tables: "kernels.CompiledTables", symbol: object
+    ) -> Optional["kernels._Operator"]:
+        """The compiled transition operator the observed *symbol*
+        selects (``None`` -- no product edge carries it, the step is
+        dead) -- the dense mirror of :meth:`_matching_message_ids`."""
+        if isinstance(symbol, IndexedMessage):
+            mid = self.interleaved.message_id(symbol)
+            return None if mid is None else tables.op_by_mid.get(mid)
+        if isinstance(symbol, Message):
+            return tables.op_by_plain.get(symbol)
+        raise TypeError(f"not a message: {symbol!r}")
+
+    def _compiled_tables(self) -> "kernels.CompiledTables":
+        """This localizer's dense tables, resolved (once) through the
+        content-addressed registry."""
+        if self._tables is None:
+            self._tables = self._registry.get(
+                self.interleaved, self._visible_mid
+            )
+        return self._tables
+
+    def _advance_reference(
+        self, frontier: DPFrontier, symbol: object
+    ) -> DPFrontier:
+        """The historical dict-walk DP step (the equality oracle the
+        dense kernels are property-tested against)."""
         if not self.is_visible(symbol):
             raise SelectionError(
                 f"observed message {symbol!r} is not in the traced set"
@@ -333,6 +585,11 @@ class PathLocalizer:
         *failure* may supply a precomputed KMP failure table for the
         observation (e.g. one grown online with :func:`kmp_extend`);
         omitted, it is built here.
+
+        The per-``(state, automaton-state)`` count table is memoized
+        across calls with an identical window (bounded LRU), so
+        repeated SNAPSHOT requests on an idle session reread the memo
+        instead of redoing the composed DP.
         """
         for item in observation:
             if not isinstance(item, IndexedMessage):
@@ -348,7 +605,18 @@ class PathLocalizer:
         message_table = self.interleaved.indexed_messages
         visible_mid = self._visible_mid
         to_stop = self.interleaved.paths_to_stop_ids()
-        memo: Dict[Tuple[int, int], int] = {}
+        memo_key = tuple(observation)
+        with self._window_memo_lock:
+            cached = self._window_memo.get(memo_key)
+            if cached is not None:
+                self._window_memo.move_to_end(memo_key)
+        if cached is not None:
+            # a published memo is complete for everything reachable
+            # from the initial states, so replaying it is pure lookups
+            perf.add("localize_window_memo_hits")
+        memo: Dict[Tuple[int, int], int] = (
+            cached if cached is not None else {}
+        )
 
         def count(sid: int, k: int) -> int:
             if k == accept:
@@ -369,8 +637,14 @@ class PathLocalizer:
             return total
 
         result = sum(count(sid, 0) for sid in self.interleaved.initial_ids)
-        if perf.enabled():
-            perf.add("localize_dp_steps", len(memo))
+        if cached is None:
+            if perf.enabled():
+                perf.add("localize_dp_steps", len(memo))
+            with self._window_memo_lock:
+                self._window_memo[memo_key] = memo
+                self._window_memo.move_to_end(memo_key)
+                while len(self._window_memo) > _WINDOW_MEMO_SLOTS:
+                    self._window_memo.popitem(last=False)
         return result
 
     # ------------------------------------------------------------------
@@ -445,6 +719,18 @@ class PathLocalizer:
                     heapq.heappush(heap, (position[target_id], target_id))
                 closed[target_id] += weight
         return closed
+
+
+def _attach_progress(
+    exc: Exception, frontier: DPFrontier, consumed: int, peak: int
+) -> Exception:
+    """Attach batch progress to an exception escaping
+    :meth:`PathLocalizer.advance_many`, so streaming callers can keep
+    the valid prefix of a partially-consumed chunk."""
+    exc.frontier = frontier  # type: ignore[attr-defined]
+    exc.consumed = consumed  # type: ignore[attr-defined]
+    exc.peak_size = peak  # type: ignore[attr-defined]
+    return exc
 
 
 # ----------------------------------------------------------------------

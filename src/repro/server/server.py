@@ -50,6 +50,7 @@ from repro import perf
 from repro.core.interleave import InterleavedFlow
 from repro.core.message import Message
 from repro.errors import ProtocolError, SelectionError, StreamError
+from repro.selection import kernels
 from repro.server import protocol
 from repro.server.metrics import MetricsRegistry, runtime_cache_collector
 from repro.stream.ingest import CompressedTraceIngester, IncrementalTraceParser
@@ -220,8 +221,10 @@ class _Shard:
             ),
         )
         # every shard owns a manager over the same scenario; warming at
-        # construction builds the shared DP tables before the listener
-        # accepts, so no first request on any shard pays for them
+        # construction resolves the compiled localization tables
+        # through the content-addressed registry before the listener
+        # accepts -- the first shard compiles, every later shard gets
+        # the same read-only tables back by fingerprint
         self.manager.warm()
         self.sessions: Dict[str, _ServerSession] = {}
         self.queue: "asyncio.Queue[Tuple[Callable[[], Tuple[int, bytes]], asyncio.Future]]" = (
@@ -324,6 +327,10 @@ class DebugServer:
             "shards", lambda: {"shards": [s.stats() for s in self._shards]}
         )
         reg.add_collector("runtime_cache", runtime_cache_collector)
+        reg.add_collector(
+            "localize_tables",
+            lambda: kernels.default_registry().stats(),
+        )
         reg.add_collector("perf", self._perf.as_dict)
 
     def _server_stats(self) -> Dict[str, object]:

@@ -16,7 +16,10 @@ feed` calls:
   of how much has already been observed.  The frontier only ever *shrinks or stays bounded*
   (it lives inside the product's antichain of states reachable at one
   matched length), which is what makes thousands of concurrent
-  sessions affordable.
+  sessions affordable.  :meth:`~IncrementalLocalizer.feed` hands the
+  whole chunk to :meth:`~repro.selection.localization.PathLocalizer.
+  advance_many`, so on the dense engine a FEED chunk is one batched
+  kernel invocation instead of per-record dict walks.
 * **window mode** grows the observed window's KMP failure table online
   (O(1) amortized per record, :func:`~repro.selection.localization.
   kmp_extend`); the composed product/automaton count is evaluated
@@ -183,11 +186,40 @@ class IncrementalLocalizer:
                 f"localizer frontier overflowed at {self.max_frontier}; "
                 "no further records accepted"
             )
-        consumed = 0
-        for item in records:
-            self._feed_one(_symbol(item))
-            consumed += 1
-        return consumed
+        if self.mode == "window":
+            consumed = 0
+            for item in records:
+                self._feed_one(_symbol(item))
+                consumed += 1
+            return consumed
+        # prefix/exact: one batched kernel invocation for the whole
+        # chunk.  On partial failure (untraced symbol, overflow) the
+        # exception carries the valid prefix's progress, which keeps
+        # the freeze-at-last-consistent-state semantics of the
+        # per-record loop.
+        assert self._frontier is not None
+        symbols = [_symbol(item) for item in records]
+        try:
+            outcome = self._localizer.advance_many(
+                self._frontier, symbols, max_frontier=self.max_frontier
+            )
+        except FrontierOverflowError as exc:
+            self._commit(exc.frontier, exc.consumed, exc.peak_size)
+            self._overflowed = True
+            raise
+        except SelectionError as exc:
+            self._commit(exc.frontier, exc.consumed, exc.peak_size)
+            raise
+        self._commit(outcome.frontier, outcome.consumed, outcome.peak_size)
+        return outcome.consumed
+
+    def _commit(
+        self, frontier: DPFrontier, consumed: int, peak_size: int
+    ) -> None:
+        """Fold a batch outcome (possibly partial) into carried state."""
+        self._frontier = frontier
+        self._observed_length += consumed
+        self._peak_frontier = max(self._peak_frontier, peak_size)
 
     def observe_records(self, records: Iterable[Observable]) -> int:
         """Feed only the records the trace buffer would have captured.
@@ -221,41 +253,27 @@ class IncrementalLocalizer:
 
     # ------------------------------------------------------------------
     def _feed_one(self, symbol: object) -> None:
-        if self.mode == "window":
-            if not isinstance(symbol, IndexedMessage):
-                raise SelectionError(
-                    "window-mode localization needs a fully indexed "
-                    f"observation; got {symbol!r}"
-                )
-            if not self._localizer.is_visible(symbol):
-                raise SelectionError(
-                    f"observed message {symbol!r} is not in the traced set"
-                )
-            if (
-                self.max_frontier is not None
-                and len(self._pattern) + 1 > self.max_frontier
-            ):
-                self._overflowed = True
-                raise FrontierOverflowError(
-                    f"window length would exceed max_frontier="
-                    f"{self.max_frontier}"
-                )
-            kmp_extend(self._pattern, self._failure, symbol)
-            self._window_cache = None
-        else:
-            assert self._frontier is not None
-            advanced = self._localizer.advance_frontier(
-                self._frontier, symbol
+        """Window-mode per-record step (the KMP extension is O(1)
+        amortized, so there is nothing to batch)."""
+        if not isinstance(symbol, IndexedMessage):
+            raise SelectionError(
+                "window-mode localization needs a fully indexed "
+                f"observation; got {symbol!r}"
             )
-            if (
-                self.max_frontier is not None
-                and advanced.size > self.max_frontier
-            ):
-                self._overflowed = True
-                raise FrontierOverflowError(
-                    f"frontier grew to {advanced.size} states, over "
-                    f"max_frontier={self.max_frontier}"
-                )
-            self._frontier = advanced
+        if not self._localizer.is_visible(symbol):
+            raise SelectionError(
+                f"observed message {symbol!r} is not in the traced set"
+            )
+        if (
+            self.max_frontier is not None
+            and len(self._pattern) + 1 > self.max_frontier
+        ):
+            self._overflowed = True
+            raise FrontierOverflowError(
+                f"window length would exceed max_frontier="
+                f"{self.max_frontier}"
+            )
+        kmp_extend(self._pattern, self._failure, symbol)
+        self._window_cache = None
         self._observed_length += 1
         self._peak_frontier = max(self._peak_frontier, self.frontier_size)

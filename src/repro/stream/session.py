@@ -239,16 +239,18 @@ class SessionManager:
             if session.status == OVERFLOW:
                 return self._outcome(session, consumed=0)
             session.feeds += 1
-            consumed = 0
+            batch = [
+                item
+                for item in records
+                if not drop_invisible or session.localizer.is_visible(item)
+            ]
+            before = session.localizer.observed_length
             try:
-                for item in records:
-                    if drop_invisible and not session.localizer.is_visible(
-                        item
-                    ):
-                        continue
-                    session.localizer.feed((item,))
-                    consumed += 1
+                consumed = session.localizer.feed(batch)
             except FrontierOverflowError:
+                # the localizer froze at the last consistent record;
+                # everything before the overflowing one still counts
+                consumed = session.localizer.observed_length - before
                 session.status = OVERFLOW
             session.records += consumed
             session.last_active = self._clock()

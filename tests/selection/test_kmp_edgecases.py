@@ -1,0 +1,123 @@
+"""Edge cases of the KMP machinery behind window-mode localization.
+
+``kmp_extend`` grows a failure table online; ``kmp_failure`` is the
+batch construction; ``_matching_message_ids`` decides which edge
+labels an observed symbol (indexed or plain) matches.  Window-mode
+counting composes all three, so their corner cases (empty patterns,
+single symbols, self-similar patterns, index matching) get dedicated
+coverage here.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.interleave import interleave_flows
+from repro.core.message import IndexedMessage, Message, MessageCombination
+from repro.selection.localization import (
+    PathLocalizer,
+    kmp_extend,
+    kmp_failure,
+)
+
+
+def sym(name: str) -> Message:
+    return Message(name, 1, source="P", destination="Q")
+
+
+class TestKmpFailure:
+    def test_empty_pattern(self):
+        assert kmp_failure([]) == []
+
+    def test_single_symbol(self):
+        assert kmp_failure([sym("a")]) == [0]
+
+    def test_repeated_identical_symbols(self):
+        a = sym("a")
+        # aaaa...: every prefix borders the next-shorter prefix
+        assert kmp_failure([a] * 6) == [0, 1, 2, 3, 4, 5]
+
+    def test_classic_aba_pattern(self):
+        a, b = sym("a"), sym("b")
+        assert kmp_failure([a, b, a, b, a]) == [0, 0, 1, 2, 3]
+        assert kmp_failure([a, a, b, a, a, a]) == [0, 1, 0, 1, 2, 2]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_online_extension_equals_batch(self, seed):
+        rng = random.Random(seed)
+        alphabet = [sym("a"), sym("b"), sym("c")]
+        pattern = [rng.choice(alphabet) for _ in range(rng.randrange(12))]
+        grown, failure = [], []
+        for symbol in pattern:
+            kmp_extend(grown, failure, symbol)
+            # every intermediate table equals the batch construction
+            assert failure == kmp_failure(pattern[: len(grown)])
+        assert grown == pattern
+
+    def test_extend_from_empty(self):
+        grown, failure = [], []
+        kmp_extend(grown, failure, sym("a"))
+        assert (grown, failure) == ([sym("a")], [0])
+
+    def test_indexed_messages_compare_by_index(self):
+        a = sym("a")
+        one, two = IndexedMessage(a, 1), IndexedMessage(a, 2)
+        # 1:a and 2:a are distinct symbols: no self-border
+        assert kmp_failure([one, two, one, two]) == [0, 0, 1, 2]
+        assert kmp_failure([one, one, one]) == [0, 1, 2]
+
+
+class TestMatchingMessageIds:
+    @pytest.fixture
+    def localizer(self, cc_flow):
+        interleaved = interleave_flows([cc_flow], copies=2)
+        traced = MessageCombination(
+            [
+                cc_flow.message_by_name("ReqE"),
+                cc_flow.message_by_name("GntE"),
+            ]
+        )
+        return PathLocalizer(interleaved, traced)
+
+    def test_indexed_symbol_matches_one_instance(self, localizer, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        mids = localizer._matching_message_ids(IndexedMessage(req, 1))
+        assert len(mids) == 1
+        (mid,) = mids
+        entry = localizer.interleaved.indexed_messages[mid]
+        assert entry.message == req
+        assert entry.index == 1
+
+    def test_plain_symbol_matches_every_instance(self, localizer, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        mids = localizer._matching_message_ids(req)
+        table = localizer.interleaved.indexed_messages
+        assert {table[mid].index for mid in mids} == {1, 2}
+        assert all(table[mid].message == req for mid in mids)
+
+    def test_plain_and_indexed_agree(self, localizer, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        plain = localizer._matching_message_ids(req)
+        indexed = {
+            mid
+            for i in (1, 2)
+            for mid in localizer._matching_message_ids(
+                IndexedMessage(req, i)
+            )
+        }
+        assert plain == frozenset(indexed)
+
+    def test_unknown_instance_matches_nothing(self, localizer, cc_flow):
+        req = cc_flow.message_by_name("ReqE")
+        assert localizer._matching_message_ids(
+            IndexedMessage(req, 99)
+        ) == frozenset()
+
+    def test_foreign_message_matches_nothing(self, localizer):
+        assert localizer._matching_message_ids(sym("zz")) == frozenset()
+
+    def test_non_message_raises(self, localizer):
+        with pytest.raises(TypeError, match="not a message"):
+            localizer._matching_message_ids("ReqE")

@@ -117,6 +117,26 @@ def test_perf_counters_collector_sees_live_counters():
     assert exported["counters"]["tracebuffer_evictions"] == 3
 
 
+def test_server_exports_localize_table_stats(context):
+    from repro.server.server import DebugServer
+
+    server = DebugServer(context)  # wiring happens at construction
+    snap = server.registry.snapshot()
+    tables = snap["localize_tables"]
+    for key in (
+        "tables",
+        "hits",
+        "misses",
+        "evictions",
+        "bytes",
+        "closure_entries",
+        "step_memo_entries",
+        "backend",
+    ):
+        assert key in tables
+    assert tables["backend"] in ("numpy", "python")
+
+
 def test_perf_activate_deactivate_is_idempotent():
     counters = perf.PerfCounters()
     perf.activate(counters)
