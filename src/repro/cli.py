@@ -47,6 +47,9 @@ Commands
 ``loadgen``
     Replay simulator-produced trace files against a running ``serve``
     instance from worker processes and report throughput/latency.
+``store``
+    Inspect, verify, or compact a ``serve --data-dir`` data directory
+    (write-ahead log segments and frontier snapshots) offline.
 ``profile``
     Run interleaving + selection for a scenario under the stage
     counters of :mod:`repro.perf` and print them (states expanded,
@@ -496,6 +499,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         idle_timeout_s=args.idle_timeout,
         idle_sweep_s=args.idle_sweep,
         metrics_port=args.metrics_port,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        fsync_interval_s=args.fsync_interval,
+        snapshot_every=args.snapshot_every,
     )
     server = DebugServer(context, config, MetricsRegistry())
 
@@ -505,6 +512,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"({config.shards} shard(s), mode={context.mode})",
             flush=True,
         )
+        if config.data_dir is not None:
+            recovery = server.recovery_info
+            print(
+                f"store: {config.data_dir} (fsync={config.fsync}, "
+                f"snapshot every {config.snapshot_every} feeds); "
+                f"recovered {recovery.get('sessions', 0)} session(s), "
+                f"replayed {recovery.get('replayed_records', 0)} "
+                f"record(s) in {recovery.get('wall_s', 0.0)}s",
+                flush=True,
+            )
         if ready.metrics_port is not None:
             print(
                 f"metrics: http://{ready.host}:{ready.metrics_port}/metrics",
@@ -512,6 +529,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
 
     asyncio.run(server.run(duration=args.duration, on_ready=on_ready))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import StoreError
+    from repro.store import compact_store, inspect_store, verify_store
+
+    try:
+        if args.action == "inspect":
+            report = inspect_store(args.data_dir)
+        elif args.action == "verify":
+            report = verify_store(args.data_dir)
+        else:
+            report = compact_store(args.data_dir)
+    except StoreError as exc:
+        print(f"store: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if args.action == "verify":
+            return 0 if report["ok"] else 1
+        return 0
+    print(f"data dir: {report['data_dir']}")
+    if args.action == "inspect":
+        meta = report["meta"] or {}
+        print(f"  scenario: {meta.get('scenario', '?')} "
+              f"(mode={meta.get('mode', '?')}, "
+              f"shards={meta.get('shards', '?')})")
+        for shard in report["shards"]:
+            print(f"  {shard['shard']}:")
+            for seg in shard["segments"]:
+                torn = f"  TORN: {seg['torn']}" if seg["torn"] else ""
+                print(f"    {seg['name']}: {seg['records']} record(s), "
+                      f"lsn {seg['first_lsn']}..{seg['last_lsn']}, "
+                      f"{seg['size_bytes']} byte(s){torn}")
+            for snap in shard["snapshots"]:
+                if snap.get("valid"):
+                    print(f"    {snap['name']}: lsn {snap['wal_lsn']}, "
+                          f"{snap['sessions']} session(s) + "
+                          f"{snap['spilled']} spilled, "
+                          f"{snap['size_bytes']} byte(s)")
+                else:
+                    print(f"    {snap['name']}: INVALID "
+                          f"({snap.get('error')})")
+        return 0
+    if args.action == "verify":
+        for shard in report["shards"]:
+            print(f"  {shard['shard']}: snapshot lsn "
+                  f"{shard['snapshot_lsn']}, "
+                  f"{shard['snapshot_sessions']} session(s), "
+                  f"{shard['replay_records']} record(s) to replay")
+        for problem in report["problems"]:
+            print(f"  PROBLEM: {problem}", file=sys.stderr)
+        print("ok" if report["ok"] else "NOT OK")
+        return 0 if report["ok"] else 1
+    for shard in report["shards"]:
+        removed = ", ".join(shard["removed_segments"]) or "nothing"
+        print(f"  {shard['shard']}: removed {removed}")
+    print(f"{report['segments_removed']} segment(s) removed")
     return 0
 
 
@@ -1054,7 +1132,35 @@ def build_parser() -> argparse.ArgumentParser:
     served.add_argument("--duration", type=float, default=None,
                         help="serve for N seconds then drain "
                         "(default: until SIGINT/SIGTERM)")
+    served.add_argument("--data-dir", default=None,
+                        help="enable durability: per-shard write-ahead "
+                        "log + snapshots under this directory "
+                        "(sessions survive restarts and crashes)")
+    served.add_argument("--fsync", choices=("always", "interval", "off"),
+                        default="interval",
+                        help="WAL fsync policy (default: interval)")
+    served.add_argument("--fsync-interval", type=float, default=0.05,
+                        help="max seconds between fsyncs under "
+                        "--fsync interval")
+    served.add_argument("--snapshot-every", type=int, default=256,
+                        help="feeds between frontier snapshots per "
+                        "shard (0 disables cadence snapshots)")
     served.set_defaults(func=_cmd_serve)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect/verify/compact a server data directory",
+    )
+    store.add_argument(
+        "action", choices=("inspect", "verify", "compact"),
+        help="inspect: list segments and snapshots; verify: run "
+        "recovery read-only and report problems; compact: drop WAL "
+        "segments covered by the newest snapshot",
+    )
+    store.add_argument("data_dir", help="the server's --data-dir path")
+    store.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
+    store.set_defaults(func=_cmd_store)
 
     loadgen = sub.add_parser(
         "loadgen",

@@ -228,6 +228,69 @@ class IncrementalFrameDecoder:
         return self._emit(frames, framing)
 
     # ------------------------------------------------------------------
+    # durable-state hooks (used by repro.store snapshots)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Decoder state as a JSON-able dict.
+
+        The buffered partial frame is carried base64-encoded; the
+        symbol table is carried as its entry list, so restoring never
+        needs the original header frame bytes.
+        """
+        import base64
+
+        return {
+            "buffer": base64.b64encode(self._buffer).decode("ascii"),
+            "closed": self._closed,
+            "table": (
+                None
+                if self._table is None
+                else [
+                    [e.index, e.name, e.value_bits]
+                    for e in self._table.entries
+                ]
+            ),
+            "expected_seq": self._expected_seq,
+            "diagnostics": [
+                [d.kind, d.detail] for d in self._diagnostics
+            ],
+            "frames_decoded": self._frames_decoded,
+            "records_emitted": self._records_emitted,
+            "records_dropped": self._records_dropped,
+            "scenario": self.scenario,
+            "seed": self.seed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite decoder state with an :meth:`export_state` dict."""
+        import base64
+
+        self._buffer = base64.b64decode(state["buffer"])
+        self._closed = bool(state["closed"])
+        table = state["table"]
+        self._table = (
+            None
+            if table is None
+            else SymbolTable(
+                tuple(
+                    SymbolEntry(int(index), name, int(value_bits))
+                    for index, name, value_bits in table
+                )
+            )
+        )
+        seq = state["expected_seq"]
+        self._expected_seq = None if seq is None else int(seq)
+        self._diagnostics = [
+            DecodeDiagnostic(kind, detail)
+            for kind, detail in state["diagnostics"]
+        ]
+        self._frames_decoded = int(state["frames_decoded"])
+        self._records_emitted = int(state["records_emitted"])
+        self._records_dropped = int(state["records_dropped"])
+        self.scenario = state["scenario"]
+        self.seed = int(state["seed"])
+
+    # ------------------------------------------------------------------
     def _emit(
         self, frames: List[Frame], framing: List[str]
     ) -> Tuple[TraceRecord, ...]:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.errors import CompressionError
+from repro.runtime.checksum import crc16
 
 #: Two-byte frame sync marker (chosen for a mixed bit pattern that is
 #: unlikely to appear repeatedly in packed payload data).
@@ -163,15 +164,8 @@ def varint_bits(value: int) -> int:
     return groups * 4
 
 
-def crc16(data: bytes, crc: int = 0xFFFF) -> int:
-    """CRC-16/CCITT-FALSE over *data*."""
-    for byte in data:
-        crc ^= byte << 8
-        for _ in range(8):
-            crc = ((crc << 1) ^ 0x1021 if crc & 0x8000 else crc << 1)
-            crc &= 0xFFFF
-    return crc
-
+# crc16 is re-exported from repro.runtime.checksum (CCITT-FALSE); the
+# frame format below and the wire protocol share one implementation.
 
 @dataclass(frozen=True)
 class Frame:

@@ -8,6 +8,8 @@ et al.) propagate.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -82,12 +84,18 @@ class ServerError(ReproError):
     code:
         Machine-readable error code (``"unknown-session"``,
         ``"chunk-gap"``, ``"bad-request"``, ...).
+    extra:
+        Any further structured fields the ERROR body carried (e.g. a
+        ``chunk-gap`` reply's ``expected`` chunk index).
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self, code: str, message: str, extra: Optional[dict] = None
+    ) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
         self.detail = message
+        self.extra: dict = dict(extra) if extra else {}
 
 
 class ServerUnavailableError(ReproError):
@@ -102,6 +110,12 @@ class OrchestrationError(ReproError):
 class CompressionError(ReproError):
     """Trace-stream encoding or decoding failed (value too wide for its
     dictionary slot, malformed frame, corrupt bitstream, ...)."""
+
+
+class StoreError(ReproError):
+    """The durable session store is unusable (corrupt segment beyond
+    the torn tail, snapshot fingerprint mismatch, missing data
+    directory, ...)."""
 
 
 class MiningError(ReproError):

@@ -12,6 +12,9 @@ debug campaigns, and the CLI:
 * :mod:`repro.runtime.orchestrator` -- parallel runs wrapped in
   telemetry.
 * :mod:`repro.runtime.telemetry` -- JSON-exportable run records.
+* :mod:`repro.runtime.checksum` -- the shared CRC-16/CCITT-FALSE used
+  by the compressed-trace frames, the wire protocol, and the session
+  store's write-ahead log.
 """
 
 from repro.runtime.artifacts import (
@@ -19,6 +22,7 @@ from repro.runtime.artifacts import (
     canonical_token,
     message_fingerprint,
 )
+from repro.runtime.checksum import crc16, crc16_bitwise
 from repro.runtime.cache import (
     ArtifactCache,
     CacheSnapshot,
@@ -41,6 +45,8 @@ __all__ = [
     "artifact_key",
     "canonical_token",
     "message_fingerprint",
+    "crc16",
+    "crc16_bitwise",
     "ArtifactCache",
     "CacheSnapshot",
     "CacheStats",

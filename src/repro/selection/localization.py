@@ -331,6 +331,18 @@ class PathLocalizer:
             self._compiled_tables()
         return self
 
+    def fingerprint(self) -> str:
+        """Content hash of ``(scenario, visible set)``.
+
+        Delegates to :func:`repro.selection.kernels.table_fingerprint`:
+        two localizers over structurally identical products with the
+        same traced set share it regardless of process or hash seed.
+        The session store stamps it into every snapshot so recovery can
+        refuse state written against a different scenario or traced
+        set.
+        """
+        return kernels.table_fingerprint(self.interleaved, self._visible_mid)
+
     # ------------------------------------------------------------------
     # stepwise DP hooks (prefix/exact modes)
     # ------------------------------------------------------------------

@@ -57,7 +57,11 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class FeedReply:
-    """Server acknowledgement of one fed chunk."""
+    """Server acknowledgement of one fed chunk.
+
+    ``next_chunk`` is the server's durable high-watermark -- the index
+    it expects next.  Servers predating the store omit it (``None``).
+    """
 
     session_id: str
     chunk_index: int
@@ -67,6 +71,7 @@ class FeedReply:
     observed_length: int
     frontier_size: int
     duplicate: bool
+    next_chunk: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -196,9 +201,15 @@ class DebugClient:
         frame_type: int, body: Dict[str, object]
     ) -> Dict[str, object]:
         if frame_type == protocol.ERROR:
+            extra = {
+                key: value
+                for key, value in body.items()
+                if key not in ("error", "message")
+            }
             raise ServerError(
                 str(body.get("error", "unknown")),
                 str(body.get("message", "")),
+                extra=extra,
             )
         return body
 
@@ -209,6 +220,23 @@ class DebugClient:
         mode: Optional[str] = None,
         transport: str = "text",
     ) -> str:
+        return str(
+            self.open_session_info(
+                session_id=session_id, mode=mode, transport=transport
+            )["session_id"]
+        )
+
+    def open_session_info(
+        self,
+        session_id: Optional[str] = None,
+        mode: Optional[str] = None,
+        transport: str = "text",
+    ) -> Dict[str, object]:
+        """Open a session and return the server's full reply body.
+
+        A durable server resuming a spilled session adds ``"resumed":
+        true`` and ``"next_chunk"`` (the chunk index it expects next).
+        """
         request: Dict[str, object] = {"transport": transport}
         if session_id is not None:
             request["session_id"] = session_id
@@ -217,7 +245,7 @@ class DebugClient:
         frame_type, body = self.request(
             protocol.OPEN_SESSION, protocol.encode_json(request)
         )
-        return str(self._checked(frame_type, body)["session_id"])
+        return self._checked(frame_type, body)
 
     def feed(
         self,
@@ -231,6 +259,7 @@ class DebugClient:
             protocol.encode_feed_payload(session_id, chunk_index, data, eof),
         )
         body = self._checked(frame_type, body)
+        next_chunk = body.get("next_chunk")
         return FeedReply(
             session_id=str(body["session_id"]),
             chunk_index=int(body["chunk_index"]),  # type: ignore[arg-type]
@@ -240,6 +269,7 @@ class DebugClient:
             observed_length=int(body["observed_length"]),  # type: ignore[arg-type]
             frontier_size=int(body["frontier_size"]),  # type: ignore[arg-type]
             duplicate=bool(body["duplicate"]),
+            next_chunk=None if next_chunk is None else int(next_chunk),  # type: ignore[arg-type]
         )
 
     def snapshot(self, session_id: str) -> SnapshotReply:
@@ -288,9 +318,14 @@ class SessionFeed:
 
     Every chunk fed is remembered; when the server no longer knows the
     session (``unknown-session`` after an eviction or a restart), the
-    feed re-opens it and replays the full history before applying the
-    new chunk.  Replay preserves chunk indices from zero, so server-
-    side idempotency holds across the recovery too.
+    feed re-opens it and replays history before applying the new
+    chunk.  Against a durable server the replay is *incremental*: a
+    resumed open reports the persisted high-watermark (``next_chunk``)
+    and a ``chunk-gap`` error carries the ``expected`` index, so only
+    the un-persisted tail is retransmitted.  Against an old server
+    (neither field present) the feed falls back to a full replay from
+    chunk zero.  Replay preserves chunk indices, so server-side
+    idempotency holds across the recovery too.
     """
 
     def __init__(
@@ -310,20 +345,44 @@ class SessionFeed:
         self.recoveries = 0
 
     # ------------------------------------------------------------------
+    def _replay_from(self, start: int, upto: Optional[int] = None) -> None:
+        end = len(self._history) if upto is None else upto
+        for index in range(start, end):
+            data, eof = self._history[index]
+            self.client.feed(self.session_id, index, data, eof=eof)
+
     def _reopen_and_replay(self) -> None:
         self.recoveries += 1
-        self.session_id = self.client.open_session(
+        info = self.client.open_session_info(
             session_id=self.session_id,
             mode=self.mode,
             transport=self.transport,
         )
-        for index, (data, eof) in enumerate(self._history):
-            self.client.feed(self.session_id, index, data, eof=eof)
+        self.session_id = str(info["session_id"])
+        start = 0
+        if info.get("resumed"):
+            # a durable server revived the session; replay only the
+            # chunks past its persisted high-watermark
+            start = min(
+                int(info.get("next_chunk", 0)), len(self._history)  # type: ignore[arg-type]
+            )
+        self._replay_from(start)
 
-    def _recovering(self, operation):
+    def _recovering(self, operation, replay_upto: Optional[int] = None):
         try:
             return operation()
         except ServerError as exc:
+            if exc.code == "chunk-gap" and "expected" in exc.extra:
+                # the server is durable but lost the tail (e.g. a
+                # crash truncated un-synced WAL records): retransmit
+                # from the index it reports instead of reopening --
+                # stopping short of the in-flight chunk, which the
+                # retried operation itself delivers
+                self.recoveries += 1
+                self._replay_from(
+                    int(exc.extra["expected"]), upto=replay_upto  # type: ignore[arg-type]
+                )
+                return operation()
             if exc.code != "unknown-session":
                 raise
         self._reopen_and_replay()
@@ -334,7 +393,8 @@ class SessionFeed:
         index = len(self._history)
         self._history.append((data, eof))
         return self._recovering(
-            lambda: self.client.feed(self.session_id, index, data, eof=eof)
+            lambda: self.client.feed(self.session_id, index, data, eof=eof),
+            replay_upto=index,
         )
 
     def feed_chunks(

@@ -8,7 +8,7 @@ big-endian)::
     | 0x52 | 0x70 | version | type | seq(32)| len(32) | payload.. | crc16 |
     +------+------+---------+------+--------+---------+-----------+-------+
 
-``crc16`` is the CRC-16/CCITT of :mod:`repro.compress.framing` -- the
+``crc16`` is the CRC-16/CCITT of :mod:`repro.runtime.checksum` -- the
 same machinery that guards on-chip trace frames guards the wire --
 computed over ``version..payload``.  ``seq`` is a request-scoped
 correlation id: responses echo the request's ``seq``, so a client may
@@ -41,7 +41,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.compress.framing import crc16
+from repro.runtime.checksum import crc16
 from repro.errors import ProtocolError
 
 #: Protocol magic ("Rp") and the one supported version.
@@ -251,8 +251,8 @@ def decode_feed_payload(payload: bytes) -> Tuple[str, int, bool, bytes]:
 
 # ----------------------------------------------------------------------
 # structured replies (shared client/server shapes)
-def error_payload(code: str, message: str) -> bytes:
-    return encode_json({"error": code, "message": message})
+def error_payload(code: str, message: str, **extra: object) -> bytes:
+    return encode_json({"error": code, "message": message, **extra})
 
 
 def retry_later_payload(reason: str, retry_after_s: float) -> bytes:

@@ -23,6 +23,13 @@ Architecture::
 * **Graceful drain** -- SIGINT/SIGTERM stop the accept loop, let every
   queued operation finish and its response flush, then retire the
   remaining sessions through their managers (telemetry intact).
+* **Durability** (opt-in via ``ServerConfig.data_dir``) -- each shard
+  owns a :class:`repro.store.SessionStore`: feeds are written to a
+  CRC-framed WAL *before* they are applied (an acked chunk survives a
+  crash), frontier snapshots bound replay, idle eviction spills state
+  instead of discarding it, and startup recovers every session
+  bit-identical to an uninterrupted run.  Without a data directory the
+  server behaves exactly as before.
 
 The metrics plane (:mod:`repro.server.metrics`) is wired in here:
 request/feed counters and latency histograms update on the serving
@@ -35,6 +42,7 @@ time -- over the ``STATS`` frame or the plain-HTTP
 from __future__ import annotations
 
 import asyncio
+import base64
 import bisect
 import codecs
 import json
@@ -49,10 +57,23 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro import perf
 from repro.core.interleave import InterleavedFlow
 from repro.core.message import Message
-from repro.errors import ProtocolError, SelectionError, StreamError
+from repro.errors import (
+    ProtocolError,
+    SelectionError,
+    StoreError,
+    StreamError,
+)
 from repro.selection import kernels
 from repro.server import protocol
 from repro.server.metrics import MetricsRegistry, runtime_cache_collector
+from repro.store import wal as wal_mod
+from repro.store.inspect import (
+    META_FORMAT,
+    read_meta,
+    shard_directory,
+    write_meta,
+)
+from repro.store.store import SessionStore
 from repro.stream.ingest import CompressedTraceIngester, IncrementalTraceParser
 from repro.stream.session import SessionLimits, SessionManager
 
@@ -134,6 +155,14 @@ class ServerConfig:
     idle_sweep_s: float = 10.0
     retry_after_s: float = 0.05
     metrics_port: Optional[int] = None
+    #: Durability (repro.store): a data directory enables the per-shard
+    #: write-ahead log + frontier snapshots; ``None`` keeps the server
+    #: purely in-memory (the pre-store behavior, bit for bit).
+    data_dir: Optional[str] = None
+    fsync: str = "interval"
+    fsync_interval_s: float = 0.05
+    snapshot_every: int = 256
+    segment_bytes: int = wal_mod.DEFAULT_SEGMENT_BYTES
 
 
 class HashRing:
@@ -202,6 +231,57 @@ class _ServerSession:
         self.observed_length = 0
         self.frontier_size = 0
 
+    def capture(self, manager_state: dict) -> dict:
+        """Merge the manager's durable export with this wrapper's own
+        state into one JSON-able snapshot entry."""
+        state = dict(manager_state)
+        buffered, flag = self.decoder.getstate()
+        state.update(
+            transport=self.transport,
+            next_chunk=self.next_chunk,
+            wire_bytes=self.wire_bytes,
+            raw_bits=self.raw_bits,
+            last_status=self.last_status,
+            observed_length=self.observed_length,
+            frontier_size=self.frontier_size,
+            text_decoder=[
+                base64.b64encode(buffered).decode("ascii"), flag
+            ],
+        )
+        if self.transport == "ctrace":
+            state["ingester"] = self.ingester.export_state()
+        else:
+            state["parser"] = self.parser.export_state()
+        return state
+
+    @classmethod
+    def restore(
+        cls, state: dict, catalog: Mapping[str, Message]
+    ) -> "_ServerSession":
+        """The inverse of :meth:`capture` (the manager side is restored
+        separately via :meth:`SessionManager.adopt`)."""
+        session = cls(
+            str(state["session_id"]),
+            str(state.get("transport", "text")),
+            catalog,
+        )
+        session.next_chunk = int(state.get("next_chunk", 0))
+        session.records = int(state.get("records", 0))
+        session.wire_bytes = int(state.get("wire_bytes", 0))
+        session.raw_bits = int(state.get("raw_bits", 0))
+        session.last_status = str(state.get("last_status", "active"))
+        session.observed_length = int(state.get("observed_length", 0))
+        session.frontier_size = int(state.get("frontier_size", 0))
+        buffered, flag = state.get("text_decoder", ["", 0])
+        session.decoder.setstate(
+            (base64.b64decode(buffered), int(flag))
+        )
+        if session.transport == "ctrace":
+            session.ingester.restore_state(state["ingester"])
+        else:
+            session.parser.restore_state(state["parser"])
+        return session
+
 
 class _Shard:
     """One shard: manager + session wrappers + serialized work lane."""
@@ -233,16 +313,49 @@ class _Shard:
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"repro-shard{index}"
         )
+        self.store: Optional[SessionStore] = None
+        if config.data_dir is not None:
+            self.store = SessionStore(
+                shard_directory(config.data_dir, index),
+                fsync=config.fsync,
+                fsync_interval_s=config.fsync_interval_s,
+                snapshot_every=config.snapshot_every,
+                segment_bytes=config.segment_bytes,
+            )
 
     def sweep(self) -> Tuple[str, ...]:
         """Evict idle sessions and drop their ingest state (runs on the
-        shard executor, serialized with regular operations)."""
-        evicted = self.manager.evict_idle()
+        shard executor, serialized with regular operations).  With a
+        store attached, evicted sessions are spilled -- their full
+        state is parked in the store and folded into the next snapshot
+        instead of being lost."""
+        spill = None
+        if self.store is not None:
+            def spill(manager_state: dict) -> None:
+                wrapper = self.sessions.get(manager_state["session_id"])
+                if wrapper is not None:
+                    self.store.spill(wrapper.capture(manager_state))
+        evicted = self.manager.evict_idle(spill=spill)
         live = set(self.manager.session_ids())
         for sid in list(self.sessions):
             if sid not in live:
                 del self.sessions[sid]
         return evicted
+
+    def capture_states(self) -> List[dict]:
+        """Every live session's durable state, id-sorted (snapshot
+        path; runs on the shard executor)."""
+        states: List[dict] = []
+        for sid in self.manager.session_ids():
+            wrapper = self.sessions.get(sid)
+            if wrapper is None:  # pragma: no cover - defensive
+                continue
+            try:
+                manager_state = self.manager.export_session(sid)
+            except StreamError:  # pragma: no cover - raced retirement
+                continue
+            states.append(wrapper.capture(manager_state))
+        return sorted(states, key=lambda s: s["session_id"])
 
     def close_all(self) -> int:
         """Retire every remaining session (drain path)."""
@@ -298,6 +411,8 @@ class DebugServer:
         self._stopped = False
         self._started_at = 0.0
         self._session_counter = 0
+        self._fingerprint: Optional[str] = None
+        self._recovery: Dict[str, object] = {}
         self._perf = perf.PerfCounters()
         self.host = self.config.host
         self.port = self.config.port
@@ -322,7 +437,9 @@ class DebugServer:
         self._c_craw = reg.counter("compressed_raw_bits")
         self._h_feed = reg.histogram("feed_latency_s")
         self._h_request = reg.histogram("request_latency_s")
+        self._h_wal = reg.histogram("wal_append_s")
         reg.add_collector("server", self._server_stats)
+        reg.add_collector("store", self._store_stats)
         reg.add_collector(
             "shards", lambda: {"shards": [s.stats() for s in self._shards]}
         )
@@ -355,6 +472,37 @@ class DebugServer:
             ),
         }
 
+    @property
+    def recovery_info(self) -> Dict[str, object]:
+        """Summary of the last start's recovery (empty without a
+        store): sessions restored, records replayed, wall time."""
+        return dict(self._recovery)
+
+    def _store_stats(self) -> Dict[str, object]:
+        if self.config.data_dir is None:
+            return {"enabled": False}
+        per_shard = [
+            dict(shard.store.stats(), shard=shard.index)
+            for shard in self._shards
+            if shard.store is not None
+        ]
+        totals: Dict[str, object] = {}
+        for stats in per_shard:
+            for key, value in stats.items():
+                if key == "shard" or not isinstance(value, (int, float)):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        return {
+            "enabled": True,
+            "data_dir": self.config.data_dir,
+            "fsync": self.config.fsync,
+            "snapshot_every": self.config.snapshot_every,
+            "fingerprint": self._fingerprint,
+            "recovery": dict(self._recovery),
+            "totals": totals,
+            "shards": per_shard,
+        }
+
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> Tuple[str, int]:
         """Bind, start shard consumers and the sweeper; returns the
@@ -366,6 +514,18 @@ class DebugServer:
             _Shard(i, self.context, self.config)
             for i in range(self.config.shards)
         ]
+        # every shard resolved the same compiled tables by content hash;
+        # the fingerprint ties durable state to this exact scenario
+        self._fingerprint = (
+            self._shards[0].manager.shared_localizer.fingerprint()
+        )
+        if self.config.data_dir is not None:
+            try:
+                self._recover_from_store()
+            except BaseException:
+                for shard in self._shards:
+                    shard.executor.shutdown(wait=False)
+                raise
         perf.activate(self._perf)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -429,7 +589,17 @@ class DebugServer:
         if not abort:
             loop = asyncio.get_running_loop()
             for shard in self._shards:
-                await loop.run_in_executor(shard.executor, shard.close_all)
+                if shard.store is not None:
+                    # durable shutdown: checkpoint every live session
+                    # (and the spill map) instead of retiring them --
+                    # they come back on the next start
+                    await loop.run_in_executor(
+                        shard.executor, self._final_snapshot, shard
+                    )
+                else:
+                    await loop.run_in_executor(
+                        shard.executor, shard.close_all
+                    )
         for connection in list(self._connections):
             try:
                 connection.writer.close()
@@ -700,10 +870,27 @@ class DebugServer:
         self, shard: _Shard, sid: str, mode: Optional[object],
         transport: str,
     ) -> Tuple[int, bytes]:
-        try:
-            shard.manager.open(
-                sid, mode=mode if mode is None else str(mode)
+        revived = self._revive(shard, sid)
+        if revived is not None:
+            # reopening a spilled session resumes it; the reply's
+            # next_chunk tells the client where the durable
+            # high-watermark is so it replays only the tail
+            self._c_opens.inc()
+            return (
+                protocol.OK,
+                protocol.encode_json(
+                    {
+                        "session_id": sid,
+                        "shard": shard.index,
+                        "transport": revived.transport,
+                        "mode": shard.manager.session(sid).mode,
+                        "resumed": True,
+                        "next_chunk": revived.next_chunk,
+                    }
+                ),
             )
+        try:
+            self._apply_open(shard, sid, mode, transport)
         except StreamError as exc:
             if "table full" in str(exc):
                 return (
@@ -721,9 +908,15 @@ class DebugServer:
                 protocol.ERROR,
                 protocol.error_payload("bad-request", str(exc)),
             )
-        shard.sessions[sid] = _ServerSession(
-            sid, transport, self.context.catalog
-        )
+        if shard.store is not None:
+            # logged *after* the apply: a crash in between loses only
+            # an un-acked open, which the client simply retries
+            self._wal_append(
+                shard,
+                lambda: shard.store.log_open(
+                    sid, shard.manager.session(sid).mode, transport
+                ),
+            )
         self._c_opens.inc()
         return (
             protocol.OK,
@@ -743,6 +936,8 @@ class DebugServer:
     ) -> Tuple[int, bytes]:
         session = shard.sessions.get(sid)
         if session is None:
+            session = self._revive(shard, sid)
+        if session is None:
             return self._unknown_session(shard, sid)
         if chunk_index < session.next_chunk:
             # a retransmit of an already-applied chunk (the response
@@ -759,6 +954,7 @@ class DebugServer:
                         "status": session.last_status,
                         "observed_length": session.observed_length,
                         "frontier_size": session.frontier_size,
+                        "next_chunk": session.next_chunk,
                     }
                 ),
             )
@@ -769,37 +965,27 @@ class DebugServer:
                     "chunk-gap",
                     f"expected chunk {session.next_chunk}, "
                     f"got {chunk_index}",
+                    expected=session.next_chunk,
                 ),
             )
-        if session.transport == "ctrace":
-            records = list(session.ingester.feed(data))
-            if eof:
-                records.extend(session.ingester.close())
-            session.wire_bytes += len(data)
-            self._c_cbytes.inc(len(data))
-            if records:
-                from repro.compress.encoder import uncompressed_capture_bits
-
-                added_bits = uncompressed_capture_bits(records)
-                session.raw_bits += added_bits
-                self._c_craw.inc(added_bits)
-        else:
-            text = session.decoder.decode(data, final=eof)
-            records = list(session.parser.feed(text))
-            if eof:
-                records.extend(session.parser.close())
+        if shard.store is not None:
+            # log-before-apply: once the client sees this chunk's OK,
+            # the chunk is on disk.  A crash between the append and the
+            # apply is safe -- replay applies it, the un-acked client
+            # retransmits, and idempotency answers with a duplicate-ack
+            self._wal_append(
+                shard,
+                lambda: shard.store.log_feed(sid, chunk_index, data, eof),
+            )
         try:
-            outcome = shard.manager.feed(sid, records, drop_invisible=True)
+            record_count, outcome = self._apply_feed(
+                shard, session, chunk_index, eof, data
+            )
         except StreamError:
             return self._unknown_session(shard, sid)
-        session.next_chunk = chunk_index + 1
-        session.records += outcome.consumed
-        session.last_status = outcome.status
-        session.observed_length = outcome.observed_length
-        session.frontier_size = outcome.frontier_size
         self._c_feeds.inc()
         self._c_records.inc(outcome.consumed)
-        return (
+        reply = (
             protocol.OK,
             protocol.encode_json(
                 {
@@ -807,15 +993,21 @@ class DebugServer:
                     "chunk_index": chunk_index,
                     "duplicate": False,
                     "consumed": outcome.consumed,
-                    "records": len(records),
+                    "records": record_count,
                     "status": outcome.status,
                     "observed_length": outcome.observed_length,
                     "frontier_size": outcome.frontier_size,
+                    "next_chunk": session.next_chunk,
                 }
             ),
         )
+        if shard.store is not None and shard.store.should_snapshot():
+            self._snapshot_shard(shard)
+        return reply
 
     def _op_snapshot(self, shard: _Shard, sid: str) -> Tuple[int, bytes]:
+        if sid not in shard.sessions:
+            self._revive(shard, sid)
         try:
             result = shard.manager.snapshot(sid)
             session = shard.manager.session(sid)
@@ -838,11 +1030,16 @@ class DebugServer:
         )
 
     def _op_close(self, shard: _Shard, sid: str) -> Tuple[int, bytes]:
+        if sid not in shard.sessions:
+            self._revive(shard, sid)
         try:
             record = shard.manager.close(sid)
         except StreamError:
             return self._unknown_session(shard, sid)
         shard.sessions.pop(sid, None)
+        if shard.store is not None:
+            shard.store.drop_spilled(sid)
+            self._wal_append(shard, lambda: shard.store.log_close(sid))
         self._c_closes.inc()
         extra = record.extra
         return (
@@ -870,6 +1067,249 @@ class DebugServer:
                 "(closed, evicted, or lost to a restart)",
             ),
         )
+
+    # -- apply helpers (shared by live ops and WAL replay) --------------
+    def _apply_open(
+        self, shard: _Shard, sid: str, mode: Optional[object],
+        transport: str,
+    ) -> None:
+        shard.manager.open(sid, mode=mode if mode is None else str(mode))
+        shard.sessions[sid] = _ServerSession(
+            sid, transport, self.context.catalog
+        )
+
+    def _apply_feed(
+        self,
+        shard: _Shard,
+        session: _ServerSession,
+        chunk_index: int,
+        eof: bool,
+        data: bytes,
+    ):
+        """Ingest one chunk and advance the session; returns
+        ``(record_count, FeedOutcome)``.  Both live traffic and WAL
+        replay run through here -- that sharing is what makes a
+        recovered session bit-identical to an uninterrupted one."""
+        if session.transport == "ctrace":
+            records = list(session.ingester.feed(data))
+            if eof:
+                records.extend(session.ingester.close())
+            session.wire_bytes += len(data)
+            self._c_cbytes.inc(len(data))
+            if records:
+                from repro.compress.encoder import uncompressed_capture_bits
+
+                added_bits = uncompressed_capture_bits(records)
+                session.raw_bits += added_bits
+                self._c_craw.inc(added_bits)
+        else:
+            text = session.decoder.decode(data, final=eof)
+            records = list(session.parser.feed(text))
+            if eof:
+                records.extend(session.parser.close())
+        outcome = shard.manager.feed(
+            session.session_id, records, drop_invisible=True
+        )
+        session.next_chunk = chunk_index + 1
+        session.records += outcome.consumed
+        session.last_status = outcome.status
+        session.observed_length = outcome.observed_length
+        session.frontier_size = outcome.frontier_size
+        return len(records), outcome
+
+    # -- durability (repro.store) ---------------------------------------
+    def _wal_append(self, shard: _Shard, append: Callable[[], int]) -> int:
+        started = time.perf_counter()
+        lsn = append()
+        self._h_wal.observe(time.perf_counter() - started)
+        return lsn
+
+    def _install_state(
+        self, shard: _Shard, state: dict
+    ) -> Optional[_ServerSession]:
+        """Adopt one captured session (snapshot entry or spilled state)
+        back into the shard; ``None`` when the table is full."""
+        sid = str(state["session_id"])
+        # spill anything idle first so adopt's internal eviction can
+        # never silently drop a session the store should have kept
+        shard.sweep()
+        try:
+            shard.manager.adopt(
+                sid,
+                mode=state.get("mode"),
+                status=str(state.get("status", "active")),
+                feeds=int(state.get("feeds", 0)),
+                records=int(state.get("records", 0)),
+                localizer_state=state.get("localizer"),
+            )
+        except StreamError:
+            return None
+        wrapper = _ServerSession.restore(state, self.context.catalog)
+        shard.sessions[sid] = wrapper
+        return wrapper
+
+    def _revive(self, shard: _Shard, sid: str) -> Optional[_ServerSession]:
+        """Bring a spilled (evicted-but-durable) session back live."""
+        if shard.store is None:
+            return None
+        state = shard.store.take_spilled(sid)
+        if state is None:
+            return None
+        wrapper = self._install_state(shard, state)
+        if wrapper is None:
+            shard.store.spill(state)  # table full: park it again
+        return wrapper
+
+    def _snapshot_shard(self, shard: _Shard) -> None:
+        """Checkpoint one shard (runs on its executor thread, so it
+        serializes with that shard's operations)."""
+        shard.store.write_snapshot(
+            shard.capture_states(),
+            fingerprint=self._fingerprint or "",
+            scenario=self.context.name,
+            mode=self.context.mode,
+            session_counter=self._session_counter,
+        )
+
+    def _final_snapshot(self, shard: _Shard) -> None:
+        """Durable shutdown of one shard: checkpoint, then seal the
+        WAL.  Sessions are *not* retired -- they come back on the next
+        start."""
+        try:
+            self._snapshot_shard(shard)
+        finally:
+            shard.store.close()
+
+    def _note_session_id(self, sid: str) -> None:
+        """Keep the generated-id counter past every durable id, so a
+        restarted server never re-issues one."""
+        if sid.startswith("g") and sid[1:].isdigit():
+            self._session_counter = max(
+                self._session_counter, int(sid[1:])
+            )
+
+    def _recover_from_store(self) -> None:
+        """Rebuild every shard from its data directory: newest valid
+        snapshot, then the WAL tail through the same apply path live
+        traffic takes.  Refuses state from a different scenario."""
+        started = time.perf_counter()
+        data_dir = self.config.data_dir
+        meta = read_meta(data_dir)
+        if meta is None:
+            write_meta(
+                data_dir,
+                {
+                    "format": META_FORMAT,
+                    "scenario": self.context.name,
+                    "mode": self.context.mode,
+                    "fingerprint": self._fingerprint,
+                    "shards": len(self._shards),
+                },
+            )
+        else:
+            if meta.get("fingerprint") not in (None, self._fingerprint):
+                raise StoreError(
+                    f"data directory {data_dir} belongs to a different "
+                    f"scenario (stored fingerprint "
+                    f"{meta.get('fingerprint')!r}, serving "
+                    f"{self._fingerprint!r})"
+                )
+            if int(meta.get("shards", len(self._shards))) != len(
+                self._shards
+            ):
+                raise StoreError(
+                    f"data directory {data_dir} was written with "
+                    f"{meta.get('shards')} shard(s); this server runs "
+                    f"{len(self._shards)} -- session routing would break"
+                )
+        sessions = replayed = 0
+        diagnostics: List[str] = []
+        for shard in self._shards:
+            shard_started = time.perf_counter()
+            recovered = shard.store.open()
+            diagnostics.extend(recovered.diagnostics)
+            snap = recovered.snapshot
+            if snap is not None:
+                snap_fp = snap.get("fingerprint")
+                if snap_fp not in (None, "", self._fingerprint):
+                    raise StoreError(
+                        f"shard {shard.index} snapshot was taken on a "
+                        f"different scenario (fingerprint {snap_fp!r})"
+                    )
+                self._session_counter = max(
+                    self._session_counter,
+                    int(snap.get("session_counter", 0)),
+                )
+                for state in snap.get("sessions", ()):
+                    self._note_session_id(str(state["session_id"]))
+                    self._install_state(shard, state)
+                for sid in shard.store.spilled_ids():
+                    self._note_session_id(sid)
+            for record in recovered.tail:
+                self._replay_record(shard, record)
+                replayed += 1
+            # what actually came back: live sessions (snapshot +
+            # WAL-replayed opens) plus revivable spilled ones
+            sessions += len(shard.manager) + len(
+                shard.store.spilled_ids()
+            )
+            shard.store.recovered_sessions = len(shard.manager)
+            shard.store.recovered_records = recovered.replay_records
+            shard.store.recovery_wall_s = (
+                time.perf_counter() - shard_started
+            )
+        self._recovery = {
+            "sessions": sessions,
+            "replayed_records": replayed,
+            "wall_s": round(time.perf_counter() - started, 6),
+            "diagnostics": diagnostics,
+        }
+
+    def _replay_record(
+        self, shard: _Shard, record: wal_mod.WalRecord
+    ) -> None:
+        """Apply one trusted WAL tail record at recovery time."""
+        if record.rec_type == wal_mod.WAL_OPEN:
+            body = json.loads(record.payload.decode("utf-8"))
+            sid = str(body["session_id"])
+            self._note_session_id(sid)
+            if sid in shard.sessions:  # pragma: no cover - defensive
+                return
+            try:
+                self._apply_open(
+                    shard,
+                    sid,
+                    body.get("mode"),
+                    str(body.get("transport", "text")),
+                )
+            except (StreamError, SelectionError):  # pragma: no cover
+                pass
+        elif record.rec_type == wal_mod.WAL_FEED:
+            sid, chunk_index, eof, data = protocol.decode_feed_payload(
+                record.payload
+            )
+            session = shard.sessions.get(sid)
+            if session is None:
+                session = self._revive(shard, sid)
+            if session is None or chunk_index != session.next_chunk:
+                # orphaned or already-folded feed: nothing to redo
+                return
+            try:
+                self._apply_feed(shard, session, chunk_index, eof, data)
+            except StreamError:  # pragma: no cover - defensive
+                pass
+        elif record.rec_type == wal_mod.WAL_CLOSE:
+            sid = str(
+                json.loads(record.payload.decode("utf-8"))["session_id"]
+            )
+            if sid in shard.sessions:
+                try:
+                    shard.manager.close(sid)
+                except StreamError:  # pragma: no cover - defensive
+                    pass
+                shard.sessions.pop(sid, None)
+            else:
+                shard.store.drop_spilled(sid)
 
     # -- metrics plane -------------------------------------------------
     async def _handle_metrics(

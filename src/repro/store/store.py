@@ -1,0 +1,290 @@
+"""Per-shard durable session state: the :class:`SessionStore` facade.
+
+One ``SessionStore`` owns one shard directory and composes the three
+durability mechanisms:
+
+* **WAL** (:mod:`repro.store.wal`) -- every OPEN/FEED/CLOSE is logged
+  *before* it is applied, so an acknowledged operation is never lost
+  to a crash (ack-after-durable).
+* **Snapshots** (:mod:`repro.store.snapshot`) -- every
+  ``snapshot_every`` feeds, the shard's full session state is
+  checkpointed so recovery replays a bounded tail instead of the
+  whole history.
+* **Compaction** -- segments fully covered by the newest snapshot are
+  deleted after it lands; the log's size is bounded by snapshot
+  cadence, not by uptime.
+
+It also holds the **spill map**: sessions the idle sweeper evicts are
+captured here instead of discarded, folded into the next snapshot, and
+transparently revived when the client comes back.
+
+All mutating calls happen on the owning shard's single worker thread
+(the server serializes them), so the store needs no locking of its own.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import StoreError
+from repro.store import snapshot as snapshot_mod
+from repro.store import wal
+from repro.store.recovery import RecoveredShard, recover_directory
+
+
+class SessionStore:
+    """Durable state of one debug-server shard.
+
+    Parameters
+    ----------
+    directory:
+        The shard's data directory (created if missing).
+    fsync:
+        WAL fsync policy: ``"always"``, ``"interval"``, or ``"off"``.
+    fsync_interval_s:
+        Maximum staleness under the ``interval`` policy.
+    snapshot_every:
+        Feeds between automatic snapshots (``0`` disables cadence
+        snapshots; explicit ones still work).
+    segment_bytes:
+        WAL segment rotation threshold.
+    snapshots_kept:
+        How many snapshot generations survive pruning.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fsync: str = "interval",
+        fsync_interval_s: float = 0.05,
+        snapshot_every: int = 256,
+        segment_bytes: int = wal.DEFAULT_SEGMENT_BYTES,
+        snapshots_kept: int = 2,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self.snapshot_every = snapshot_every
+        self.segment_bytes = segment_bytes
+        self.snapshots_kept = snapshots_kept
+        self._writer: Optional[wal.WalWriter] = None
+        self._spilled: Dict[str, dict] = {}
+        self._feeds_since_snapshot = 0
+        # lifetime counters (merged into the shard's metrics)
+        self.snapshots_written = 0
+        self.snapshot_bytes = 0
+        self.segments_compacted = 0
+        self.spills = 0
+        self.revivals = 0
+        self.recovered_sessions = 0
+        self.recovered_records = 0
+        self.recovery_wall_s = 0.0
+        self.truncated_bytes = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    def open(self) -> RecoveredShard:
+        """Recover the directory and start the WAL writer after the
+        trusted prefix.  Must be called exactly once, before any
+        logging."""
+        if self._writer is not None:
+            raise StoreError("store already open")
+        # make disk match the trusted prefix first: truncate the torn
+        # tail and drop untrusted segments, so the writer can never
+        # collide with (or be confused by) a crashed process's leavings
+        repaired_bytes, _ = wal.repair_wal(self.directory)
+        recovered = recover_directory(self.directory)
+        self.truncated_bytes = max(
+            repaired_bytes, recovered.truncated_bytes
+        )
+        self._writer = wal.WalWriter(
+            self.directory,
+            fsync=self.fsync,
+            fsync_interval_s=self.fsync_interval_s,
+            segment_bytes=self.segment_bytes,
+            next_lsn=recovered.next_lsn,
+        )
+        snap = recovered.snapshot
+        if snap is not None:
+            for state in snap.get("spilled", ()):
+                self._spilled[state["session_id"]] = state
+        return recovered
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+
+    @property
+    def last_lsn(self) -> int:
+        return self._writer.last_lsn if self._writer is not None else 0
+
+    # ------------------------------------------------------------------
+    # WAL logging (called before the in-memory apply)
+    def log_open(self, session_id: str, mode: str, transport: str) -> int:
+        import json
+
+        return self._append(
+            wal.WAL_OPEN,
+            json.dumps(
+                {
+                    "session_id": session_id,
+                    "mode": mode,
+                    "transport": transport,
+                },
+                separators=(",", ":"),
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+
+    def log_feed(
+        self, session_id: str, chunk_index: int, data: bytes, eof: bool
+    ) -> int:
+        # the WAL reuses the wire protocol's binary FEED payload --
+        # one codec, and replay decodes with the same function the
+        # live path uses
+        from repro.server.protocol import encode_feed_payload
+
+        lsn = self._append(
+            wal.WAL_FEED,
+            encode_feed_payload(session_id, chunk_index, data, eof=eof),
+        )
+        self._feeds_since_snapshot += 1
+        return lsn
+
+    def log_close(self, session_id: str) -> int:
+        import json
+
+        return self._append(
+            wal.WAL_CLOSE,
+            json.dumps(
+                {"session_id": session_id},
+                separators=(",", ":"),
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+
+    def _append(self, rec_type: int, payload: bytes) -> int:
+        if self._writer is None:
+            raise StoreError("store is not open")
+        return self._writer.append(rec_type, payload)
+
+    # ------------------------------------------------------------------
+    # snapshots + compaction
+    def should_snapshot(self) -> bool:
+        return (
+            self.snapshot_every > 0
+            and self._feeds_since_snapshot >= self.snapshot_every
+        )
+
+    def write_snapshot(
+        self,
+        sessions: List[dict],
+        fingerprint: str,
+        scenario: str,
+        mode: str,
+        session_counter: int,
+    ) -> Path:
+        """Checkpoint the shard: live *sessions* plus the spill map.
+
+        Rotates the WAL so compaction can drop every covered segment,
+        then prunes old snapshots and compacts.
+        """
+        if self._writer is None:
+            raise StoreError("store is not open")
+        payload = {
+            "format": snapshot_mod.SNAPSHOT_FORMAT,
+            "fingerprint": fingerprint,
+            "scenario": scenario,
+            "mode": mode,
+            "session_counter": session_counter,
+            "wal_lsn": self._writer.last_lsn,
+            "sessions": sessions,
+            "spilled": sorted(
+                self._spilled.values(), key=lambda s: s["session_id"]
+            ),
+        }
+        path = snapshot_mod.write_snapshot(
+            self.directory, payload, self._writer.last_lsn
+        )
+        self._writer.rotate()
+        self._feeds_since_snapshot = 0
+        self.snapshots_written += 1
+        self.snapshot_bytes += path.stat().st_size
+        snapshot_mod.prune_snapshots(
+            self.directory, keep=self.snapshots_kept
+        )
+        self.compact()
+        return path
+
+    def compact(self) -> int:
+        """Delete WAL segments fully covered by the newest snapshot.
+
+        A segment is covered when the *next* segment starts at or
+        before ``snapshot lsn + 1`` (so every record in it has
+        ``lsn <= snapshot lsn``); the last segment is never deleted.
+        Returns how many segments were removed.
+        """
+        lsn, _, _ = snapshot_mod.latest_snapshot(self.directory)
+        if lsn is None:
+            return 0
+        segments = wal.list_segments(self.directory)
+        removed = 0
+        for path, successor in zip(segments, segments[1:]):
+            if wal.segment_first_lsn(successor) <= lsn + 1:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - raced deletion
+                    pass
+            else:
+                break
+        self.segments_compacted += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # eviction spill
+    def spill(self, state: dict) -> None:
+        """Park an evicted session's captured state until it is revived
+        or folded into the next snapshot."""
+        self._spilled[state["session_id"]] = state
+        self.spills += 1
+
+    def take_spilled(self, session_id: str) -> Optional[dict]:
+        """Claim a spilled session's state (revival path)."""
+        state = self._spilled.pop(session_id, None)
+        if state is not None:
+            self.revivals += 1
+        return state
+
+    def drop_spilled(self, session_id: str) -> None:
+        self._spilled.pop(session_id, None)
+
+    def spilled_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._spilled))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        writer = self._writer.stats() if self._writer is not None else {}
+        return {
+            "wal_appends": writer.get("appends", 0),
+            "wal_bytes_appended": writer.get("bytes_appended", 0),
+            "wal_fsyncs": writer.get("fsyncs", 0),
+            "wal_rotations": writer.get("rotations", 0),
+            "wal_next_lsn": writer.get("next_lsn", 0),
+            "wal_segments": len(wal.list_segments(self.directory)),
+            "snapshots_written": self.snapshots_written,
+            "snapshot_bytes": self.snapshot_bytes,
+            "segments_compacted": self.segments_compacted,
+            "spilled_sessions": len(self._spilled),
+            "spills": self.spills,
+            "revivals": self.revivals,
+            "recovered_sessions": self.recovered_sessions,
+            "recovered_records": self.recovered_records,
+            "recovery_wall_s": round(self.recovery_wall_s, 6),
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+__all__ = ["SessionStore"]

@@ -252,6 +252,73 @@ class IncrementalLocalizer:
         )
 
     # ------------------------------------------------------------------
+    # durable-state hooks (used by repro.store snapshots)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """The carried DP state as a JSON-able dict.
+
+        Everything is expressed in interned integer IDs (state IDs for
+        the frontier maps, message IDs for the window pattern), so the
+        dict survives a round trip through JSON and a process restart:
+        :meth:`restore_state` on a fresh localizer over the *same*
+        scenario and traced set (see :meth:`PathLocalizer.fingerprint`)
+        rebuilds bit-identical state.  Frontier weights are arbitrary
+        -precision ints -- JSON carries them exactly.
+        """
+        frontier = None
+        if self._frontier is not None:
+            frontier = {
+                "matched": sorted(self._frontier.matched.items()),
+                "closed": sorted(self._frontier.closed.items()),
+                "length": self._frontier.length,
+            }
+        interleaved = self._localizer.interleaved
+        return {
+            "mode": self.mode,
+            "max_frontier": self.max_frontier,
+            "overflowed": self._overflowed,
+            "observed_length": self._observed_length,
+            "peak_frontier": self._peak_frontier,
+            "frontier": frontier,
+            "pattern": [
+                interleaved.message_id(symbol) for symbol in self._pattern
+            ],
+            "failure": list(self._failure),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite carried state with an :meth:`export_state` dict.
+
+        The localizer must have been constructed with the same ``mode``
+        (the carried representation is mode-specific); the caller is
+        responsible for checking the scenario fingerprint first.
+        """
+        if state.get("mode") != self.mode:
+            raise SelectionError(
+                f"cannot restore {state.get('mode')!r} state into a "
+                f"{self.mode!r} localizer"
+            )
+        self.max_frontier = state.get("max_frontier")
+        self._overflowed = bool(state["overflowed"])
+        self._observed_length = int(state["observed_length"])
+        self._peak_frontier = int(state["peak_frontier"])
+        frontier = state.get("frontier")
+        if frontier is None:
+            self._frontier = None
+        else:
+            self._frontier = DPFrontier(
+                matched={int(k): int(v) for k, v in frontier["matched"]},
+                closed={int(k): int(v) for k, v in frontier["closed"]},
+                length=int(frontier["length"]),
+            )
+        interleaved = self._localizer.interleaved
+        self._pattern = [
+            interleaved.message_at(int(mid)) for mid in state["pattern"]
+        ]
+        self._failure = [int(f) for f in state["failure"]]
+        self._window_cache = None
+
+    # ------------------------------------------------------------------
     def _feed_one(self, symbol: object) -> None:
         """Window-mode per-record step (the KMP extension is O(1)
         amortized, so there is nothing to batch)."""

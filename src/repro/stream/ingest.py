@@ -151,6 +151,39 @@ class IncrementalTraceParser:
         return (record,)
 
     # ------------------------------------------------------------------
+    # durable-state hooks (used by repro.store snapshots)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Parser position + diagnostics as a JSON-able dict (the
+        buffered partial line travels verbatim)."""
+        return {
+            "buffer": self._buffer,
+            "lineno": self._lineno,
+            "header_done": self._header_done,
+            "closed": self._closed,
+            "diagnostics": [
+                [d.lineno, d.line, d.reason] for d in self._diagnostics
+            ],
+            "records_emitted": self._records_emitted,
+            "scenario": self.scenario,
+            "seed": self.seed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite parser state with an :meth:`export_state` dict."""
+        self._buffer = state["buffer"]
+        self._lineno = int(state["lineno"])
+        self._header_done = bool(state["header_done"])
+        self._closed = bool(state["closed"])
+        self._diagnostics = [
+            ParseDiagnostic(int(lineno), line, reason)
+            for lineno, line, reason in state["diagnostics"]
+        ]
+        self._records_emitted = int(state["records_emitted"])
+        self.scenario = state["scenario"]
+        self.seed = int(state["seed"])
+
+    # ------------------------------------------------------------------
     def _consume_line(self, line: str) -> Optional[TraceRecord]:
         self._lineno += 1
         line = line.rstrip("\r")
@@ -250,3 +283,16 @@ class CompressedTraceIngester:
         if self._decoder.header_seen:
             self.parser.scenario = self._decoder.scenario
             self.parser.seed = self._decoder.seed
+
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Decoder + downstream parser state as one JSON-able dict."""
+        return {
+            "decoder": self._decoder.export_state(),
+            "parser": self.parser.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite ingester state with an :meth:`export_state` dict."""
+        self._decoder.restore_state(state["decoder"])
+        self.parser.restore_state(state["parser"])

@@ -215,6 +215,75 @@ class SessionManager:
             self._opened += 1
             return session_id
 
+    def adopt(
+        self,
+        session_id: str,
+        mode: Optional[str] = None,
+        status: str = ACTIVE,
+        feeds: int = 0,
+        records: int = 0,
+        localizer_state: Optional[dict] = None,
+    ) -> StreamSession:
+        """Re-open a session from persisted state (the store's recovery
+        and spill-revival path).
+
+        Like :meth:`open` it honors ``max_sessions`` and refuses a
+        taken id, but it additionally restores the localizer's carried
+        DP state and the session counters, so the adopted session is
+        indistinguishable from one that was fed live.  The caller is
+        responsible for fingerprint-checking the state against this
+        manager's scenario first.
+        """
+        if status not in (ACTIVE, OVERFLOW):
+            raise StreamError(
+                f"cannot adopt a session in status {status!r}"
+            )
+        self.evict_idle()
+        with self._lock:
+            if len(self._sessions) >= self.limits.max_sessions:
+                raise StreamError(
+                    f"session table full ({self.limits.max_sessions}); "
+                    "close or evict a session first"
+                )
+            if session_id in self._sessions:
+                raise StreamError(f"session {session_id!r} already open")
+            localizer = IncrementalLocalizer(
+                mode=mode if mode is not None else self.default_mode,
+                max_frontier=self.limits.max_frontier,
+                localizer=self._shared,
+            )
+            if localizer_state is not None:
+                localizer.restore_state(localizer_state)
+            session = StreamSession(session_id, localizer, self._clock())
+            session.status = status
+            session.feeds = feeds
+            session.records = records
+            self._sessions[session_id] = session
+            self._opened += 1
+            return session
+
+    def export_session(self, session_id: str) -> dict:
+        """A session's full durable state (counters + localizer DP) as
+        a JSON-able dict -- the inverse of :meth:`adopt`."""
+        with self._lock:
+            session = self._get(session_id)
+        with session.lock:
+            if session.retired:
+                raise StreamError(f"unknown session {session_id!r}")
+            return self._export_locked(session)
+
+    @staticmethod
+    def _export_locked(session: StreamSession) -> dict:
+        """Durable state of *session* (caller holds ``session.lock``)."""
+        return {
+            "session_id": session.session_id,
+            "mode": session.mode,
+            "status": session.status,
+            "feeds": session.feeds,
+            "records": session.records,
+            "localizer": session.localizer.export_state(),
+        }
+
     def feed(
         self,
         session_id: str,
@@ -278,8 +347,18 @@ class SessionManager:
                 raise StreamError(f"unknown session {session_id!r}")
             return self._retire_locked(session, CLOSED)
 
-    def evict_idle(self, now: Optional[float] = None) -> Tuple[str, ...]:
-        """Retire sessions idle for longer than ``idle_timeout_s``."""
+    def evict_idle(
+        self,
+        now: Optional[float] = None,
+        spill: Optional[Callable[[dict], None]] = None,
+    ) -> Tuple[str, ...]:
+        """Retire sessions idle for longer than ``idle_timeout_s``.
+
+        When *spill* is given, each evicted session's durable state
+        (the :meth:`export_session` dict) is handed to it under the
+        session lock *before* the session is retired -- the store's
+        eviction path persists the state instead of losing it.
+        """
         if now is None:
             now = self._clock()
         with self._lock:
@@ -298,6 +377,8 @@ class SessionManager:
                     continue
                 if now - session.last_active <= self.limits.idle_timeout_s:
                     continue
+                if spill is not None:
+                    spill(self._export_locked(session))
                 self._retire_locked(session, EVICTED)
                 evicted.append(session.session_id)
         return tuple(evicted)

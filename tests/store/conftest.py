@@ -1,0 +1,27 @@
+"""Shared fixtures for the durable-store tests.
+
+Reuses the debug-service test context (the toy cache-coherence flow)
+and its ``start_server`` helper; the store tests add a data directory
+to the server config and kill/restart servers around it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interleave import interleave_flows
+from repro.server import ServeContext
+
+from tests.server.conftest import RunningServer, start_server  # noqa: F401
+
+
+@pytest.fixture
+def context(cc_flow) -> ServeContext:
+    interleaved = interleave_flows([cc_flow], copies=2)
+    traced = (
+        cc_flow.message_by_name("ReqE"),
+        cc_flow.message_by_name("GntE"),
+    )
+    return ServeContext.from_components(
+        interleaved, traced, name="cc-test"
+    )

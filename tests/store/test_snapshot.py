@@ -1,0 +1,106 @@
+"""Snapshot tests: atomic write/read round-trip, corruption fallback,
+format gating, and pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import snapshot as snapshot_mod
+from repro.store import wal
+
+
+def payload(lsn, sessions=()):
+    return {
+        "format": snapshot_mod.SNAPSHOT_FORMAT,
+        "fingerprint": "fp-test",
+        "scenario": "s",
+        "mode": "prefix",
+        "session_counter": 0,
+        "wal_lsn": lsn,
+        "sessions": list(sessions),
+        "spilled": [],
+    }
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        body = payload(12, [{"session_id": "a"}])
+        path = snapshot_mod.write_snapshot(tmp_path, body, 12)
+        assert path.name == snapshot_mod.snapshot_name(12)
+        lsn, loaded = snapshot_mod.read_snapshot(path)
+        assert lsn == 12
+        assert loaded == body
+
+    def test_no_tmp_litter(self, tmp_path):
+        snapshot_mod.write_snapshot(tmp_path, payload(1), 1)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_listing_is_lsn_ordered(self, tmp_path):
+        for lsn in (30, 2, 117):
+            snapshot_mod.write_snapshot(tmp_path, payload(lsn), lsn)
+        names = [p.name for p in snapshot_mod.list_snapshots(tmp_path)]
+        assert names == [
+            snapshot_mod.snapshot_name(lsn) for lsn in (2, 30, 117)
+        ]
+
+
+class TestCorruptionHandling:
+    def test_torn_snapshot_rejected(self, tmp_path):
+        path = snapshot_mod.write_snapshot(tmp_path, payload(5), 5)
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(StoreError, match="corrupt"):
+            snapshot_mod.read_snapshot(path)
+
+    def test_flipped_byte_rejected(self, tmp_path):
+        path = snapshot_mod.write_snapshot(tmp_path, payload(5), 5)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError):
+            snapshot_mod.read_snapshot(path)
+
+    def test_wrong_record_type_rejected(self, tmp_path):
+        path = tmp_path / snapshot_mod.snapshot_name(1)
+        path.write_bytes(wal.encode_record(wal.WAL_FEED, 1, b"{}"))
+        with pytest.raises(StoreError, match="not WAL_SNAPSHOT"):
+            snapshot_mod.read_snapshot(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        body = payload(1)
+        body["format"] = snapshot_mod.SNAPSHOT_FORMAT + 1
+        path = snapshot_mod.write_snapshot(tmp_path, body, 1)
+        with pytest.raises(StoreError, match="format"):
+            snapshot_mod.read_snapshot(path)
+
+    def test_latest_falls_back_past_a_torn_newest(self, tmp_path):
+        snapshot_mod.write_snapshot(tmp_path, payload(3), 3)
+        newest = snapshot_mod.write_snapshot(tmp_path, payload(9), 9)
+        newest.write_bytes(newest.read_bytes()[:-1])  # crash mid-write
+        lsn, body, diags = snapshot_mod.latest_snapshot(tmp_path)
+        assert lsn == 3 and body["wal_lsn"] == 3
+        assert len(diags) == 1 and "snap-" in diags[0]
+
+    def test_latest_with_nothing_valid(self, tmp_path):
+        lsn, body, diags = snapshot_mod.latest_snapshot(tmp_path)
+        assert (lsn, body, diags) == (None, None, ())
+
+
+class TestPruning:
+    def test_keeps_the_newest_n(self, tmp_path):
+        for lsn in (1, 2, 3, 4):
+            snapshot_mod.write_snapshot(tmp_path, payload(lsn), lsn)
+        removed = snapshot_mod.prune_snapshots(tmp_path, keep=2)
+        assert [p.name for p in removed] == [
+            snapshot_mod.snapshot_name(1),
+            snapshot_mod.snapshot_name(2),
+        ]
+        kept = [p.name for p in snapshot_mod.list_snapshots(tmp_path)]
+        assert kept == [
+            snapshot_mod.snapshot_name(3),
+            snapshot_mod.snapshot_name(4),
+        ]
+
+    def test_prune_is_a_noop_below_the_cap(self, tmp_path):
+        snapshot_mod.write_snapshot(tmp_path, payload(1), 1)
+        assert snapshot_mod.prune_snapshots(tmp_path, keep=2) == []
