@@ -41,7 +41,7 @@ from repro.selection import (
 )
 from repro.examples_builtin import toy_cache_coherence_flow
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Message",

@@ -1,0 +1,51 @@
+"""repro.chaos -- deterministic fault injection for the debug service.
+
+Three fault planes (network frames, store writes, session behavior),
+one seed-keyed decision oracle, four end-to-end invariants, and a soak
+harness that ties them together (``repro chaos`` on the CLI).
+"""
+
+from repro.chaos.disk import DiskFaultInjector, installed
+from repro.chaos.faults import (
+    PLANES,
+    FaultDecider,
+    FaultPlan,
+    FaultSpec,
+    content_digest,
+)
+from repro.chaos.invariants import (
+    Violation,
+    batch_reference,
+    check_acked_durability,
+    check_localization,
+    check_metrics_serveable,
+    check_shard_liveness,
+)
+from repro.chaos.network import ChaosProxy
+from repro.chaos.runner import (
+    ChaosConfig,
+    ChaosRunner,
+    SoakReport,
+    run_soak,
+)
+
+__all__ = [
+    "PLANES",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosRunner",
+    "DiskFaultInjector",
+    "FaultDecider",
+    "FaultPlan",
+    "FaultSpec",
+    "SoakReport",
+    "Violation",
+    "batch_reference",
+    "check_acked_durability",
+    "check_localization",
+    "check_metrics_serveable",
+    "check_shard_liveness",
+    "content_digest",
+    "installed",
+    "run_soak",
+]

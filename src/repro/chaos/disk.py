@@ -1,0 +1,94 @@
+"""The disk fault plane: an I/O gate over the store's writes.
+
+:class:`DiskFaultInjector` implements the :func:`repro.store.wal.
+install_io_gate` protocol and turns the :class:`~repro.chaos.faults.
+FaultDecider`'s decisions into physical write failures:
+
+* ``enospc`` -- a WAL append raises ``OSError(ENOSPC)`` before any
+  byte is written (the classic full-disk append).
+* ``torn`` -- a WAL append persists only a strict prefix of the
+  record; the scan's CRC framing must detect the tear and the writer
+  must refuse to continue past it.
+* ``fsync`` -- the fsync of the active segment raises ``OSError``
+  (a dying device acking writes it cannot flush).
+* ``snapshot`` -- a snapshot's temp-file write raises ``OSError``;
+  the atomic rename discipline must leave the previous snapshot
+  intact.
+
+Append faults are keyed on the **record content**, so which appends
+fail is a pure function of the seed and the workload -- independent of
+scheduling.  Use :func:`installed` as a context manager to install the
+gate process-wide and restore whatever was there before:
+
+    with installed(DiskFaultInjector(decider)):
+        ... run the soak ...
+"""
+
+from __future__ import annotations
+
+import errno
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.chaos.faults import FaultDecider, content_digest
+from repro.store import wal
+
+
+class DiskFaultInjector:
+    """An I/O gate injecting decider-driven store write failures."""
+
+    def __init__(
+        self, decider: FaultDecider, torn_fraction: float = 0.5
+    ) -> None:
+        self.decider = decider
+        self.torn_fraction = torn_fraction
+
+    # -- gate protocol (called from repro.store.wal / .snapshot) -------
+    def on_append(
+        self, path: Optional[Path], lsn: int, record: bytes
+    ) -> Optional[bytes]:
+        digest = content_digest(record)
+        if self.decider.decide("disk", "enospc", digest):
+            raise OSError(errno.ENOSPC, "no space left on device (injected)")
+        if self.decider.decide("disk", "torn", digest):
+            # a strict prefix: the tail of the record is lost, which
+            # the CRC-framed scan must detect as a torn write
+            cut = max(1, min(len(record) - 1,
+                             int(len(record) * self.torn_fraction)))
+            return record[:cut]
+        return None
+
+    def on_fsync(self, path: Optional[Path]) -> None:
+        if self.decider.decide("disk", "fsync", content_digest(str(path))):
+            raise OSError(errno.EIO, "fsync failed (injected)")
+
+    def on_snapshot(self, path: Path) -> None:
+        # keyed on the shard directory, not the LSN-bearing file name,
+        # so the firing schedule does not depend on how far the WAL
+        # happened to advance before this checkpoint
+        digest = content_digest(path.parent.name)
+        if self.decider.decide("disk", "snapshot", digest):
+            raise OSError(
+                errno.ENOSPC, "snapshot write failed (injected)"
+            )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            key: count
+            for key, count in self.decider.stats().items()
+            if key.startswith("disk.")
+        }
+
+
+@contextmanager
+def installed(gate: DiskFaultInjector) -> Iterator[DiskFaultInjector]:
+    """Install *gate* process-wide for the duration of the block."""
+    previous = wal.install_io_gate(gate)
+    try:
+        yield gate
+    finally:
+        wal.install_io_gate(previous)
+
+
+__all__ = ["DiskFaultInjector", "installed"]

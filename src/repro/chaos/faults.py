@@ -1,0 +1,190 @@
+"""Deterministic, seed-reproducible fault decisions.
+
+Every fault the chaos harness injects -- a dropped wire frame, a torn
+WAL append, a poisoned feed -- is decided here, and the decision is a
+pure function of ``(seed, plane, action, content digest, occurrence)``.
+Crucially it is **not** a function of wall time or thread interleaving:
+two soak runs with the same seed inject the same faults against the
+same requests even though their threads race differently, which is
+what makes the soak report reproducible bit for bit.
+
+The occurrence counter is what makes retries convergent: the first
+time a given frame (by content) is seen the decider may fire, but a
+retransmit of the same content arrives as occurrence 2, and
+``max_per_digest`` (default 1) guarantees the fault does not fire
+again -- so every client retry loop terminates, deterministically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: The three fault planes of the harness.
+PLANES = ("network", "disk", "session")
+
+
+def content_digest(*parts: object) -> str:
+    """A short stable digest of heterogeneous content parts (bytes,
+    strings, ints) -- the identity a fault decision is keyed on."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            data = part
+        else:
+            data = str(part).encode("utf-8")
+        hasher.update(len(data).to_bytes(4, "big"))
+        hasher.update(data)
+    return hasher.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault: *rate* of ``plane``/``action`` firings.
+
+    ``max_per_digest`` caps how often the fault fires against the same
+    content; the default of 1 is the convergence guarantee (a
+    retransmit of faulted content always passes).  ``max_total`` is an
+    optional global cap on firings of this spec.
+    """
+
+    plane: str
+    action: str
+    rate: float
+    max_per_digest: int = 1
+    max_total: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.plane not in PLANES:
+            raise ReproError(
+                f"unknown fault plane {self.plane!r}; choose one of "
+                f"{', '.join(PLANES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ReproError(
+                f"fault rate must be within [0, 1], got {self.rate}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full set of fault specs one soak runs with."""
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def default(
+        cls,
+        planes: Tuple[str, ...] = PLANES,
+        frame_loss: float = 0.08,
+        frame_duplicate: float = 0.05,
+        frame_reorder: float = 0.05,
+        frame_corrupt: float = 0.03,
+        frame_delay: float = 0.05,
+        wal_enospc: float = 0.004,
+        wal_torn: float = 0.004,
+        wal_fsync: float = 0.002,
+        snapshot_fail: float = 0.25,
+    ) -> "FaultPlan":
+        """The standard three-plane plan, filtered to *planes*.
+
+        The session plane has no rate here: its faults (poison
+        payloads, abrupt disconnects) are driven by deterministic
+        per-session roles in the runner, not per-event coin flips.
+        """
+        specs = []
+        if "network" in planes:
+            specs += [
+                FaultSpec("network", "drop", frame_loss),
+                FaultSpec("network", "duplicate", frame_duplicate),
+                FaultSpec("network", "reorder", frame_reorder),
+                FaultSpec("network", "corrupt", frame_corrupt),
+                FaultSpec("network", "delay", frame_delay),
+            ]
+        if "disk" in planes:
+            specs += [
+                FaultSpec("disk", "enospc", wal_enospc),
+                FaultSpec("disk", "torn", wal_torn),
+                FaultSpec("disk", "fsync", wal_fsync),
+                FaultSpec(
+                    "disk", "snapshot", snapshot_fail, max_per_digest=2
+                ),
+            ]
+        return cls(specs=tuple(specs))
+
+    def spec_for(self, plane: str, action: str) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.plane == plane and spec.action == action:
+                return spec
+        return None
+
+
+class FaultDecider:
+    """Thread-safe deterministic fault oracle for one soak run."""
+
+    def __init__(self, seed: int, plan: FaultPlan) -> None:
+        self.seed = seed
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._occurrences: Dict[Tuple[str, str, str], int] = {}
+        self._fired_per_digest: Dict[Tuple[str, str, str], int] = {}
+        self._fired: Dict[Tuple[str, str], int] = {}
+
+    def decide(self, plane: str, action: str, digest: str) -> bool:
+        """Whether this (plane, action) fault fires against *digest*.
+
+        Each call advances the digest's occurrence counter, so the
+        decision sequence for one piece of content is fixed by the
+        seed alone.
+        """
+        spec = self.plan.spec_for(plane, action)
+        key = (plane, action, digest)
+        with self._lock:
+            occurrence = self._occurrences.get(key, 0) + 1
+            self._occurrences[key] = occurrence
+            if spec is None or spec.rate <= 0.0:
+                return False
+            if self._fired_per_digest.get(key, 0) >= spec.max_per_digest:
+                return False
+            total_key = (plane, action)
+            if (
+                spec.max_total is not None
+                and self._fired.get(total_key, 0) >= spec.max_total
+            ):
+                return False
+            if self._roll(plane, action, digest, occurrence) >= spec.rate:
+                return False
+            self._fired_per_digest[key] = (
+                self._fired_per_digest.get(key, 0) + 1
+            )
+            self._fired[total_key] = self._fired.get(total_key, 0) + 1
+            return True
+
+    def _roll(
+        self, plane: str, action: str, digest: str, occurrence: int
+    ) -> float:
+        """A uniform [0, 1) value derived purely from the fault key."""
+        material = f"{self.seed}|{plane}|{action}|{digest}|{occurrence}"
+        raw = hashlib.sha256(material.encode("ascii")).digest()
+        return int.from_bytes(raw[:8], "big") / float(1 << 64)
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime firing counts, ``"plane.action" -> count``."""
+        with self._lock:
+            return {
+                f"{plane}.{action}": count
+                for (plane, action), count in sorted(self._fired.items())
+            }
+
+
+__all__ = [
+    "PLANES",
+    "FaultDecider",
+    "FaultPlan",
+    "FaultSpec",
+    "content_digest",
+]

@@ -50,6 +50,10 @@ Commands
 ``store``
     Inspect, verify, or compact a ``serve --data-dir`` data directory
     (write-ahead log segments and frontier snapshots) offline.
+``chaos``
+    Run a deterministic fault-injection soak against an in-process
+    debug service (network/disk/session fault planes, a mid-soak
+    crash + recovery) and check the end-to-end invariants.
 ``profile``
     Run interleaving + selection for a scenario under the stage
     counters of :mod:`repro.perf` and print them (states expanded,
@@ -635,6 +639,85 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import ChaosConfig, ChaosRunner
+    from repro.chaos.faults import PLANES, FaultPlan
+
+    planes = tuple(p.strip() for p in args.faults.split(",") if p.strip())
+    unknown = [p for p in planes if p not in PLANES]
+    if unknown:
+        print(f"unknown fault plane(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(PLANES)}", file=sys.stderr)
+        return 2
+    plan = FaultPlan.default(
+        planes=planes,
+        frame_loss=args.frame_loss,
+        frame_corrupt=args.frame_corrupt,
+    )
+    config = ChaosConfig(
+        seed=args.seed,
+        sessions=args.sessions,
+        duration_s=args.duration,
+        planes=planes,
+        scenario=args.scenario,
+        instances=args.instances,
+        buffer_width=args.buffer,
+        mode=args.mode,
+        chunk_records=args.chunk,
+        shards=args.shards,
+        crash=not args.no_crash,
+        plan=plan,
+    )
+    report = ChaosRunner(config).run()
+    payload = report.as_dict()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as out:
+            json.dump(payload, out, indent=2, sort_keys=True)
+            out.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    deterministic = report.deterministic
+    ops = report.ops
+    statuses: dict = {}
+    for row in deterministic["sessions"]:
+        key = f"{row['role']}:{row['status']}"
+        statuses[key] = statuses.get(key, 0) + 1
+    print(f"chaos soak: seed={args.seed} sessions={args.sessions} "
+          f"planes={','.join(planes)} crash={not args.no_crash}")
+    print(f"  wall time:          {ops['wall_s']:.3f}s")
+    print(f"  determinism digest: {report.determinism_digest}")
+    print(f"  session outcomes:   {statuses}")
+    print(f"  faults fired:       {ops['faults']}")
+    print(f"  client retries:     {ops['retries']} "
+          f"(recoveries: {ops['recoveries']}, "
+          f"breaker opens: {ops['breaker_opens']})")
+    if not args.no_crash:
+        crash = ops["crash"]
+        print(f"  crash/restart:      {crash['acked_at_crash']} chunk(s) "
+              f"acked at crash, restart {crash['restart_wall_s']:.3f}s, "
+              f"degraded shards {crash['pre_crash_degraded_shards']}")
+    violations = [
+        v
+        for group in deterministic["invariants"].values()
+        for v in group
+    ]
+    if violations:
+        for violation in violations:
+            print(f"  VIOLATION {violation['invariant']} "
+                  f"[{violation['subject']}]: {violation['detail']}",
+                  file=sys.stderr)
+        return 1
+    print("  invariants:         all held "
+          "(acked-durability, localization-convergence, "
+          "shard-liveness, metrics-serveable)")
+    if args.report:
+        print(f"  report:             {args.report}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
     import time
@@ -1185,6 +1268,39 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--json", action="store_true",
                          help="emit the report as JSON")
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection soak",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--duration", type=float, default=120.0,
+                       help="wall-clock budget in seconds (the soak "
+                       "finishes early once every session converges)")
+    chaos.add_argument("--sessions", type=int, default=32,
+                       help="concurrent client sessions")
+    chaos.add_argument("--faults", default="network,disk,session",
+                       help="comma-separated fault planes to enable")
+    chaos.add_argument("--scenario", type=int, choices=(1, 2, 3),
+                       default=1)
+    chaos.add_argument("--instances", type=int, default=2)
+    chaos.add_argument("--buffer", type=int, default=32)
+    chaos.add_argument("--mode", choices=("prefix", "exact", "window"),
+                       default="prefix")
+    chaos.add_argument("--chunk", type=int, default=4,
+                       help="trace records per wire chunk")
+    chaos.add_argument("--shards", type=int, default=4)
+    chaos.add_argument("--frame-loss", type=float, default=0.08,
+                       help="per-frame drop probability")
+    chaos.add_argument("--frame-corrupt", type=float, default=0.03,
+                       help="per-frame bit-corruption probability")
+    chaos.add_argument("--no-crash", action="store_true",
+                       help="skip the mid-soak server kill + recovery")
+    chaos.add_argument("--report", metavar="PATH",
+                       help="write the full soak report as JSON")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report as JSON to stdout")
+    chaos.set_defaults(func=_cmd_chaos)
 
     profile = sub.add_parser(
         "profile",

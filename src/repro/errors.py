@@ -118,6 +118,33 @@ class StoreError(ReproError):
     directory, ...)."""
 
 
+class StoreWriteError(StoreError):
+    """A physical write to the store failed (ENOSPC, an I/O error, a
+    failed fsync, a torn append).  Distinguishes disk faults from
+    logic bugs so the server can degrade the shard explicitly instead
+    of crash-looping.
+
+    Attributes
+    ----------
+    path:
+        The segment or snapshot file the write targeted (``None`` when
+        the failure happened before a file was chosen).
+    lsn:
+        The LSN the failed append would have carried (``None`` for
+        non-WAL writes such as snapshots).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: Optional[str] = None,
+        lsn: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.lsn = lsn
+
+
 class MiningError(ReproError):
     """Flow-specification mining failed (empty corpus, a mined message
     missing from the catalog, no sequence above the support

@@ -28,6 +28,7 @@ The pieces:
 """
 
 from repro.server.client import (
+    CircuitBreaker,
     DebugClient,
     FeedReply,
     RetryPolicy,
@@ -57,6 +58,7 @@ from repro.server.server import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "Counter",
     "DebugClient",
     "DebugServer",

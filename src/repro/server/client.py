@@ -35,11 +35,28 @@ from repro.server import protocol
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff with jitter.
+    """Exponential backoff with jitter, plus the failure-handling
+    knobs layered around it.
 
     ``delay(attempt)`` is ``base * 2**attempt`` capped at ``max_delay``,
     plus a uniform jitter fraction of that value -- the standard recipe
     for keeping a retrying fleet from thundering back in lockstep.
+
+    ``timeout_s`` bounds **every** socket operation (connect, send,
+    recv), not just the connect -- a stalled server turns into a
+    retryable ``socket.timeout`` instead of hanging the client.  It is
+    also the deadline propagated to the server with each request (see
+    ``propagate_deadline``): a request the server cannot start before
+    the client has given up on it is answered ``RETRY_LATER`` without
+    being applied.
+
+    The breaker fields parameterize the :class:`CircuitBreaker` every
+    client layers *under* this retry loop: after
+    ``breaker_threshold`` consecutive transport failures the client
+    stops hammering a dead endpoint and sleeps out an exponentially
+    growing cooldown (``breaker_cooldown_s`` doubling up to
+    ``breaker_max_cooldown_s``) before each probe.  Probing -- rather
+    than failing fast -- keeps the restart-recovery soak converging.
     """
 
     max_attempts: int = 8
@@ -47,12 +64,97 @@ class RetryPolicy:
     max_delay_s: float = 2.0
     jitter: float = 0.5
     timeout_s: float = 10.0
+    propagate_deadline: bool = True
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 0.25
+    breaker_max_cooldown_s: float = 2.0
 
     def delay(self, attempt: int, rng: random.Random) -> float:
         backoff = min(
             self.base_delay_s * (2.0 ** attempt), self.max_delay_s
         )
         return backoff * (1.0 + self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker under the backoff retry loop.
+
+    Closed: requests flow.  After ``threshold`` consecutive transport
+    failures it **opens**: before the next attempt the client sleeps
+    out the remaining cooldown (load shedding -- a fleet of clients
+    stops hammering a dead endpoint), then sends one half-open probe.
+    A successful reply -- including a structured ``RETRY_LATER``,
+    which proves the server is alive -- closes it again and resets the
+    cooldown; another failure re-opens it with the cooldown doubled,
+    up to ``max_cooldown_s``.
+
+    The breaker *waits* instead of failing fast, so the retry loop's
+    convergence guarantees (e.g. recovering across a server restart)
+    are preserved; what it removes is the connect-storm against an
+    endpoint that is known-dead.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 0.25,
+        max_cooldown_s: float = 2.0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        self.threshold = max(1, threshold)
+        self.base_cooldown_s = cooldown_s
+        self.max_cooldown_s = max_cooldown_s
+        self._clock = clock
+        self._sleep = sleep
+        self._cooldown = cooldown_s
+        self._open_until = 0.0
+        self.failures = 0  # consecutive transport failures
+        self.opens = 0  # lifetime open transitions
+        self.state = "closed"  # closed | open | half-open
+
+    @classmethod
+    def from_policy(cls, policy: RetryPolicy) -> "CircuitBreaker":
+        return cls(
+            threshold=policy.breaker_threshold,
+            cooldown_s=policy.breaker_cooldown_s,
+            max_cooldown_s=policy.breaker_max_cooldown_s,
+        )
+
+    def before_attempt(self) -> float:
+        """Sleep out any open cooldown; returns the seconds slept.
+        After the wait the breaker is half-open: the caller's next
+        request is the probe."""
+        if self.state == "closed":
+            return 0.0
+        remaining = self._open_until - self._clock()
+        if remaining > 0:
+            self._sleep(remaining)
+        self.state = "half-open"
+        return max(0.0, remaining)
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures < self.threshold and self.state == "closed":
+            return
+        if self.state != "open":
+            self.opens += 1
+        self.state = "open"
+        self._open_until = self._clock() + self._cooldown
+        self._cooldown = min(self._cooldown * 2.0, self.max_cooldown_s)
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = "closed"
+        self._cooldown = self.base_cooldown_s
+        self._open_until = 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "opens": self.opens,
+        }
 
 
 @dataclass(frozen=True)
@@ -76,22 +178,30 @@ class FeedReply:
 
 @dataclass(frozen=True)
 class SnapshotReply:
-    """Server-side localization snapshot (batch-identical)."""
+    """Server-side localization snapshot (batch-identical).
+
+    ``next_chunk`` mirrors the server's chunk cursor; a feed can
+    compare it against its own history to spot a server that recovered
+    without the acked tail (``None`` from servers predating it).
+    """
 
     session_id: str
     result: LocalizationResult
     status: str
     observed_length: int
+    next_chunk: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class CloseReply:
-    """Final session accounting."""
+    """Final session accounting (``next_chunk`` as in
+    :class:`SnapshotReply`)."""
 
     session_id: str
     status: str
     records: int
     result: LocalizationResult
+    next_chunk: Optional[int] = None
 
 
 class DebugClient:
@@ -116,6 +226,7 @@ class DebugClient:
         self._assembler = protocol.FrameAssembler()
         self._seq = 0
         self.retries = 0  # lifetime retry count (load-gen reporting)
+        self.breaker = CircuitBreaker.from_policy(self.policy)
 
     # -- connection management -----------------------------------------
     def _connect(self) -> socket.socket:
@@ -124,6 +235,11 @@ class DebugClient:
                 (self.host, self.port), timeout=self.policy.timeout_s
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # make the timeout explicit for every later send/recv too:
+            # a server that accepts and then stalls mid-request raises
+            # socket.timeout (an OSError, so the retry loop handles
+            # it) instead of hanging this client forever
+            sock.settimeout(self.policy.timeout_s)
             self._sock = sock
             self._assembler = protocol.FrameAssembler()
         return self._sock
@@ -162,16 +278,23 @@ class DebugClient:
             if attempt:
                 self.retries += 1
                 time.sleep(self.policy.delay(attempt - 1, self._rng))
+            self.breaker.before_attempt()
             try:
                 response = self._roundtrip(frame_type, payload)
             except (OSError, ProtocolError, EOFError) as exc:
                 self._disconnect()
+                self.breaker.record_failure()
                 last_reason = f"{type(exc).__name__}: {exc}"
                 continue
             if response.frame_type == protocol.RETRY_LATER:
+                # backpressure is a *healthy* signal -- the server is
+                # up and answering -- so it closes the breaker even
+                # though the request itself must be retried
+                self.breaker.record_success()
                 body = protocol.decode_json(response.payload)
                 last_reason = f"RETRY_LATER ({body.get('reason')})"
                 continue
+            self.breaker.record_success()
             return response.frame_type, protocol.decode_json(
                 response.payload
             )
@@ -195,6 +318,23 @@ class DebugClient:
                 if frame.seq == seq:
                     return frame
                 # stale response from a timed-out predecessor: drop it
+
+    def _deadline_ms(self) -> Optional[int]:
+        """The relative deadline propagated with each request -- the
+        same budget the socket timeout enforces locally, so the server
+        never spends shard time on a request this client has already
+        abandoned."""
+        if not self.policy.propagate_deadline:
+            return None
+        return min(0xFFFFFFFF, max(1, int(self.policy.timeout_s * 1000)))
+
+    def _with_deadline(
+        self, body: Dict[str, object]
+    ) -> Dict[str, object]:
+        deadline_ms = self._deadline_ms()
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        return body
 
     @staticmethod
     def _checked(
@@ -243,7 +383,8 @@ class DebugClient:
         if mode is not None:
             request["mode"] = mode
         frame_type, body = self.request(
-            protocol.OPEN_SESSION, protocol.encode_json(request)
+            protocol.OPEN_SESSION,
+            protocol.encode_json(self._with_deadline(request)),
         )
         return self._checked(frame_type, body)
 
@@ -256,7 +397,10 @@ class DebugClient:
     ) -> FeedReply:
         frame_type, body = self.request(
             protocol.FEED_CHUNK,
-            protocol.encode_feed_payload(session_id, chunk_index, data, eof),
+            protocol.encode_feed_payload(
+                session_id, chunk_index, data, eof,
+                deadline_ms=self._deadline_ms(),
+            ),
         )
         body = self._checked(frame_type, body)
         next_chunk = body.get("next_chunk")
@@ -275,7 +419,9 @@ class DebugClient:
     def snapshot(self, session_id: str) -> SnapshotReply:
         frame_type, body = self.request(
             protocol.SNAPSHOT,
-            protocol.encode_json({"session_id": session_id}),
+            protocol.encode_json(
+                self._with_deadline({"session_id": session_id})
+            ),
         )
         body = self._checked(frame_type, body)
         return SnapshotReply(
@@ -286,12 +432,19 @@ class DebugClient:
             ),
             status=str(body["status"]),
             observed_length=int(body["observed_length"]),  # type: ignore[arg-type]
+            next_chunk=(
+                None
+                if body.get("next_chunk") is None
+                else int(body["next_chunk"])  # type: ignore[arg-type]
+            ),
         )
 
     def close_session(self, session_id: str) -> CloseReply:
         frame_type, body = self.request(
             protocol.CLOSE_SESSION,
-            protocol.encode_json({"session_id": session_id}),
+            protocol.encode_json(
+                self._with_deadline({"session_id": session_id})
+            ),
         )
         body = self._checked(frame_type, body)
         return CloseReply(
@@ -301,6 +454,11 @@ class DebugClient:
             result=LocalizationResult(
                 consistent_paths=int(body["consistent_paths"]),  # type: ignore[arg-type]
                 total_paths=int(body["total_paths"]),  # type: ignore[arg-type]
+            ),
+            next_chunk=(
+                None
+                if body.get("next_chunk") is None
+                else int(body["next_chunk"])  # type: ignore[arg-type]
             ),
         )
 
@@ -408,12 +566,46 @@ class SessionFeed:
             replies.append(self.feed(chunk, eof=is_last))
         return tuple(replies)
 
+    def resync(self, start: int) -> None:
+        """Retransmit ``history[start:]`` -- heals a server that lost
+        the acked tail (e.g. it recovered from a crash on a shard that
+        had degraded to memory-only durability)."""
+        self.recoveries += 1
+        self._replay_from(start)
+
+    def _short_cursor(self, next_chunk: Optional[int]) -> Optional[int]:
+        """The replay start if the server's cursor is behind our
+        history, else ``None`` (also ``None`` for old servers)."""
+        if next_chunk is not None and next_chunk < len(self._history):
+            return next_chunk
+        return None
+
     def snapshot(self) -> SnapshotReply:
+        reply = self._recovering(
+            lambda: self.client.snapshot(self.session_id)
+        )
+        start = self._short_cursor(reply.next_chunk)
+        if start is None:
+            return reply
+        # the server answered, but from a state missing chunks it had
+        # acked before a crash: replay the tail and snapshot again
+        self.resync(start)
         return self._recovering(
             lambda: self.client.snapshot(self.session_id)
         )
 
     def close(self) -> CloseReply:
+        reply = self._recovering(
+            lambda: self.client.close_session(self.session_id)
+        )
+        start = self._short_cursor(reply.next_chunk)
+        if start is None:
+            return reply
+        # the close landed on a truncated recovery; the session is
+        # retired now, so heal by reopening, replaying everything, and
+        # closing again (chunk indices are preserved, so a durable
+        # tail that *did* survive is deduplicated server-side)
+        self._reopen_and_replay()
         return self._recovering(
             lambda: self.client.close_session(self.session_id)
         )

@@ -77,6 +77,11 @@ RESPONSE_TYPES = frozenset((OK, ERROR, RETRY_LATER))
 
 #: Feed flags.
 FLAG_EOF = 0x01
+#: The payload carries a relative request deadline: 4 extra bytes
+#: (``u32 deadline_ms``) between the flags and the data.  Relative --
+#: not absolute -- so clocks never need agreement and a retransmit
+#: restarts the budget on delivery.
+FLAG_DEADLINE = 0x02
 
 
 @dataclass(frozen=True)
@@ -211,9 +216,19 @@ def decode_json(payload: bytes) -> Dict[str, object]:
 
 
 def encode_feed_payload(
-    session_id: str, chunk_index: int, data: bytes, eof: bool = False
+    session_id: str,
+    chunk_index: int,
+    data: bytes,
+    eof: bool = False,
+    deadline_ms: Optional[int] = None,
 ) -> bytes:
-    """Binary ``FEED_CHUNK`` payload (see module docstring layout)."""
+    """Binary ``FEED_CHUNK`` payload (see module docstring layout).
+
+    ``deadline_ms`` (optional) propagates the client's per-request
+    deadline; the server answers an expired request with
+    ``RETRY_LATER`` *before* applying it, preserving the no-effect
+    promise.
+    """
     sid = session_id.encode("utf-8")
     if not sid or len(sid) > 0xFF:
         raise ProtocolError(
@@ -222,18 +237,39 @@ def encode_feed_payload(
     if not 0 <= chunk_index <= 0xFFFFFFFF:
         raise ProtocolError(f"chunk index {chunk_index} out of range")
     flags = FLAG_EOF if eof else 0
+    extension = b""
+    if deadline_ms is not None:
+        if not 0 <= deadline_ms <= 0xFFFFFFFF:
+            raise ProtocolError(
+                f"deadline {deadline_ms}ms out of range"
+            )
+        flags |= FLAG_DEADLINE
+        extension = deadline_ms.to_bytes(4, "big")
     return (
         bytes((len(sid),))
         + sid
         + chunk_index.to_bytes(4, "big")
         + bytes((flags,))
+        + extension
         + data
     )
 
 
 def decode_feed_payload(payload: bytes) -> Tuple[str, int, bool, bytes]:
     """Parse a ``FEED_CHUNK`` payload into
-    ``(session_id, chunk_index, eof, data)``."""
+    ``(session_id, chunk_index, eof, data)`` (any carried deadline is
+    validated and dropped -- the WAL replay path must not re-enforce
+    a long-expired budget)."""
+    sid, chunk_index, eof, data, _ = decode_feed_payload_ex(payload)
+    return sid, chunk_index, eof, data
+
+
+def decode_feed_payload_ex(
+    payload: bytes,
+) -> Tuple[str, int, bool, bytes, Optional[int]]:
+    """Parse a ``FEED_CHUNK`` payload into ``(session_id, chunk_index,
+    eof, data, deadline_ms)``; ``deadline_ms`` is ``None`` when the
+    frame carries no deadline."""
     if len(payload) < 1:
         raise ProtocolError("empty FEED_CHUNK payload")
     sid_len = payload[0]
@@ -246,7 +282,20 @@ def decode_feed_payload(payload: bytes) -> Tuple[str, int, bool, bytes]:
     base = 1 + sid_len
     chunk_index = int.from_bytes(payload[base : base + 4], "big")
     flags = payload[base + 4]
-    return sid, chunk_index, bool(flags & FLAG_EOF), payload[base + 5 :]
+    start = base + 5
+    deadline_ms: Optional[int] = None
+    if flags & FLAG_DEADLINE:
+        if len(payload) < start + 4:
+            raise ProtocolError(
+                "FEED_CHUNK payload declares a deadline but is too "
+                "short to carry one"
+            )
+        deadline_ms = int.from_bytes(payload[start : start + 4], "big")
+        start += 4
+    return (
+        sid, chunk_index, bool(flags & FLAG_EOF), payload[start:],
+        deadline_ms,
+    )
 
 
 # ----------------------------------------------------------------------

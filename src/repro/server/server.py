@@ -61,6 +61,7 @@ from repro.errors import (
     ProtocolError,
     SelectionError,
     StoreError,
+    StoreWriteError,
     StreamError,
 )
 from repro.selection import kernels
@@ -163,6 +164,12 @@ class ServerConfig:
     fsync_interval_s: float = 0.05
     snapshot_every: int = 256
     segment_bytes: int = wal_mod.DEFAULT_SEGMENT_BYTES
+    #: Consecutive poisonous feeds (apply-time crashes that are not
+    #: ordinary stream errors) a session survives before the server
+    #: quarantines it -- retiring it with a structured
+    #: ``session-quarantined`` error instead of letting a client retry
+    #: a payload that can never succeed.
+    quarantine_after: int = 3
 
 
 class HashRing:
@@ -203,7 +210,7 @@ class _ServerSession:
     __slots__ = (
         "session_id", "transport", "parser", "ingester", "decoder",
         "next_chunk", "records", "wire_bytes", "raw_bits", "last_status",
-        "observed_length", "frontier_size",
+        "observed_length", "frontier_size", "failures",
     )
 
     def __init__(
@@ -230,6 +237,11 @@ class _ServerSession:
         self.last_status = "active"
         self.observed_length = 0
         self.frontier_size = 0
+        #: Consecutive apply-time crashes (poison payloads); reset on
+        #: every successful feed, compared against
+        #: ``ServerConfig.quarantine_after``.  Deliberately transient:
+        #: a restart wipes the strike count, not the session.
+        self.failures = 0
 
     def capture(self, manager_state: dict) -> dict:
         """Merge the manager's durable export with this wrapper's own
@@ -322,6 +334,18 @@ class _Shard:
                 snapshot_every=config.snapshot_every,
                 segment_bytes=config.segment_bytes,
             )
+        #: Set when a physical store write fails: the shard keeps
+        #: serving from memory but stops promising durability (and
+        #: stops touching the broken store), with an alert raised --
+        #: explicit degradation instead of a crash loop.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+
+    @property
+    def durable(self) -> bool:
+        """Whether this shard still honors the acked-means-durable
+        contract (a store is attached and no write has failed)."""
+        return self.store is not None and not self.degraded
 
     def sweep(self) -> Tuple[str, ...]:
         """Evict idle sessions and drop their ingest state (runs on the
@@ -330,7 +354,7 @@ class _Shard:
         state is parked in the store and folded into the next snapshot
         instead of being lost."""
         spill = None
-        if self.store is not None:
+        if self.durable:
             def spill(manager_state: dict) -> None:
                 wrapper = self.sessions.get(manager_state["session_id"])
                 if wrapper is not None:
@@ -373,6 +397,7 @@ class _Shard:
         payload: Dict[str, object] = {"shard": self.index}
         payload.update(self.manager.stats())
         payload["queue_depth"] = self.queue.qsize()
+        payload["degraded"] = self.degraded
         return payload
 
 
@@ -413,6 +438,10 @@ class DebugServer:
         self._session_counter = 0
         self._fingerprint: Optional[str] = None
         self._recovery: Dict[str, object] = {}
+        #: Structured operational alerts (WAL degradation, snapshot
+        #: failures, quarantines) -- newest last, bounded, served over
+        #: the health collector so operators see them on STATS/metrics.
+        self._alerts: List[Dict[str, object]] = []
         self._perf = perf.PerfCounters()
         self.host = self.config.host
         self.port = self.config.port
@@ -435,10 +464,15 @@ class DebugServer:
         self._c_bytes_out = reg.counter("wire_bytes_out")
         self._c_cbytes = reg.counter("compressed_wire_bytes")
         self._c_craw = reg.counter("compressed_raw_bits")
+        self._c_deadline = reg.counter("deadline_exceeded_total")
+        self._c_degraded = reg.counter("wal_degraded_total")
+        self._c_snapfail = reg.counter("snapshot_failures_total")
+        self._c_quarantined = reg.counter("sessions_quarantined_total")
         self._h_feed = reg.histogram("feed_latency_s")
         self._h_request = reg.histogram("request_latency_s")
         self._h_wal = reg.histogram("wal_append_s")
         reg.add_collector("server", self._server_stats)
+        reg.add_collector("health", self._health)
         reg.add_collector("store", self._store_stats)
         reg.add_collector(
             "shards", lambda: {"shards": [s.stats() for s in self._shards]}
@@ -471,6 +505,30 @@ class DebugServer:
                 round(raw_bits / (wire_bytes * 8), 4) if wire_bytes else 0.0
             ),
         }
+
+    def _health(self) -> Dict[str, object]:
+        """Readiness summary: ``ok`` serves durably, ``degraded``
+        serves with at least one shard in memory-only mode,
+        ``draining`` refuses new work."""
+        degraded = [s.index for s in self._shards if s.degraded]
+        if self._draining:
+            status = "draining"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "degraded_shards": degraded,
+            "alerts": [dict(alert) for alert in self._alerts],
+        }
+
+    def _alert(self, kind: str, **fields: object) -> None:
+        """Record one structured operational alert (bounded buffer)."""
+        alert: Dict[str, object] = {"kind": kind}
+        alert.update(fields)
+        self._alerts.append(alert)
+        del self._alerts[:-64]
 
     @property
     def recovery_info(self) -> Dict[str, object]:
@@ -589,7 +647,7 @@ class DebugServer:
         if not abort:
             loop = asyncio.get_running_loop()
             for shard in self._shards:
-                if shard.store is not None:
+                if shard.durable:
                     # durable shutdown: checkpoint every live session
                     # (and the spill map) instead of retiring them --
                     # they come back on the next start
@@ -597,6 +655,8 @@ class DebugServer:
                         shard.executor, self._final_snapshot, shard
                     )
                 else:
+                    # memory-only (or degraded -- its store cannot be
+                    # trusted to take another write) shards just retire
                     await loop.run_in_executor(
                         shard.executor, shard.close_all
                     )
@@ -744,7 +804,7 @@ class DebugServer:
             await self._retry_later(connection, frame.seq, "inflight-cap")
             return
         try:
-            shard, op, is_feed = self._route(frame)
+            shard, op, is_feed, deadline_ms = self._route(frame)
         except ProtocolError as exc:
             self._c_protocol.inc()
             await self._send(
@@ -760,6 +820,8 @@ class DebugServer:
         if shard.queue.qsize() >= self.config.max_queue_depth:
             await self._retry_later(connection, frame.seq, "queue-full")
             return
+        if deadline_ms is not None:
+            op = self._guard_deadline(op, deadline_ms)
         connection.inflight += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         await shard.queue.put((op, future))
@@ -817,24 +879,30 @@ class DebugServer:
     # -- request routing and shard-thread operations -------------------
     def _route(
         self, frame: protocol.WireFrame
-    ) -> Tuple[_Shard, Callable[[], Tuple[int, bytes]], bool]:
-        """Build the shard-thread operation for one request.
+    ) -> Tuple[
+        _Shard, Callable[[], Tuple[int, bytes]], bool, Optional[int]
+    ]:
+        """Build the shard-thread operation for one request; the last
+        element is the request's relative deadline in milliseconds
+        (``None`` when the client sent none).
 
         Raises :class:`ProtocolError` for malformed payloads and
         :class:`StreamError` for global-capacity refusals (mapped to
         ``RETRY_LATER`` by the caller).
         """
         if frame.frame_type == protocol.FEED_CHUNK:
-            sid, chunk_index, eof, data = protocol.decode_feed_payload(
-                frame.payload
+            sid, chunk_index, eof, data, deadline_ms = (
+                protocol.decode_feed_payload_ex(frame.payload)
             )
             shard = self._shards[self.ring.shard_for(sid)]
             return (
                 shard,
                 lambda: self._op_feed(shard, sid, chunk_index, eof, data),
                 True,
+                deadline_ms,
             )
         body = protocol.decode_json(frame.payload)
+        deadline_ms = self._body_deadline(body)
         if frame.frame_type == protocol.OPEN_SESSION:
             sid = body.get("session_id")
             if sid is None:
@@ -857,14 +925,57 @@ class DebugServer:
                 shard,
                 lambda: self._op_open(shard, sid, mode, str(transport)),
                 False,
+                deadline_ms,
             )
         sid = body.get("session_id")
         if not isinstance(sid, str) or not sid:
             raise ProtocolError("session_id must be a non-empty string")
         shard = self._shards[self.ring.shard_for(sid)]
         if frame.frame_type == protocol.SNAPSHOT:
-            return shard, lambda: self._op_snapshot(shard, sid), False
-        return shard, lambda: self._op_close(shard, sid), False
+            return (
+                shard, lambda: self._op_snapshot(shard, sid), False,
+                deadline_ms,
+            )
+        return (
+            shard, lambda: self._op_close(shard, sid), False, deadline_ms,
+        )
+
+    @staticmethod
+    def _body_deadline(body: Dict[str, object]) -> Optional[int]:
+        """The optional ``deadline_ms`` field of a JSON request body."""
+        deadline = body.get("deadline_ms")
+        if deadline is None:
+            return None
+        if not isinstance(deadline, int) or isinstance(deadline, bool):
+            raise ProtocolError("deadline_ms must be an integer")
+        if not 0 <= deadline <= 0xFFFFFFFF:
+            raise ProtocolError(f"deadline {deadline}ms out of range")
+        return deadline
+
+    def _guard_deadline(
+        self,
+        op: Callable[[], Tuple[int, bytes]],
+        deadline_ms: int,
+    ) -> Callable[[], Tuple[int, bytes]]:
+        """Wrap a shard operation so that, by the time the shard's
+        worker dequeues it, an already-expired request budget is
+        answered with ``RETRY_LATER`` *before* anything is applied --
+        the client has given up waiting, so doing the work would break
+        the no-effect promise its retransmit relies on."""
+        expires_at = time.monotonic() + deadline_ms / 1000.0
+
+        def guarded() -> Tuple[int, bytes]:
+            if time.monotonic() >= expires_at:
+                self._c_deadline.inc()
+                return (
+                    protocol.RETRY_LATER,
+                    protocol.retry_later_payload(
+                        "deadline-exceeded", self.config.retry_after_s
+                    ),
+                )
+            return op()
+
+        return guarded
 
     def _op_open(
         self, shard: _Shard, sid: str, mode: Optional[object],
@@ -908,7 +1019,7 @@ class DebugServer:
                 protocol.ERROR,
                 protocol.error_payload("bad-request", str(exc)),
             )
-        if shard.store is not None:
+        if shard.durable:
             # logged *after* the apply: a crash in between loses only
             # an un-acked open, which the client simply retries
             self._wal_append(
@@ -968,7 +1079,7 @@ class DebugServer:
                     expected=session.next_chunk,
                 ),
             )
-        if shard.store is not None:
+        if shard.durable:
             # log-before-apply: once the client sees this chunk's OK,
             # the chunk is on disk.  A crash between the append and the
             # apply is safe -- replay applies it, the un-acked client
@@ -983,6 +1094,9 @@ class DebugServer:
             )
         except StreamError:
             return self._unknown_session(shard, sid)
+        except Exception as exc:  # noqa: BLE001 - poison payload
+            return self._poisoned_feed(shard, session, exc)
+        session.failures = 0
         self._c_feeds.inc()
         self._c_records.inc(outcome.consumed)
         reply = (
@@ -1001,9 +1115,71 @@ class DebugServer:
                 }
             ),
         )
-        if shard.store is not None and shard.store.should_snapshot():
-            self._snapshot_shard(shard)
+        if shard.durable and shard.store.should_snapshot():
+            try:
+                self._snapshot_shard(shard)
+            except StoreWriteError as exc:
+                # a failed checkpoint costs replay time, not data: the
+                # WAL still has everything, so alert and keep serving
+                self._c_snapfail.inc()
+                self._alert(
+                    "snapshot-failed",
+                    shard=shard.index,
+                    reason=str(exc),
+                    path=exc.path,
+                )
         return reply
+
+    def _poisoned_feed(
+        self, shard: _Shard, session: _ServerSession, exc: Exception
+    ) -> Tuple[int, bytes]:
+        """Answer a feed whose apply crashed in a way no retry can fix.
+
+        Strikes accumulate per session; past
+        ``ServerConfig.quarantine_after`` the session is forcibly
+        retired with a terminal ``session-quarantined`` error (logged
+        to the WAL so a restart does not resurrect it), because letting
+        a client retry a poisonous payload forever is an availability
+        bug, not fault tolerance."""
+        sid = session.session_id
+        session.failures += 1
+        if session.failures < self.config.quarantine_after:
+            return (
+                protocol.ERROR,
+                protocol.error_payload(
+                    "poison-payload",
+                    f"feed to session {sid!r} failed to apply: {exc}",
+                    failures=session.failures,
+                    quarantine_after=self.config.quarantine_after,
+                ),
+            )
+        try:
+            shard.manager.quarantine(sid)
+        except StreamError:  # pragma: no cover - raced retirement
+            pass
+        shard.sessions.pop(sid, None)
+        if shard.durable:
+            # a WAL close retires the session at replay time too --
+            # otherwise recovery would faithfully rebuild the poisoned
+            # session and the next feed would re-strike it
+            shard.store.drop_spilled(sid)
+            self._wal_append(shard, lambda: shard.store.log_close(sid))
+        self._c_quarantined.inc()
+        self._alert(
+            "session-quarantined",
+            shard=shard.index,
+            session_id=sid,
+            reason=str(exc),
+        )
+        return (
+            protocol.ERROR,
+            protocol.error_payload(
+                "session-quarantined",
+                f"session {sid!r} was quarantined after "
+                f"{session.failures} consecutive poisonous feeds "
+                f"(last: {exc})",
+            ),
+        )
 
     def _op_snapshot(self, shard: _Shard, sid: str) -> Tuple[int, bytes]:
         if sid not in shard.sessions:
@@ -1015,6 +1191,7 @@ class DebugServer:
             observed = session.localizer.observed_length
         except StreamError:
             return self._unknown_session(shard, sid)
+        wrapper = shard.sessions.get(sid)
         return (
             protocol.OK,
             protocol.encode_json(
@@ -1025,6 +1202,12 @@ class DebugServer:
                     "fraction": result.fraction,
                     "status": status,
                     "observed_length": observed,
+                    # the chunk cursor lets a client detect a server
+                    # that recovered without its acked tail (e.g. the
+                    # shard degraded before a crash) and replay it
+                    "next_chunk": (
+                        wrapper.next_chunk if wrapper is not None else 0
+                    ),
                 }
             ),
         )
@@ -1032,12 +1215,14 @@ class DebugServer:
     def _op_close(self, shard: _Shard, sid: str) -> Tuple[int, bytes]:
         if sid not in shard.sessions:
             self._revive(shard, sid)
+        wrapper = shard.sessions.get(sid)
+        next_chunk = wrapper.next_chunk if wrapper is not None else 0
         try:
             record = shard.manager.close(sid)
         except StreamError:
             return self._unknown_session(shard, sid)
         shard.sessions.pop(sid, None)
-        if shard.store is not None:
+        if shard.durable:
             shard.store.drop_spilled(sid)
             self._wal_append(shard, lambda: shard.store.log_close(sid))
         self._c_closes.inc()
@@ -1053,6 +1238,7 @@ class DebugServer:
                     "consistent_paths": extra["consistent_paths"],
                     "total_paths": extra["total_paths"],
                     "fraction": extra["fraction"],
+                    "next_chunk": next_chunk,
                 }
             ),
         )
@@ -1118,11 +1304,41 @@ class DebugServer:
         return len(records), outcome
 
     # -- durability (repro.store) ---------------------------------------
-    def _wal_append(self, shard: _Shard, append: Callable[[], int]) -> int:
+    def _wal_append(
+        self, shard: _Shard, append: Callable[[], int]
+    ) -> Optional[int]:
+        """Run one store append; a physical write failure degrades the
+        shard (memory-only mode, structured alert, metric) instead of
+        killing the request -- returns ``None`` in that case."""
         started = time.perf_counter()
-        lsn = append()
+        try:
+            lsn = append()
+        except StoreWriteError as exc:
+            self._degrade_shard(shard, exc)
+            return None
         self._h_wal.observe(time.perf_counter() - started)
         return lsn
+
+    def _degrade_shard(self, shard: _Shard, exc: StoreWriteError) -> None:
+        """Flip a shard into explicit memory-only mode after a store
+        write failure.  The shard keeps serving -- every session stays
+        live -- but durability promises stop, the health collector
+        reports ``degraded``, and an alert records exactly what broke.
+        Sticky by design: the WAL never resynchronizes past a torn
+        record, so resuming appends after a failure could silently
+        strand acked data behind an unreadable tail."""
+        if shard.degraded:
+            return
+        shard.degraded = True
+        shard.degraded_reason = str(exc)
+        self._c_degraded.inc()
+        self._alert(
+            "wal-degraded",
+            shard=shard.index,
+            reason=str(exc),
+            path=exc.path,
+            lsn=exc.lsn,
+        )
 
     def _install_state(
         self, shard: _Shard, state: dict
@@ -1150,7 +1366,7 @@ class DebugServer:
 
     def _revive(self, shard: _Shard, sid: str) -> Optional[_ServerSession]:
         """Bring a spilled (evicted-but-durable) session back live."""
-        if shard.store is None:
+        if not shard.durable:
             return None
         state = shard.store.take_spilled(sid)
         if state is None:
@@ -1174,11 +1390,16 @@ class DebugServer:
     def _final_snapshot(self, shard: _Shard) -> None:
         """Durable shutdown of one shard: checkpoint, then seal the
         WAL.  Sessions are *not* retired -- they come back on the next
-        start."""
+        start.  A write failure here degrades instead of raising: the
+        WAL already holds everything an acked request needs, so the
+        next start just replays a longer tail."""
         try:
-            self._snapshot_shard(shard)
-        finally:
-            shard.store.close()
+            try:
+                self._snapshot_shard(shard)
+            finally:
+                shard.store.close()
+        except StoreWriteError as exc:
+            self._degrade_shard(shard, exc)
 
     def _note_session_id(self, sid: str) -> None:
         """Keep the generated-id counter past every durable id, so a
@@ -1296,7 +1517,11 @@ class DebugServer:
                 return
             try:
                 self._apply_feed(shard, session, chunk_index, eof, data)
-            except StreamError:  # pragma: no cover - defensive
+            except Exception:  # noqa: BLE001 - incl. poison payloads
+                # a feed that crashed the apply live (and was logged
+                # before the crash surfaced) must not crash recovery;
+                # the quarantine close that followed it retires the
+                # session a few records later in the same tail
                 pass
         elif record.rec_type == wal_mod.WAL_CLOSE:
             sid = str(

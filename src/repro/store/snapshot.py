@@ -35,7 +35,7 @@ import os
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
-from repro.errors import StoreError
+from repro.errors import StoreError, StoreWriteError
 from repro.store import wal
 
 #: Snapshot payload format version.
@@ -66,11 +66,26 @@ def write_snapshot(
     record = wal.encode_record(wal.WAL_SNAPSHOT, wal_lsn, body)
     path = directory / snapshot_name(wal_lsn)
     tmp = path.with_suffix(".tmp")
-    with open(tmp, "wb") as stream:
-        stream.write(record)
-        stream.flush()
-        os.fsync(stream.fileno())
-    os.replace(tmp, path)
+    gate = wal.installed_io_gate()
+    try:
+        if gate is not None:
+            gate.on_snapshot(path)
+        with open(tmp, "wb") as stream:
+            stream.write(record)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        # the atomic temp + replace discipline means a failed write
+        # never clobbers the previous snapshot; surface a typed error
+        # so the shard can fall back to WAL-only durability
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise StoreWriteError(
+            f"snapshot write to {path} failed: {exc}", path=str(path)
+        ) from exc
     _fsync_directory(directory)
     return path
 

@@ -36,8 +36,32 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.compress.framing import SYNC
-from repro.errors import StoreError
+from repro.errors import StoreError, StoreWriteError
 from repro.runtime.checksum import crc16
+
+#: Process-wide injectable I/O fault gate (the chaos disk plane).
+#: ``None`` -- the default -- costs one attribute read per append.  A
+#: gate sees every physical WAL write and fsync *before* it happens:
+#: ``on_append(path, lsn, record)`` may raise :class:`OSError` (the
+#: append fails with nothing written, e.g. ENOSPC) or return a strict
+#: prefix of *record* (the prefix is written -- a torn append -- and
+#: the append then fails); ``on_fsync(path)`` may raise
+#: :class:`OSError` to fail a sync.  Snapshot writes consult the same
+#: gate via ``on_snapshot(path)`` (see :mod:`repro.store.snapshot`).
+_io_gate = None
+
+
+def install_io_gate(gate) -> object:
+    """Install (or, with ``None``, remove) the process-wide store I/O
+    fault gate; returns the previously installed gate."""
+    global _io_gate
+    previous = _io_gate
+    _io_gate = gate
+    return previous
+
+
+def installed_io_gate():
+    return _io_gate
 
 #: WAL record types.
 WAL_OPEN = 1  #: JSON ``{"session_id", "mode", "transport"}``
@@ -346,9 +370,15 @@ class WalWriter:
         self.segment_bytes = segment_bytes
         self._next_lsn = next_lsn
         self._file = None
+        self._path: Optional[Path] = None
         self._segment_size = 0
         self._last_sync = 0.0
         self._closed = False
+        #: Set on the first physical write failure; every later append
+        #: is refused, because a record written after a torn tail would
+        #: be unreachable to the scan (the log ends at the first
+        #: corruption).  The owning shard degrades instead.
+        self._failed: Optional[str] = None
         # lifetime counters (surfaced through the metrics plane)
         self.appends = 0
         self.bytes_appended = 0
@@ -366,9 +396,24 @@ class WalWriter:
         return self._next_lsn - 1
 
     def append(self, rec_type: int, payload: bytes) -> int:
-        """Durably append one record; returns its LSN."""
+        """Durably append one record; returns its LSN.
+
+        A physical failure (ENOSPC, I/O error, failed fsync, torn
+        write) raises :class:`~repro.errors.StoreWriteError` carrying
+        the segment path and the LSN, and permanently fails the
+        writer: a record appended after a torn tail would be cut off
+        by the no-resync scan, so the only safe continuation is a
+        fresh writer over a repaired directory.
+        """
         if self._closed:
             raise StoreError("WAL writer is closed")
+        if self._failed is not None:
+            raise StoreWriteError(
+                f"WAL writer already failed ({self._failed}); "
+                "repair and reopen the directory to continue",
+                path=str(self._path) if self._path else None,
+                lsn=self._next_lsn,
+            )
         lsn = self._next_lsn
         record = encode_record(rec_type, lsn, payload)
         if self._file is None or (
@@ -376,9 +421,33 @@ class WalWriter:
             and self._segment_size + len(record) > self.segment_bytes
         ):
             self._open_segment(lsn)
-        self._file.write(record)
-        self._file.flush()
-        self._segment_size += len(record)
+        data = record
+        torn = False
+        gate = _io_gate
+        try:
+            if gate is not None:
+                mangled = gate.on_append(self._path, lsn, record)
+                if mangled is not None and len(mangled) < len(record):
+                    data = mangled
+                    torn = True
+            self._file.write(data)
+            self._file.flush()
+        except OSError as exc:
+            self._failed = f"append at lsn {lsn}: {exc}"
+            raise StoreWriteError(
+                f"WAL append of lsn {lsn} to {self._path} failed: {exc}",
+                path=str(self._path),
+                lsn=lsn,
+            ) from exc
+        self._segment_size += len(data)
+        if torn:
+            self._failed = f"torn append at lsn {lsn}"
+            raise StoreWriteError(
+                f"WAL append of lsn {lsn} to {self._path} was torn "
+                f"({len(data)} of {len(record)} byte(s) written)",
+                path=str(self._path),
+                lsn=lsn,
+            )
         self._next_lsn = lsn + 1
         self.appends += 1
         self.bytes_appended += len(record)
@@ -388,9 +457,7 @@ class WalWriter:
     def sync(self) -> None:
         """Force an fsync of the active segment."""
         if self._file is not None:
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self.fsyncs += 1
+            self._fsync_file()
             self._last_sync = time.monotonic()
 
     def rotate(self) -> None:
@@ -400,9 +467,11 @@ class WalWriter:
         segments that compaction may delete whole.
         """
         if self._file is not None:
-            self.sync()
+            if self._failed is None:
+                self.sync()
             self._file.close()
             self._file = None
+            self._path = None
             self._segment_size = 0
 
     def close(self) -> None:
@@ -431,21 +500,44 @@ class WalWriter:
                 f"segment {path.name} already exists; refusing to "
                 "overwrite history"
             )
-        self._file = open(path, "wb")
+        try:
+            self._file = open(path, "wb")
+        except OSError as exc:
+            self._failed = f"open segment {path.name}: {exc}"
+            raise StoreWriteError(
+                f"cannot open WAL segment {path}: {exc}",
+                path=str(path),
+                lsn=first_lsn,
+            ) from exc
+        self._path = path
         self._segment_size = 0
         self.rotations += 1
+
+    def _fsync_file(self) -> None:
+        gate = _io_gate
+        try:
+            if gate is not None:
+                gate.on_fsync(self._path)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except OSError as exc:
+            self._failed = f"fsync of {self._path}: {exc}"
+            raise StoreWriteError(
+                f"WAL fsync of {self._path} failed: {exc}",
+                path=str(self._path),
+                lsn=self.last_lsn,
+            ) from exc
+        self.fsyncs += 1
 
     def _maybe_fsync(self) -> None:
         if self.fsync_policy == "off":
             return
         if self.fsync_policy == "always":
-            os.fsync(self._file.fileno())
-            self.fsyncs += 1
+            self._fsync_file()
             return
         now = time.monotonic()
         if now - self._last_sync >= self.fsync_interval_s:
-            os.fsync(self._file.fileno())
-            self.fsyncs += 1
+            self._fsync_file()
             self._last_sync = now
 
 
@@ -462,6 +554,8 @@ __all__ = [
     "WalScan",
     "WalWriter",
     "encode_record",
+    "install_io_gate",
+    "installed_io_gate",
     "list_segments",
     "read_segment",
     "repair_wal",

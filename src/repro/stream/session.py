@@ -55,6 +55,10 @@ ACTIVE = "active"
 OVERFLOW = "overflow"
 CLOSED = "closed"
 EVICTED = "evicted"
+#: Forcibly retired after repeated poisonous feeds -- the hosting
+#: service decided this session's input stream cannot be trusted and
+#: quarantined it rather than retrying it forever.
+QUARANTINED = "quarantined"
 
 
 @dataclass(frozen=True)
@@ -142,7 +146,9 @@ class SessionManager:
         self._sessions: Dict[str, StreamSession] = {}
         self._next_id = 0
         self._opened = 0
-        self._retired: Dict[str, int] = {CLOSED: 0, EVICTED: 0, OVERFLOW: 0}
+        self._retired: Dict[str, int] = {
+            CLOSED: 0, EVICTED: 0, OVERFLOW: 0, QUARANTINED: 0,
+        }
         self._feeds = 0
         self._records = 0
 
@@ -179,6 +185,7 @@ class SessionManager:
                 "closed": self._retired[CLOSED],
                 "evicted": self._retired[EVICTED],
                 "overflowed": self._retired[OVERFLOW],
+                "quarantined": self._retired[QUARANTINED],
                 "feeds": self._feeds,
                 "records": self._records,
             }
@@ -346,6 +353,22 @@ class SessionManager:
             if session.retired:
                 raise StreamError(f"unknown session {session_id!r}")
             return self._retire_locked(session, CLOSED)
+
+    def quarantine(self, session_id: str) -> RunRecord:
+        """Forcibly retire a session whose input stream proved
+        poisonous (repeated feed failures).  Unlike :meth:`close`, the
+        terminal status is always ``"quarantined"`` -- even for a
+        session already sitting in overflow -- because the reason it
+        left the table is the poison, not the frontier bound."""
+        with self._lock:
+            session = self._get(session_id)
+        with session.lock:
+            if session.retired:
+                raise StreamError(f"unknown session {session_id!r}")
+            # _retire_locked preserves a non-ACTIVE status; quarantine
+            # must win over overflow, so force the terminal state here
+            session.status = ACTIVE
+            return self._retire_locked(session, QUARANTINED)
 
     def evict_idle(
         self,

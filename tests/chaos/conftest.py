@@ -1,0 +1,21 @@
+"""Fixtures for the chaos-harness tests: the toy cache-coherence
+context (cheap, full pipeline) shared with the server tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interleave import interleave_flows
+from repro.server import ServeContext
+
+
+@pytest.fixture
+def context(cc_flow) -> ServeContext:
+    interleaved = interleave_flows([cc_flow], copies=2)
+    traced = (
+        cc_flow.message_by_name("ReqE"),
+        cc_flow.message_by_name("GntE"),
+    )
+    return ServeContext.from_components(
+        interleaved, traced, name="cc-chaos"
+    )

@@ -1,0 +1,151 @@
+"""The disk fault plane: injected write failures must surface as
+typed errors at the store layer and as explicit, alerted degradation
+at the service layer -- never as silent data loss or a dead shard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.disk import DiskFaultInjector, installed
+from repro.chaos.faults import FaultDecider, FaultPlan, FaultSpec
+from repro.errors import StoreWriteError
+from repro.server import DebugClient, ServerConfig
+from repro.server.loadgen import render_session_chunks
+from repro.store import wal
+from tests.server.conftest import start_server
+
+
+def injector(*specs):
+    return DiskFaultInjector(FaultDecider(0, FaultPlan(specs=specs)))
+
+
+def test_enospc_append_raises_typed_error(tmp_path):
+    gate = injector(FaultSpec("disk", "enospc", 1.0))
+    writer = wal.WalWriter(tmp_path, fsync="off")
+    with installed(gate):
+        with pytest.raises(StoreWriteError) as err:
+            writer.append(1, b"payload")
+    assert err.value.lsn == 1
+    assert err.value.path
+    # the writer is permanently failed: appends after a physical
+    # failure would be unreachable past the tear
+    with pytest.raises(StoreWriteError):
+        writer.append(1, b"payload-2")
+    writer.close()
+
+
+def test_torn_append_truncates_and_fails_writer(tmp_path):
+    gate = injector(FaultSpec("disk", "torn", 1.0))
+    writer = wal.WalWriter(tmp_path, fsync="off")
+    writer.append(1, b"first-record")  # clean: gate not installed yet
+    with installed(gate):
+        with pytest.raises(StoreWriteError):
+            writer.append(1, b"second-record-that-tears")
+    writer.close()
+    scan = wal.scan_wal(tmp_path)
+    # the scan stops at the torn tail: only the clean record survives
+    assert [r.lsn for r in scan.records] == [1]
+    assert scan.diagnostics
+
+
+def test_torn_append_first_record_leaves_prefix(tmp_path):
+    gate = injector(FaultSpec("disk", "torn", 1.0, max_per_digest=1))
+    writer = wal.WalWriter(tmp_path, fsync="off")
+    with installed(gate):
+        with pytest.raises(StoreWriteError):
+            writer.append(1, b"torn-away")
+    writer.close()
+    scan = wal.scan_wal(tmp_path)
+    assert scan.records == ()
+    assert scan.diagnostics
+
+
+def test_fsync_failure_raises_typed_error(tmp_path):
+    gate = injector(FaultSpec("disk", "fsync", 1.0))
+    writer = wal.WalWriter(tmp_path, fsync="always")
+    with installed(gate):
+        with pytest.raises(StoreWriteError):
+            writer.append(1, b"payload")
+    writer.close()
+
+
+def test_wal_failure_degrades_shard_with_alert_and_service_survives(
+    context, tmp_path
+):
+    gate = injector(FaultSpec("disk", "enospc", 1.0))
+    config = ServerConfig(
+        shards=1, data_dir=str(tmp_path), fsync="always"
+    )
+    with installed(gate):
+        handle = start_server(context, config)
+        try:
+            with DebugClient(handle.host, handle.port) as client:
+                chunks = render_session_chunks(
+                    context, seed=3, chunk_records=2
+                )
+                sid = client.open_session("degrade-1")
+                for i, chunk in enumerate(chunks):
+                    # feeds keep being acknowledged despite the dead WAL
+                    client.feed(sid, i, chunk, eof=(i == len(chunks) - 1))
+                # the shard degraded, explicitly: health says so and a
+                # structured alert carries the failure
+                stats = client.stats()
+                health = stats["health"]
+                assert health["status"] == "degraded"
+                assert health["degraded_shards"] == [0]
+                kinds = [a["kind"] for a in health["alerts"]]
+                assert "wal-degraded" in kinds
+                counters = stats["counters"]
+                assert counters["wal_degraded_total"] >= 1
+                # ... and the service keeps serving in memory
+                close = client.close_session(sid)
+                assert close.status == "closed"
+                assert close.records > 0
+        finally:
+            handle.thread.stop()
+
+
+def test_snapshot_failure_alerts_without_degrading(context, tmp_path):
+    gate = injector(
+        FaultSpec("disk", "snapshot", 1.0, max_per_digest=10_000)
+    )
+    config = ServerConfig(
+        shards=1,
+        data_dir=str(tmp_path),
+        fsync="always",
+        snapshot_every=1,  # every feed wants a checkpoint
+    )
+    with installed(gate):
+        handle = start_server(context, config)
+        try:
+            with DebugClient(handle.host, handle.port) as client:
+                chunks = render_session_chunks(
+                    context, seed=4, chunk_records=2
+                )
+                sid = client.open_session("snapfail-1")
+                for i, chunk in enumerate(chunks):
+                    client.feed(
+                        sid, i, chunk, eof=(i == len(chunks) - 1)
+                    )
+                stats = client.stats()
+                health = stats["health"]
+                # snapshot failures are WAL-only durability, not
+                # degradation: the log still holds every record
+                assert health["status"] == "ok"
+                kinds = [a["kind"] for a in health["alerts"]]
+                assert "snapshot-failed" in kinds
+                assert stats["counters"]["snapshot_failures_total"] >= 1
+                close = client.close_session(sid)
+                assert close.status == "closed"
+        finally:
+            handle.thread.stop()
+
+
+def test_injector_stats_expose_only_disk_plane(tmp_path):
+    gate = injector(FaultSpec("disk", "enospc", 1.0))
+    writer = wal.WalWriter(tmp_path, fsync="off")
+    with installed(gate):
+        with pytest.raises(StoreWriteError):
+            writer.append(1, b"x")
+    writer.close()
+    assert gate.stats() == {"disk.enospc": 1}

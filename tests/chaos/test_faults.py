@@ -1,0 +1,116 @@
+"""The fault oracle: seed-reproducible, content-keyed, convergent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.faults import (
+    PLANES,
+    FaultDecider,
+    FaultPlan,
+    FaultSpec,
+    content_digest,
+)
+from repro.errors import ReproError
+
+
+def test_content_digest_is_stable_and_length_prefixed():
+    assert content_digest(b"ab", "c") == content_digest(b"ab", "c")
+    # length prefixing: ("ab","c") must not collide with ("a","bc")
+    assert content_digest("ab", "c") != content_digest("a", "bc")
+    assert content_digest(1, 2) != content_digest(12)
+    assert len(content_digest(b"x")) == 16
+
+
+def test_spec_validation():
+    with pytest.raises(ReproError):
+        FaultSpec("cosmic", "rays", 0.5)
+    with pytest.raises(ReproError):
+        FaultSpec("network", "drop", 1.5)
+    FaultSpec("network", "drop", 1.0)  # boundary is fine
+
+
+def test_default_plan_filters_planes():
+    plan = FaultPlan.default(planes=("network",))
+    assert plan.spec_for("network", "drop") is not None
+    assert plan.spec_for("disk", "enospc") is None
+    full = FaultPlan.default()
+    assert full.spec_for("disk", "torn") is not None
+    assert set(PLANES) == {"network", "disk", "session"}
+
+
+def test_two_deciders_same_seed_decide_identically():
+    plan = FaultPlan.default()
+    a = FaultDecider(17, plan)
+    b = FaultDecider(17, plan)
+    probes = [
+        ("network", "drop", content_digest(b"frame", i % 7))
+        for i in range(200)
+    ] + [
+        ("disk", "enospc", content_digest(b"rec", i % 5))
+        for i in range(200)
+    ]
+    decisions_a = [a.decide(*p) for p in probes]
+    decisions_b = [b.decide(*p) for p in probes]
+    assert decisions_a == decisions_b
+    assert a.stats() == b.stats()
+
+
+def test_different_seeds_diverge():
+    plan = FaultPlan(specs=(FaultSpec("network", "drop", 0.5,
+                                      max_per_digest=10_000),))
+    a = FaultDecider(1, plan)
+    b = FaultDecider(2, plan)
+    probes = [("network", "drop", content_digest(i)) for i in range(200)]
+    assert [a.decide(*p) for p in probes] != [b.decide(*p) for p in probes]
+
+
+def test_max_per_digest_makes_retries_convergent():
+    plan = FaultPlan(specs=(FaultSpec("network", "drop", 1.0),))
+    decider = FaultDecider(0, plan)
+    digest = content_digest(b"the frame")
+    assert decider.decide("network", "drop", digest) is True
+    # the retransmit of the same content must pass, always
+    assert decider.decide("network", "drop", digest) is False
+    assert decider.decide("network", "drop", digest) is False
+    # but fresh content rolls fresh
+    assert decider.decide("network", "drop", content_digest(b"new")) is True
+
+
+def test_max_total_caps_firings():
+    plan = FaultPlan(
+        specs=(FaultSpec("disk", "enospc", 1.0, max_total=2),)
+    )
+    decider = FaultDecider(0, plan)
+    fired = sum(
+        decider.decide("disk", "enospc", content_digest(i))
+        for i in range(10)
+    )
+    assert fired == 2
+    assert decider.stats() == {"disk.enospc": 2}
+
+
+def test_unplanned_actions_never_fire():
+    decider = FaultDecider(0, FaultPlan(specs=()))
+    assert decider.decide("network", "drop", content_digest(b"x")) is False
+    assert decider.stats() == {}
+
+
+def test_zero_rate_never_fires():
+    plan = FaultPlan(specs=(FaultSpec("network", "drop", 0.0),))
+    decider = FaultDecider(0, plan)
+    assert not any(
+        decider.decide("network", "drop", content_digest(i))
+        for i in range(100)
+    )
+
+
+def test_rate_one_always_fires_first_occurrence():
+    plan = FaultPlan(
+        specs=(FaultSpec("network", "corrupt", 1.0, max_per_digest=1),)
+    )
+    decider = FaultDecider(3, plan)
+    assert all(
+        decider.decide("network", "corrupt", content_digest(i))
+        for i in range(50)
+    )

@@ -1,0 +1,93 @@
+"""The soak harness end to end: 32 concurrent sessions, all three
+fault planes, a mid-soak crash -- zero invariant violations, and two
+runs with the same seed produce the identical deterministic report."""
+
+from __future__ import annotations
+
+from repro.chaos import ChaosConfig, ChaosRunner, run_soak
+from repro.chaos.runner import (
+    ROLE_DISCONNECT,
+    ROLE_NORMAL,
+    ROLE_POISON,
+    _session_role,
+)
+
+
+def soak_config(**overrides):
+    base = dict(
+        seed=97,
+        sessions=32,
+        duration_s=60.0,
+        chunk_records=2,
+        shards=4,
+    )
+    base.update(overrides)
+    return ChaosConfig(**base)
+
+
+def test_roles_are_deterministic_by_index():
+    roles = [_session_role(i, ("session",)) for i in range(16)]
+    assert roles.count(ROLE_POISON) == 2
+    assert roles.count(ROLE_DISCONNECT) == 2
+    assert roles.count(ROLE_NORMAL) == 12
+    # without the session plane, everyone behaves
+    assert all(
+        _session_role(i, ("network", "disk")) == ROLE_NORMAL
+        for i in range(16)
+    )
+
+
+def test_soak_holds_every_invariant_and_is_reproducible(context):
+    config = soak_config()
+    first = ChaosRunner(config, context=context).run()
+    assert first.ok, first.deterministic["invariants"]
+    # all three planes actually did something
+    sessions = first.deterministic["sessions"]
+    assert len(sessions) == 32
+    statuses = {row["role"]: set() for row in sessions}
+    for row in sessions:
+        statuses[row["role"]].add(row["status"])
+    assert statuses[ROLE_NORMAL] == {"closed"}
+    assert statuses[ROLE_DISCONNECT] == {"closed"}
+    assert statuses[ROLE_POISON] == {"quarantined"}
+    assert any(
+        key.startswith("network.") for key in first.ops["faults"]
+    )
+    assert first.ops["crash"]["enabled"] is True
+    assert first.ops["stats_polls_ok"] > 0
+    # the tentpole guarantee: same seed, bit-identical outcome
+    second = run_soak(config, context=context)
+    assert second.ok
+    assert second.deterministic == first.deterministic
+    assert second.determinism_digest == first.determinism_digest
+
+
+def test_soak_without_crash_or_disk_is_clean(context):
+    config = soak_config(
+        sessions=8, planes=("network",), crash=False, seed=5
+    )
+    report = ChaosRunner(config, context=context).run()
+    assert report.ok, report.deterministic["invariants"]
+    assert report.ops["crash"] == {"enabled": False}
+    assert all(
+        row["status"] == "closed"
+        for row in report.deterministic["sessions"]
+    )
+
+
+def test_report_shape(context):
+    config = soak_config(sessions=4, crash=False, seed=8)
+    report = ChaosRunner(config, context=context).run()
+    payload = report.as_dict()
+    assert set(payload) == {"deterministic", "ops", "ok"}
+    det = payload["deterministic"]
+    assert det["config"]["seed"] == 8
+    assert len(det["determinism_digest"]) == 16
+    for row in det["sessions"]:
+        assert {"session_id", "role", "status"} <= set(row)
+    assert set(det["invariants"]) >= {
+        "acked-durability",
+        "localization-convergence",
+        "shard-liveness",
+        "metrics-serveable",
+    }

@@ -162,3 +162,46 @@ def test_feed_payload_undecodable_sid():
     raw = bytes((2,)) + b"\xff\xfe" + (0).to_bytes(4, "big") + bytes((0,))
     with pytest.raises(ProtocolError, match="session id"):
         protocol.decode_feed_payload(raw)
+
+
+def test_assembler_duplicate_frames_parse_independently():
+    wire = encode_frame(protocol.FEED_CHUNK, 7, b"payload")
+    frames = FrameAssembler().feed(wire + wire)
+    assert len(frames) == 2
+    assert frames[0].payload == frames[1].payload == b"payload"
+    assert frames[0].seq == frames[1].seq == 7
+
+
+def test_assembler_preserves_wire_arrival_order():
+    # a network that reorders delivers whole frames out of order; the
+    # assembler must surface them exactly as they arrived, never
+    # resort by seq
+    first = encode_frame(protocol.FEED_CHUNK, 2, b"chunk-1")
+    second = encode_frame(protocol.FEED_CHUNK, 1, b"chunk-0")
+    frames = FrameAssembler().feed(first + second)
+    assert [f.seq for f in frames] == [2, 1]
+    assert [f.payload for f in frames] == [b"chunk-1", b"chunk-0"]
+
+
+def test_assembler_odd_boundaries_across_many_frames():
+    wires = b"".join(
+        encode_frame(protocol.FEED_CHUNK, i, bytes([65 + i]) * (3 * i + 1))
+        for i in range(6)
+    )
+    assembler = FrameAssembler()
+    frames = []
+    for start in range(0, len(wires), 5):  # 5-byte reads, never aligned
+        frames.extend(assembler.feed(wires[start : start + 5]))
+    assert [f.seq for f in frames] == list(range(6))
+    assert [len(f.payload) for f in frames] == [3 * i + 1 for i in range(6)]
+    assert assembler.buffered_bytes == 0
+
+
+def test_assembler_corrupt_frame_poisons_the_stream():
+    good = encode_frame(protocol.PING, 1)
+    corrupted = bytearray(encode_frame(protocol.PING, 2))
+    corrupted[-1] ^= 0xFF  # break the CRC
+    assembler = FrameAssembler()
+    assert len(assembler.feed(good)) == 1
+    with pytest.raises(ProtocolError):
+        assembler.feed(bytes(corrupted))

@@ -119,6 +119,7 @@ def test_stats_counters_track_lifecycle(manager, cc_flow):
         "closed": 1,
         "evicted": 0,
         "overflowed": 0,
+        "quarantined": 0,
         "feeds": 1,
         "records": 1,
     }
